@@ -1,0 +1,80 @@
+//! Constant-bitrate probe workload (§3.1 / §5.2).
+//!
+//! The measurement studies and the link-layer evaluation both use the
+//! same traffic: a 500-byte packet every 100 ms in each direction. This
+//! tiny scheduler hands the runtime the exact send instants.
+
+use vifi_sim::{SimDuration, SimTime};
+
+/// A fixed-interval, fixed-size packet schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct CbrSchedule {
+    /// Packet interval.
+    pub interval: SimDuration,
+    /// Payload size, bytes.
+    pub size_bytes: u32,
+}
+
+impl CbrSchedule {
+    /// The paper's probe workload: 500 B every 100 ms.
+    pub fn paper_probes() -> Self {
+        CbrSchedule {
+            interval: SimDuration::from_millis(100),
+            size_bytes: 500,
+        }
+    }
+
+    /// First send instant strictly after `now`, given the stream started
+    /// at `start`.
+    pub fn next_after(&self, start: SimTime, now: SimTime) -> SimTime {
+        if now < start {
+            return start;
+        }
+        let elapsed = (now - start).as_micros();
+        let k = elapsed / self.interval.as_micros() + 1;
+        start + self.interval * k
+    }
+
+    /// Number of packets the schedule emits in `[start, end)`.
+    pub fn count_in(&self, start: SimTime, end: SimTime) -> u64 {
+        if end <= start {
+            return 0;
+        }
+        (end - start).as_micros().div_ceil(self.interval.as_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rate() {
+        let c = CbrSchedule::paper_probes();
+        assert_eq!(c.count_in(SimTime::ZERO, SimTime::from_secs(1)), 10);
+        assert_eq!(c.count_in(SimTime::ZERO, SimTime::from_secs(60)), 600);
+    }
+
+    #[test]
+    fn next_after_progression() {
+        let c = CbrSchedule::paper_probes();
+        let start = SimTime::from_millis(50);
+        assert_eq!(c.next_after(start, SimTime::ZERO), start);
+        assert_eq!(c.next_after(start, start), SimTime::from_millis(150));
+        assert_eq!(
+            c.next_after(start, SimTime::from_millis(149)),
+            SimTime::from_millis(150)
+        );
+        assert_eq!(
+            c.next_after(start, SimTime::from_millis(150)),
+            SimTime::from_millis(250)
+        );
+    }
+
+    #[test]
+    fn empty_interval() {
+        let c = CbrSchedule::paper_probes();
+        assert_eq!(c.count_in(SimTime::from_secs(5), SimTime::from_secs(5)), 0);
+        assert_eq!(c.count_in(SimTime::from_secs(5), SimTime::from_secs(4)), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # vifi-apps — the applications the paper evaluates
+//!
+//! §5.3 measures ViFi with the two interactive applications users actually
+//! run from vehicles:
+//!
+//! * **Short TCP transfers** ([`tcp`]) — repeated 10 KB fetches "typical
+//!   in Web browsing", with the paper's 10-second no-progress abort rule.
+//!   The transport is a compact Reno-style TCP (slow start, AIMD, fast
+//!   retransmit, RTO with the classic 1 s minimum — the same minimum the
+//!   paper bases its salvage threshold on).
+//! * **VoIP** ([`voip`]) — a G.729 stream (20-byte packets every 20 ms)
+//!   scored with the industry R-factor → Mean Opinion Score pipeline,
+//!   including the paper's delay budget (25 ms coding + 60 ms jitter
+//!   buffer + 40 ms wired path; wireless packets later than 52 ms count
+//!   as lost) and its interruption rule (MoS < 2 over a 3 s window).
+//! * **CBR probes** ([`cbr`]) — the 500-byte/100 ms measurement workload
+//!   of §3.1 and §5.2.
+//! * **Cellular reference** ([`cellular`]) — the EVDO Rev. A link model
+//!   behind the §5.3.1 comparison (median TCP fetch 0.75 s down / 1.2 s
+//!   up on the authors' modem).
+//!
+//! All state machines are poll-style with explicit `now` parameters; the
+//! transport serializes to [`bytes::Bytes`] so it can ride any link layer
+//! (the ViFi stack in `vifi-runtime`, or the simple pipes in [`cellular`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbr;
+pub mod cellular;
+pub mod tcp;
+pub mod voip;
+
+pub use cbr::CbrSchedule;
+pub use cellular::{CellularLink, CellularParams};
+pub use tcp::{TcpConfig, TcpReceiver, TcpSegment, TcpSender};
+pub use voip::{VoipParams, VoipReport, VoipScorer, VoipSource};

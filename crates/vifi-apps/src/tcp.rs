@@ -1,0 +1,740 @@
+//! Mini-TCP: a compact Reno-style transport for the short-transfer
+//! workload of §5.3.1.
+//!
+//! The paper's TCP experiments repeatedly fetch a 10 KB file in each
+//! direction, terminate transfers that make no progress for ten seconds,
+//! and report (i) the time to complete a transfer and (ii) the number of
+//! completed transfers per session. What matters for reproducing those
+//! numbers is TCP's *loss behaviour* at short flow lengths: slow start
+//! from a small window, fast retransmit on triple duplicate ACKs, and the
+//! brutal 1-second minimum RTO that makes a lost retransmission so
+//! expensive — which is precisely why ViFi's salvaging (bounded by that
+//! same 1 s, §4.5) pays off. SACK, window scaling, Nagle and friends are
+//! irrelevant at 10 KB and are deliberately out of scope (documented
+//! simplification).
+//!
+//! Segments serialize to [`Bytes`] so the transport rides any link layer.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use vifi_sim::{SimDuration, SimTime};
+
+/// Transport configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size, payload bytes per data segment.
+    pub mss: u32,
+    /// Initial congestion window, segments.
+    pub init_cwnd: f64,
+    /// Initial slow-start threshold, segments.
+    pub init_ssthresh: f64,
+    /// Minimum retransmission timeout (RFC-classic 1 s; the paper leans
+    /// on this constant for its salvage threshold).
+    pub rto_min: SimDuration,
+    /// Maximum RTO after backoff.
+    pub rto_max: SimDuration,
+    /// Initial RTO before any RTT sample (RFC 6298 suggests 1 s; we use
+    /// 3 s like classic BSD for the very first exchange).
+    pub rto_init: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1400,
+            init_cwnd: 2.0,
+            init_ssthresh: 32.0,
+            rto_min: SimDuration::from_secs(1),
+            rto_max: SimDuration::from_secs(16),
+            rto_init: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// A TCP segment (abstract; serialized with [`TcpSegment::encode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpSegment {
+    /// Connection request.
+    Syn,
+    /// Connection accept.
+    SynAck,
+    /// Data: `[seq, seq+len)` in byte-stream coordinates.
+    Data {
+        /// First byte offset.
+        seq: u64,
+        /// Payload length.
+        len: u32,
+    },
+    /// Cumulative acknowledgment: all bytes below `cum` received.
+    Ack {
+        /// Next expected byte.
+        cum: u64,
+    },
+}
+
+impl TcpSegment {
+    /// Serialize (1-byte tag + fields, little endian).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        match self {
+            TcpSegment::Syn => b.put_u8(0),
+            TcpSegment::SynAck => b.put_u8(1),
+            TcpSegment::Data { seq, len } => {
+                b.put_u8(2);
+                b.put_u64_le(*seq);
+                b.put_u32_le(*len);
+            }
+            TcpSegment::Ack { cum } => {
+                b.put_u8(3);
+                b.put_u64_le(*cum);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Option<TcpSegment> {
+        use bytes::Buf;
+        if buf.is_empty() {
+            return None;
+        }
+        let tag = buf.get_u8();
+        match tag {
+            0 => Some(TcpSegment::Syn),
+            1 => Some(TcpSegment::SynAck),
+            2 => {
+                if buf.len() < 12 {
+                    return None;
+                }
+                let seq = buf.get_u64_le();
+                let len = buf.get_u32_le();
+                Some(TcpSegment::Data { seq, len })
+            }
+            3 => {
+                if buf.len() < 8 {
+                    return None;
+                }
+                Some(TcpSegment::Ack { cum: buf.get_u64_le() })
+            }
+            _ => None,
+        }
+    }
+
+    /// Wire size: the paper-era 40-byte TCP/IP header plus payload.
+    pub fn wire_bytes(&self) -> u32 {
+        40 + match self {
+            TcpSegment::Data { len, .. } => *len,
+            _ => 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SenderState {
+    SynSent,
+    Established,
+    Done,
+}
+
+/// The sending half of a one-directional transfer.
+pub struct TcpSender {
+    cfg: TcpConfig,
+    state: SenderState,
+    file_size: u64,
+    /// First unacknowledged byte.
+    snd_una: u64,
+    /// Next byte to transmit.
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    /// Exponentially smoothed RTT state (RFC 6298).
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff: u32,
+    /// Outstanding timer deadline.
+    timer: Option<SimTime>,
+    /// (first-transmission time, byte) for RTT sampling (Karn's rule: only
+    /// unretransmitted segments are sampled).
+    rtt_probe: Option<(SimTime, u64)>,
+    retransmitted_since_probe: bool,
+    /// Time the connection began and completed.
+    started: SimTime,
+    completed: Option<SimTime>,
+    /// Time of last forward progress (for the 10 s abort rule).
+    last_progress: SimTime,
+    /// Transmission counters.
+    segments_sent: u64,
+    retransmissions: u64,
+}
+
+impl TcpSender {
+    /// Start a transfer of `file_size` bytes at `now` (SYN goes out on the
+    /// first `poll_tx`).
+    pub fn new(cfg: TcpConfig, file_size: u64, now: SimTime) -> Self {
+        assert!(file_size > 0);
+        TcpSender {
+            cfg,
+            state: SenderState::SynSent,
+            file_size,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: cfg.init_cwnd,
+            ssthresh: cfg.init_ssthresh,
+            dup_acks: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: cfg.rto_init,
+            backoff: 0,
+            timer: None,
+            rtt_probe: None,
+            retransmitted_since_probe: false,
+            started: now,
+            completed: None,
+            last_progress: now,
+            segments_sent: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Transfer complete?
+    pub fn is_complete(&self) -> bool {
+        self.state == SenderState::Done
+    }
+
+    /// Completion time, if finished.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed
+    }
+
+    /// Transfer duration, if finished.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c - self.started)
+    }
+
+    /// Last time the transfer made forward progress.
+    pub fn last_progress(&self) -> SimTime {
+        self.last_progress
+    }
+
+    /// Total segments sent (incl. SYN and retransmissions).
+    pub fn segments_sent(&self) -> u64 {
+        self.segments_sent
+    }
+
+    /// Retransmitted data segments.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Current RTO (for tests).
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Deadline of the pending retransmission timer.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        self.timer
+    }
+
+    fn arm_timer(&mut self, now: SimTime) {
+        self.timer = Some(now + self.rto);
+    }
+
+    /// Segments to put on the wire right now (window permitting).
+    pub fn poll_tx(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        match self.state {
+            SenderState::SynSent => {
+                if self.timer.is_none() {
+                    out.push(TcpSegment::Syn);
+                    self.segments_sent += 1;
+                    self.arm_timer(now);
+                }
+            }
+            SenderState::Established => {
+                let window_bytes = (self.cwnd * self.cfg.mss as f64) as u64;
+                while self.snd_nxt < self.file_size
+                    && self.snd_nxt - self.snd_una + self.cfg.mss as u64
+                        <= window_bytes.max(self.cfg.mss as u64)
+                {
+                    let len = self
+                        .cfg
+                        .mss
+                        .min((self.file_size - self.snd_nxt) as u32);
+                    out.push(TcpSegment::Data {
+                        seq: self.snd_nxt,
+                        len,
+                    });
+                    self.segments_sent += 1;
+                    if self.rtt_probe.is_none() && !self.retransmitted_since_probe {
+                        self.rtt_probe = Some((now, self.snd_nxt));
+                    }
+                    self.snd_nxt += len as u64;
+                    if self.timer.is_none() {
+                        self.arm_timer(now);
+                    }
+                }
+            }
+            SenderState::Done => {}
+        }
+        out
+    }
+
+    /// Process an incoming segment (SYN-ACK or ACK).
+    pub fn on_segment(&mut self, seg: TcpSegment, now: SimTime) {
+        match (self.state, seg) {
+            (SenderState::SynSent, TcpSegment::SynAck) => {
+                self.state = SenderState::Established;
+                self.timer = None;
+                self.backoff = 0;
+                self.last_progress = now;
+                // The SYN/SYN-ACK exchange gives the first RTT sample.
+                self.sample_rtt(now.saturating_since(self.started));
+            }
+            (SenderState::Established, TcpSegment::Ack { cum }) => {
+                self.on_ack(cum, now);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_ack(&mut self, cum: u64, now: SimTime) {
+        if cum > self.snd_una {
+            // Forward progress.
+            self.snd_una = cum;
+            // A fast retransmit may have pulled snd_nxt back to the hole;
+            // a later cumulative ACK can then overtake it.
+            self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            self.last_progress = now;
+            self.dup_acks = 0;
+            self.backoff = 0;
+            // RTT sample if our probe byte is covered and untainted.
+            if let Some((sent, byte)) = self.rtt_probe {
+                if cum > byte {
+                    if !self.retransmitted_since_probe {
+                        self.sample_rtt(now.saturating_since(sent));
+                    }
+                    self.rtt_probe = None;
+                    self.retransmitted_since_probe = false;
+                }
+            }
+            // Window growth: slow start below ssthresh, else AIMD.
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0;
+            } else {
+                self.cwnd += 1.0 / self.cwnd;
+            }
+            if self.snd_una >= self.file_size {
+                self.state = SenderState::Done;
+                self.completed = Some(now);
+                self.timer = None;
+                return;
+            }
+            self.arm_timer(now);
+        } else if cum == self.snd_una && self.snd_nxt > self.snd_una {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 {
+                // Fast retransmit + multiplicative decrease.
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = self.ssthresh;
+                self.snd_nxt = self.snd_una; // go-back-N from the hole
+                self.retransmitted_since_probe = true;
+                self.retransmissions += 1;
+                self.dup_acks = 0;
+            }
+        }
+    }
+
+    /// Fire the retransmission timer if due.
+    pub fn on_timer(&mut self, now: SimTime) {
+        let Some(deadline) = self.timer else { return };
+        if now < deadline || self.state == SenderState::Done {
+            return;
+        }
+        self.timer = None;
+        match self.state {
+            SenderState::SynSent => {
+                // SYN lost: back off and leave the timer disarmed so the
+                // next `poll_tx` re-sends the SYN (and re-arms).
+                self.backoff += 1;
+                self.rto = (self.rto * 2).min(self.cfg.rto_max);
+                self.retransmissions += 1;
+            }
+            SenderState::Established => {
+                // Timeout: classic Reno — collapse to one segment, restart
+                // from the hole, back the timer off.
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = 1.0;
+                self.snd_nxt = self.snd_una;
+                self.retransmitted_since_probe = true;
+                self.retransmissions += 1;
+                self.backoff += 1;
+                self.rto = (self.rto * 2).min(self.cfg.rto_max);
+            }
+            SenderState::Done => {}
+        }
+    }
+
+    /// RFC 6298 smoothing with the configured floor.
+    fn sample_rtt(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let raw = self.srtt.unwrap() + self.rttvar * 4;
+        self.rto = raw.max(self.cfg.rto_min).min(self.cfg.rto_max);
+    }
+}
+
+/// The receiving half: reassembles, produces cumulative ACKs.
+pub struct TcpReceiver {
+    /// Next expected byte.
+    rcv_nxt: u64,
+    /// Out-of-order byte ranges received (sorted, disjoint).
+    ooo: Vec<(u64, u64)>,
+    /// Whether the connection is open.
+    established: bool,
+    /// ACK segments generated.
+    pub acks_sent: u64,
+}
+
+impl TcpReceiver {
+    /// New idle receiver.
+    pub fn new() -> Self {
+        TcpReceiver {
+            rcv_nxt: 0,
+            ooo: Vec::new(),
+            established: false,
+            acks_sent: 0,
+        }
+    }
+
+    /// Contiguous bytes received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Handle an incoming segment, returning the segments to send back.
+    pub fn on_segment(&mut self, seg: TcpSegment, _now: SimTime) -> Vec<TcpSegment> {
+        match seg {
+            TcpSegment::Syn => {
+                self.established = true;
+                vec![TcpSegment::SynAck]
+            }
+            TcpSegment::Data { seq, len } => {
+                if !self.established {
+                    return Vec::new();
+                }
+                let end = seq + len as u64;
+                if end > self.rcv_nxt {
+                    self.insert_range(seq.max(self.rcv_nxt), end);
+                    self.advance();
+                }
+                self.acks_sent += 1;
+                vec![TcpSegment::Ack { cum: self.rcv_nxt }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn insert_range(&mut self, lo: u64, hi: u64) {
+        self.ooo.push((lo, hi));
+        self.ooo.sort_unstable();
+        // Merge overlaps.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ooo.len());
+        for &(lo, hi) in &self.ooo {
+            if let Some(last) = merged.last_mut() {
+                if lo <= last.1 {
+                    last.1 = last.1.max(hi);
+                    continue;
+                }
+            }
+            merged.push((lo, hi));
+        }
+        self.ooo = merged;
+    }
+
+    fn advance(&mut self) {
+        while let Some(&(lo, hi)) = self.ooo.first() {
+            if lo <= self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.max(hi);
+                self.ooo.remove(0);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Default for TcpReceiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_sim::Rng;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn segment_encoding_roundtrip() {
+        for seg in [
+            TcpSegment::Syn,
+            TcpSegment::SynAck,
+            TcpSegment::Data { seq: 12345, len: 1400 },
+            TcpSegment::Ack { cum: 99999 },
+        ] {
+            let enc = seg.encode();
+            assert_eq!(TcpSegment::decode(&enc), Some(seg));
+        }
+        assert_eq!(TcpSegment::decode(&[]), None);
+        assert_eq!(TcpSegment::decode(&[9]), None);
+        assert_eq!(TcpSegment::decode(&[2, 1, 2]), None, "truncated data hdr");
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(TcpSegment::Syn.wire_bytes(), 40);
+        assert_eq!(TcpSegment::Data { seq: 0, len: 1000 }.wire_bytes(), 1040);
+    }
+
+    /// Drive a sender/receiver pair over a lossless, fixed-delay pipe.
+    fn run_clean(file: u64, one_way_ms: u64) -> (TcpSender, TcpReceiver, SimTime) {
+        let mut snd = TcpSender::new(TcpConfig::default(), file, t(0));
+        let mut rcv = TcpReceiver::new();
+        // Event loop: (time, to_receiver?, segment).
+        let mut now = t(0);
+        let mut in_flight: Vec<(SimTime, bool, TcpSegment)> = Vec::new();
+        for _ in 0..10_000 {
+            if snd.is_complete() {
+                break;
+            }
+            for seg in snd.poll_tx(now) {
+                in_flight.push((now + SimDuration::from_millis(one_way_ms), true, seg));
+            }
+            // Next event: earliest in-flight or timer.
+            in_flight.sort_by_key(|e| e.0);
+            let timer = snd.next_timer();
+            let next_arrival = in_flight.first().map(|e| e.0);
+            now = match (next_arrival, timer) {
+                (Some(a), Some(tm)) => a.min(tm),
+                (Some(a), None) => a,
+                (None, Some(tm)) => tm,
+                (None, None) => break,
+            };
+            snd.on_timer(now);
+            let mut rest = Vec::new();
+            for (at, to_rcv, seg) in in_flight.drain(..) {
+                if at <= now {
+                    if to_rcv {
+                        for reply in rcv.on_segment(seg, now) {
+                            rest.push((now + SimDuration::from_millis(one_way_ms), false, reply));
+                        }
+                    } else {
+                        snd.on_segment(seg, now);
+                    }
+                } else {
+                    rest.push((at, to_rcv, seg));
+                }
+            }
+            in_flight = rest;
+        }
+        (snd, rcv, now)
+    }
+
+    #[test]
+    fn clean_transfer_completes_in_order() {
+        let (snd, rcv, _) = run_clean(10_000, 10);
+        assert!(snd.is_complete());
+        assert_eq!(rcv.bytes_received(), 10_000);
+        assert_eq!(snd.retransmissions(), 0);
+    }
+
+    #[test]
+    fn clean_transfer_time_is_a_few_rtts() {
+        // 10 KB at MSS 1400 = 8 segments; cwnd 2→3→… : handshake + ~3
+        // RTTs of 20 ms each; ample bound: < 10 RTTs.
+        let (snd, _, _) = run_clean(10_000, 10);
+        let d = snd.duration().unwrap();
+        assert!(d >= SimDuration::from_millis(40), "{d:?}");
+        assert!(d <= SimDuration::from_millis(200), "{d:?}");
+    }
+
+    #[test]
+    fn one_segment_file() {
+        let (snd, rcv, _) = run_clean(100, 5);
+        assert!(snd.is_complete());
+        assert_eq!(rcv.bytes_received(), 100);
+    }
+
+    #[test]
+    fn large_transfer_exercises_congestion_avoidance() {
+        let (snd, rcv, _) = run_clean(500_000, 5);
+        assert!(snd.is_complete());
+        assert_eq!(rcv.bytes_received(), 500_000);
+    }
+
+    /// Lossy pipe: every segment dropped i.i.d. with probability p.
+    fn run_lossy(file: u64, p: f64, seed: u64) -> (TcpSender, TcpReceiver) {
+        let mut rng = Rng::new(seed);
+        let mut snd = TcpSender::new(TcpConfig::default(), file, t(0));
+        let mut rcv = TcpReceiver::new();
+        let mut now = t(0);
+        let one_way = SimDuration::from_millis(15);
+        let mut in_flight: Vec<(SimTime, bool, TcpSegment)> = Vec::new();
+        for _ in 0..200_000 {
+            if snd.is_complete() {
+                break;
+            }
+            for seg in snd.poll_tx(now) {
+                if !rng.chance(p) {
+                    in_flight.push((now + one_way, true, seg));
+                }
+            }
+            in_flight.sort_by_key(|e| e.0);
+            let timer = snd.next_timer();
+            let next_arrival = in_flight.first().map(|e| e.0);
+            now = match (next_arrival, timer) {
+                (Some(a), Some(tm)) => a.min(tm),
+                (Some(a), None) => a,
+                (None, Some(tm)) => tm,
+                (None, None) => break,
+            };
+            snd.on_timer(now);
+            let mut rest = Vec::new();
+            for (at, to_rcv, seg) in in_flight.drain(..) {
+                if at <= now {
+                    if to_rcv {
+                        for reply in rcv.on_segment(seg, now) {
+                            if !rng.chance(p) {
+                                rest.push((now + one_way, false, reply));
+                            }
+                        }
+                    } else {
+                        snd.on_segment(seg, now);
+                    }
+                } else {
+                    rest.push((at, to_rcv, seg));
+                }
+            }
+            in_flight = rest;
+        }
+        (snd, rcv)
+    }
+
+    #[test]
+    fn lossy_transfer_still_completes_exactly() {
+        for seed in 0..5 {
+            let (snd, rcv) = run_lossy(10_000, 0.2, seed);
+            assert!(snd.is_complete(), "seed {seed}");
+            assert_eq!(rcv.bytes_received(), 10_000, "seed {seed}");
+            assert!(snd.retransmissions() > 0 || seed > 100, "losses should force retx");
+        }
+    }
+
+    #[test]
+    fn loss_increases_transfer_time() {
+        let (clean, _, _) = run_clean(10_000, 15);
+        let (lossy, _) = run_lossy(10_000, 0.25, 7);
+        assert!(
+            lossy.duration().unwrap() > clean.duration().unwrap(),
+            "loss must cost time: {:?} vs {:?}",
+            lossy.duration(),
+            clean.duration()
+        );
+    }
+
+    #[test]
+    fn rto_backs_off_and_floors() {
+        let mut snd = TcpSender::new(TcpConfig::default(), 10_000, t(0));
+        // SYN goes out; no reply: timer fires with exponential backoff.
+        let _ = snd.poll_tx(t(0));
+        let rto0 = snd.rto();
+        assert_eq!(rto0, TcpConfig::default().rto_init);
+        let d1 = snd.next_timer().unwrap();
+        snd.on_timer(d1);
+        assert_eq!(snd.rto(), rto0 * 2);
+        let resyn = snd.poll_tx(d1);
+        assert_eq!(resyn, vec![TcpSegment::Syn], "SYN retransmitted");
+        let d2 = snd.next_timer().unwrap();
+        snd.on_timer(d2);
+        assert_eq!(snd.rto(), rto0 * 4);
+    }
+
+    #[test]
+    fn rto_respects_min_after_fast_network() {
+        let (snd, _, _) = run_clean(10_000, 1); // 2 ms RTT
+        assert!(
+            snd.rto() >= TcpConfig::default().rto_min,
+            "RTO {:?} must not dip below the 1 s floor",
+            snd.rto()
+        );
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let mut rcv = TcpReceiver::new();
+        rcv.on_segment(TcpSegment::Syn, t(0));
+        let a1 = rcv.on_segment(TcpSegment::Data { seq: 1400, len: 1400 }, t(1));
+        assert_eq!(a1, vec![TcpSegment::Ack { cum: 0 }], "hole → dup ack");
+        let a2 = rcv.on_segment(TcpSegment::Data { seq: 0, len: 1400 }, t(2));
+        assert_eq!(a2, vec![TcpSegment::Ack { cum: 2800 }], "hole filled");
+        assert_eq!(rcv.bytes_received(), 2800);
+    }
+
+    #[test]
+    fn receiver_ignores_data_before_syn() {
+        let mut rcv = TcpReceiver::new();
+        let r = rcv.on_segment(TcpSegment::Data { seq: 0, len: 100 }, t(0));
+        assert!(r.is_empty());
+        assert_eq!(rcv.bytes_received(), 0);
+    }
+
+    #[test]
+    fn duplicate_data_reacked_not_recounted() {
+        let mut rcv = TcpReceiver::new();
+        rcv.on_segment(TcpSegment::Syn, t(0));
+        rcv.on_segment(TcpSegment::Data { seq: 0, len: 1000 }, t(1));
+        let a = rcv.on_segment(TcpSegment::Data { seq: 0, len: 1000 }, t(2));
+        assert_eq!(a, vec![TcpSegment::Ack { cum: 1000 }]);
+        assert_eq!(rcv.bytes_received(), 1000);
+    }
+
+    #[test]
+    fn fast_retransmit_on_triple_dupack() {
+        let mut snd = TcpSender::new(
+            TcpConfig {
+                init_cwnd: 8.0,
+                ..TcpConfig::default()
+            },
+            20_000,
+            t(0),
+        );
+        let _ = snd.poll_tx(t(0));
+        snd.on_segment(TcpSegment::SynAck, t(10));
+        let segs = snd.poll_tx(t(10));
+        assert!(segs.len() >= 4, "window should allow several segments");
+        // First segment lost: three dup ACKs arrive.
+        for i in 0..3 {
+            snd.on_segment(TcpSegment::Ack { cum: 0 }, t(20 + i));
+        }
+        assert_eq!(snd.retransmissions(), 1, "fast retransmit fired");
+        // poll_tx resends from the hole.
+        let resend = snd.poll_tx(t(25));
+        assert!(matches!(resend.first(), Some(TcpSegment::Data { seq: 0, .. })));
+    }
+}

@@ -1,0 +1,417 @@
+//! VoIP over G.729 with R-factor → Mean Opinion Score evaluation
+//! (§5.3.2).
+//!
+//! The paper's pipeline, reproduced exactly:
+//!
+//! * the codec emits a 20-byte packet every 20 ms;
+//! * mouth-to-ear delay `d` = 25 ms coding + wireless one-way delay +
+//!   60 ms jitter buffer + 40 ms wired backbone;
+//! * aiming for `d ≤ 177 ms` means a wireless packet later than **52 ms**
+//!   counts as lost;
+//! * `e` = total loss rate (network + late);
+//! * `R = 94.2 − 0.024d − 0.11(d−177.3)·H(d−177.3) − 11 − 40·log₁₀(1+10e)`
+//!   (the G.729 reduction of Cole & Rosenbluth, A-factor 0);
+//! * `MoS = 1 + 0.035R + 7·10⁻⁶·R(R−60)(100−R)`, clamped to `[1, 4.5]`;
+//! * an **interruption** is a 3-second window whose MoS drops below 2;
+//!   uninterrupted session lengths are the reported metric (Fig. 11).
+
+use vifi_sim::{SimDuration, SimTime};
+
+/// All the §5.3.2 constants in one place.
+#[derive(Clone, Copy, Debug)]
+pub struct VoipParams {
+    /// Codec packet interval (20 ms for G.729).
+    pub packet_interval: SimDuration,
+    /// Codec payload size, bytes.
+    pub payload_bytes: u32,
+    /// Coding delay.
+    pub coding_delay: SimDuration,
+    /// Jitter-buffer delay.
+    pub jitter_buffer: SimDuration,
+    /// Wired-segment delay (cross-country path).
+    pub wired_delay: SimDuration,
+    /// Wireless delay budget: packets slower than this count as lost.
+    pub wireless_budget: SimDuration,
+    /// Scoring window.
+    pub window: SimDuration,
+    /// MoS below which a window is an interruption.
+    pub mos_threshold: f64,
+}
+
+impl Default for VoipParams {
+    fn default() -> Self {
+        VoipParams {
+            packet_interval: SimDuration::from_millis(20),
+            payload_bytes: 20,
+            coding_delay: SimDuration::from_millis(25),
+            jitter_buffer: SimDuration::from_millis(60),
+            wired_delay: SimDuration::from_millis(40),
+            wireless_budget: SimDuration::from_millis(52),
+            window: SimDuration::from_secs(3),
+            mos_threshold: 2.0,
+        }
+    }
+}
+
+impl VoipParams {
+    /// Mouth-to-ear delay for a wireless one-way delay.
+    pub fn mouth_to_ear(&self, wireless: SimDuration) -> SimDuration {
+        self.coding_delay + wireless + self.jitter_buffer + self.wired_delay
+    }
+}
+
+/// R-factor for a mouth-to-ear delay `d_ms` and total loss rate `e`
+/// (G.729, A = 0).
+pub fn r_factor(d_ms: f64, e: f64) -> f64 {
+    let h = if d_ms > 177.3 { 1.0 } else { 0.0 };
+    94.2 - 0.024 * d_ms - 0.11 * (d_ms - 177.3) * h - 11.0 - 40.0 * (1.0 + 10.0 * e).log10()
+}
+
+/// MoS from an R-factor, with the paper's clamping rules.
+pub fn mos_from_r(r: f64) -> f64 {
+    if r < 0.0 {
+        1.0
+    } else if r > 100.0 {
+        4.5
+    } else {
+        1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r)
+    }
+}
+
+/// The sending side: a constant-bitrate codec stream.
+#[derive(Clone, Debug)]
+pub struct VoipSource {
+    params: VoipParams,
+    next_seq: u64,
+    next_at: SimTime,
+}
+
+impl VoipSource {
+    /// Start a stream at `start`.
+    pub fn new(params: VoipParams, start: SimTime) -> Self {
+        VoipSource {
+            params,
+            next_seq: 0,
+            next_at: start,
+        }
+    }
+
+    /// Packets due at or before `now`: `(seq, send_time)`.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(u64, SimTime)> {
+        let mut out = Vec::new();
+        while self.next_at <= now {
+            out.push((self.next_seq, self.next_at));
+            self.next_seq += 1;
+            self.next_at += self.params.packet_interval;
+        }
+        out
+    }
+
+    /// Time of the next packet.
+    pub fn next_at(&self) -> SimTime {
+        self.next_at
+    }
+
+    /// Payload size on the wire.
+    pub fn payload_bytes(&self) -> u32 {
+        self.params.payload_bytes
+    }
+}
+
+/// One scored window.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowScore {
+    /// Window index.
+    pub window: u64,
+    /// Effective loss (network + late), in `[0, 1]`.
+    pub loss: f64,
+    /// Mean mouth-to-ear delay of counted packets, ms.
+    pub delay_ms: f64,
+    /// The window's MoS.
+    pub mos: f64,
+}
+
+/// The receiving side: records outcomes, scores windows, finds sessions.
+pub struct VoipScorer {
+    params: VoipParams,
+    /// Per-window counters: (sent, received-in-budget, delay-sum-ms).
+    windows: Vec<(u32, u32, f64)>,
+}
+
+impl VoipScorer {
+    /// New scorer.
+    pub fn new(params: VoipParams) -> Self {
+        VoipScorer {
+            params,
+            windows: Vec::new(),
+        }
+    }
+
+    fn window_of(&self, sent_at: SimTime) -> usize {
+        sent_at.bin(self.params.window) as usize
+    }
+
+    fn ensure(&mut self, w: usize) {
+        if w >= self.windows.len() {
+            self.windows.resize(w + 1, (0, 0, 0.0));
+        }
+    }
+
+    /// Record that a packet was sent at `sent_at`.
+    pub fn on_sent(&mut self, sent_at: SimTime) {
+        let w = self.window_of(sent_at);
+        self.ensure(w);
+        self.windows[w].0 += 1;
+    }
+
+    /// Record a delivery: the packet sent at `sent_at` arrived at
+    /// `recv_at`. Packets over the wireless budget count as lost (late).
+    pub fn on_delivered(&mut self, sent_at: SimTime, recv_at: SimTime) {
+        let wireless = recv_at.saturating_since(sent_at);
+        if wireless > self.params.wireless_budget {
+            return; // late = lost
+        }
+        let w = self.window_of(sent_at);
+        self.ensure(w);
+        self.windows[w].1 += 1;
+        let d = self.params.mouth_to_ear(wireless);
+        self.windows[w].2 += d.as_secs_f64() * 1000.0;
+    }
+
+    /// Score every complete window.
+    pub fn window_scores(&self) -> Vec<WindowScore> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, &(sent, ok, delay_sum))| {
+                let loss = if sent == 0 {
+                    1.0
+                } else {
+                    // Salvaging can duplicate deliveries (same payload,
+                    // new link-layer id); never let that push loss
+                    // below zero.
+                    (1.0 - ok as f64 / sent as f64).max(0.0)
+                };
+                let delay_ms = if ok > 0 {
+                    delay_sum / ok as f64
+                } else {
+                    // No packet made it: delay is moot; use the budget
+                    // ceiling so the R-factor is driven by e = 1.
+                    self.params
+                        .mouth_to_ear(self.params.wireless_budget)
+                        .as_secs_f64()
+                        * 1000.0
+                };
+                let mos = mos_from_r(r_factor(delay_ms, loss));
+                WindowScore {
+                    window: i as u64,
+                    loss,
+                    delay_ms,
+                    mos,
+                }
+            })
+            .collect()
+    }
+
+    /// Final report: session lengths between interruptions plus summary
+    /// scores (Fig. 11's metric and the "average of three-second MoS"
+    /// quoted in §5.3.2).
+    pub fn report(&self) -> VoipReport {
+        let scores = self.window_scores();
+        let mut sessions = Vec::new();
+        let mut run = 0u64;
+        for s in &scores {
+            if s.mos >= self.params.mos_threshold {
+                run += 1;
+            } else if run > 0 {
+                sessions.push(self.params.window * run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            sessions.push(self.params.window * run);
+        }
+        let active: Vec<&WindowScore> = scores.iter().filter(|s| s.loss < 1.0).collect();
+        let mean_mos = if active.is_empty() {
+            1.0
+        } else {
+            active.iter().map(|s| s.mos).sum::<f64>() / active.len() as f64
+        };
+        VoipReport {
+            scores,
+            sessions,
+            mean_mos,
+        }
+    }
+}
+
+/// The scored outcome of one VoIP run.
+#[derive(Clone, Debug)]
+pub struct VoipReport {
+    /// Per-window scores.
+    pub scores: Vec<WindowScore>,
+    /// Uninterrupted session lengths.
+    pub sessions: Vec<SimDuration>,
+    /// Mean MoS over windows with any connectivity.
+    pub mean_mos: f64,
+}
+
+impl VoipReport {
+    /// Median session length (time-weighted, like the link-layer session
+    /// metric — half the talk time lies in sessions at least this long).
+    pub fn median_session(&self) -> SimDuration {
+        let mut cdf = vifi_metrics::Cdf::self_weighted(
+            self.sessions.iter().map(|s| s.as_secs_f64()),
+        );
+        SimDuration::from_secs_f64(cdf.median())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn r_factor_perfect_conditions() {
+        // d within budget, zero loss: R ≈ 94.2 − 0.024·141 − 11 ≈ 79.8.
+        let p = VoipParams::default();
+        let d = p.mouth_to_ear(SimDuration::from_millis(16)).as_secs_f64() * 1000.0;
+        let r = r_factor(d, 0.0);
+        assert!((r - (94.2 - 0.024 * d - 11.0)).abs() < 1e-9);
+        let mos = mos_from_r(r);
+        assert!(mos > 4.0, "clean call MoS {mos}");
+    }
+
+    #[test]
+    fn r_factor_delay_penalty_kicks_in_past_177() {
+        let r_short = r_factor(150.0, 0.0);
+        let r_long = r_factor(250.0, 0.0);
+        // Beyond 177.3 ms the extra −0.11 slope applies.
+        let expect = 94.2 - 0.024 * 250.0 - 0.11 * (250.0 - 177.3) - 11.0;
+        assert!((r_long - expect).abs() < 1e-9);
+        assert!(r_short > r_long);
+    }
+
+    #[test]
+    fn loss_collapses_mos() {
+        let d = 160.0;
+        let clean = mos_from_r(r_factor(d, 0.0));
+        let lossy = mos_from_r(r_factor(d, 0.2));
+        let dead = mos_from_r(r_factor(d, 1.0));
+        assert!(clean > 3.9, "clean call at 160 ms: MoS {clean}");
+        // On the G.729 Cole–Rosenbluth curve (log10 form), 20% loss costs
+        // about a full MoS point.
+        assert!(lossy < clean - 0.7, "20% loss MoS {lossy} vs clean {clean}");
+        assert!(dead < 2.0, "total loss MoS {dead}");
+    }
+
+    #[test]
+    fn mos_clamps() {
+        assert_eq!(mos_from_r(-5.0), 1.0);
+        assert_eq!(mos_from_r(120.0), 4.5);
+        for r in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let m = mos_from_r(r);
+            assert!((1.0..=4.5).contains(&m), "R={r} → MoS={m}");
+        }
+    }
+
+    #[test]
+    fn source_emits_at_codec_rate() {
+        let mut src = VoipSource::new(VoipParams::default(), t(0));
+        let pkts = src.poll(t(999));
+        assert_eq!(pkts.len(), 50, "50 packets in 0..=980 ms");
+        assert_eq!(pkts[0], (0, t(0)));
+        assert_eq!(pkts[1], (1, t(20)));
+        // Nothing more until the next tick.
+        assert!(src.poll(t(999)).is_empty());
+        assert_eq!(src.next_at(), t(1000));
+    }
+
+    #[test]
+    fn scorer_perfect_stream_long_session() {
+        let p = VoipParams::default();
+        let mut sc = VoipScorer::new(p);
+        // 30 s of perfect 50 Hz delivery at 10 ms wireless delay.
+        for i in 0..1500u64 {
+            let sent = t(i * 20);
+            sc.on_sent(sent);
+            sc.on_delivered(sent, sent + SimDuration::from_millis(10));
+        }
+        let rep = sc.report();
+        assert_eq!(rep.sessions.len(), 1);
+        assert_eq!(rep.sessions[0], SimDuration::from_secs(30));
+        assert!(rep.mean_mos > 4.0, "mean MoS {}", rep.mean_mos);
+    }
+
+    #[test]
+    fn late_packets_count_as_lost() {
+        let p = VoipParams::default();
+        let mut sc = VoipScorer::new(p);
+        for i in 0..150u64 {
+            let sent = t(i * 20);
+            sc.on_sent(sent);
+            // All arrive, but 100 ms late — past the 52 ms budget.
+            sc.on_delivered(sent, sent + SimDuration::from_millis(100));
+        }
+        let rep = sc.report();
+        assert!(rep.sessions.is_empty(), "all windows interrupted");
+        let s = &rep.scores[0];
+        assert_eq!(s.loss, 1.0);
+        assert!(s.mos < 2.0);
+    }
+
+    #[test]
+    fn dead_window_splits_sessions() {
+        let p = VoipParams::default();
+        let mut sc = VoipScorer::new(p);
+        for i in 0..900u64 {
+            let sent = t(i * 20); // 18 s of stream
+            sc.on_sent(sent);
+            let in_dead_zone = (6_000..9_000).contains(&(i * 20));
+            if !in_dead_zone {
+                sc.on_delivered(sent, sent + SimDuration::from_millis(10));
+            }
+        }
+        let rep = sc.report();
+        assert_eq!(rep.sessions.len(), 2, "{:?}", rep.sessions);
+        assert_eq!(rep.sessions[0], SimDuration::from_secs(6));
+        assert_eq!(rep.sessions[1], SimDuration::from_secs(9));
+        assert_eq!(rep.median_session(), SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn moderate_loss_degrades_but_does_not_interrupt() {
+        let p = VoipParams::default();
+        let mut sc = VoipScorer::new(p);
+        for i in 0..1500u64 {
+            let sent = t(i * 20);
+            sc.on_sent(sent);
+            if i % 20 != 0 {
+                // 5% loss
+                sc.on_delivered(sent, sent + SimDuration::from_millis(15));
+            }
+        }
+        let rep = sc.report();
+        assert_eq!(rep.sessions.len(), 1, "5% loss should not interrupt");
+        assert!(rep.mean_mos > 3.0 && rep.mean_mos < 4.2, "MoS {}", rep.mean_mos);
+    }
+
+    #[test]
+    fn windows_with_nothing_sent_score_as_dead() {
+        let p = VoipParams::default();
+        let mut sc = VoipScorer::new(p);
+        sc.on_sent(t(0));
+        sc.on_delivered(t(0), t(5));
+        // A packet sent much later leaves silent windows in between.
+        sc.on_sent(t(9_100));
+        sc.on_delivered(t(9_100), t(9_105));
+        let scores = sc.window_scores();
+        assert_eq!(scores.len(), 4);
+        assert_eq!(scores[1].loss, 1.0, "silent window is dead");
+        assert_eq!(scores[2].loss, 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the hot paths of the ViFi stack:
+//! the relay-probability computation (per overheard packet), the channel
+//! fade chains (per frame per receiver), the event queue, and the session
+//! metrics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vifi_core::config::Coordination;
+use vifi_core::prob::{relay_probability, RelayContext};
+use vifi_metrics::{sessions_from_ratios, SessionDef};
+use vifi_phy::gilbert::GeParams;
+use vifi_phy::pathloss::ShadowField;
+use vifi_phy::{GilbertElliott, Point};
+use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
+
+fn bench_relay_probability(c: &mut Criterion) {
+    let ctx = RelayContext {
+        p_s_b: vec![0.7, 0.5, 0.9, 0.3, 0.6],
+        p_s_d: 0.65,
+        p_d_b: vec![0.5, 0.6, 0.4, 0.7, 0.5],
+        p_b_d: vec![0.8, 0.4, 0.6, 0.5, 0.7],
+    };
+    c.bench_function("relay_probability_vifi_5aux", |b| {
+        b.iter(|| relay_probability(black_box(&ctx), black_box(2), Coordination::Vifi))
+    });
+    c.bench_function("relay_probability_notg3_5aux", |b| {
+        b.iter(|| relay_probability(black_box(&ctx), black_box(2), Coordination::NotG3))
+    });
+}
+
+fn bench_gilbert_elliott(c: &mut Criterion) {
+    c.bench_function("gilbert_elliott_advance_10ms_x1000", |b| {
+        b.iter_batched(
+            || {
+                (
+                    GilbertElliott::new(GeParams::default(), Rng::new(7)),
+                    SimTime::ZERO,
+                )
+            },
+            |(mut ge, mut t)| {
+                for _ in 0..1000 {
+                    black_box(ge.attenuation_db_at(t));
+                    t += SimDuration::from_millis(10);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_shadow_field(c: &mut Criterion) {
+    let f = ShadowField::new(42, 5.0, 45.0);
+    c.bench_function("shadow_field_sample", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.7;
+            black_box(f.sample_db(Point::new(x % 800.0, (x * 0.37) % 550.0)))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            || Rng::new(3),
+            |mut rng| {
+                let mut q = EventQueue::new();
+                for i in 0..1000u32 {
+                    q.schedule(SimTime::from_micros(rng.below(1_000_000)), i);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut rng = Rng::new(11);
+    let ratios: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+    let def = SessionDef::paper_default();
+    c.bench_function("sessions_from_10k_ratios", |b| {
+        b.iter(|| sessions_from_ratios(black_box(&ratios), def))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_relay_probability,
+    bench_gilbert_elliott,
+    bench_shadow_field,
+    bench_event_queue,
+    bench_sessions
+);
+criterion_main!(benches);

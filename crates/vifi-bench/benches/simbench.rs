@@ -1,0 +1,83 @@
+//! End-to-end simulation throughput benchmarks: full-stack runs of the
+//! probe and VoIP workloads, deployment and trace modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vifi_core::VifiConfig;
+use vifi_runtime::{RunConfig, Simulation, WorkloadSpec};
+use vifi_sim::{Rng, SimDuration};
+use vifi_testbeds::{dieselnet_ch1, generate_beacon_trace, vanlan};
+
+fn cfg(workload: WorkloadSpec, secs: u64) -> RunConfig {
+    RunConfig {
+        workload,
+        duration: SimDuration::from_secs(secs),
+        seed: 5,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_deployment_cbr(c: &mut Criterion) {
+    let s = vanlan(1);
+    c.bench_function("deployment_vifi_cbr_30s", |b| {
+        b.iter(|| {
+            let sim = Simulation::deployment(&s, cfg(WorkloadSpec::paper_cbr(), 30));
+            black_box(sim.run().events)
+        })
+    });
+    c.bench_function("deployment_brr_cbr_30s", |b| {
+        b.iter(|| {
+            let mut rc = cfg(WorkloadSpec::paper_cbr(), 30);
+            rc.vifi = VifiConfig::brr_baseline();
+            let sim = Simulation::deployment(&s, rc);
+            black_box(sim.run().events)
+        })
+    });
+}
+
+fn bench_trace_mode(c: &mut Criterion) {
+    let s = dieselnet_ch1();
+    let veh = s.vehicle_ids()[0];
+    let trace = generate_beacon_trace(&s, veh, SimDuration::from_secs(60), 10, &Rng::new(5));
+    c.bench_function("tracesim_vifi_cbr_30s", |b| {
+        b.iter(|| {
+            let sim = Simulation::trace_driven(&trace, cfg(WorkloadSpec::paper_cbr(), 30));
+            black_box(sim.run().events)
+        })
+    });
+}
+
+fn bench_voip(c: &mut Criterion) {
+    let s = vanlan(1);
+    c.bench_function("deployment_vifi_voip_20s", |b| {
+        b.iter(|| {
+            let mut rc = cfg(WorkloadSpec::Voip, 20);
+            rc.wired_delay = SimDuration::ZERO;
+            let sim = Simulation::deployment(&s, rc);
+            black_box(sim.run().events)
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let s = vanlan(1);
+    let veh = s.vehicle_ids()[0];
+    c.bench_function("beacon_trace_60s", |b| {
+        b.iter(|| {
+            black_box(generate_beacon_trace(
+                &s,
+                veh,
+                SimDuration::from_secs(60),
+                10,
+                &Rng::new(9),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_deployment_cbr, bench_trace_mode, bench_voip, bench_trace_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Run every figure and table binary in sequence (the full evaluation).
+//!
+//! `cargo run --release -p vifi-bench --bin all [-- --full]`
+
+use std::process::Command;
+
+fn main() {
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "table1", "table2", "ablations",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================= {bin} =================");
+        let status = Command::new(dir.join(bin))
+            .args(&extra)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("[{bin} exited with {status}]");
+        }
+    }
+    println!("\nAll experiments complete; JSON results in results/.");
+}

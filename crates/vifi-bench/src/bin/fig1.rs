@@ -1,0 +1,72 @@
+//! Figure 1: the layout of BSes in VanLAN.
+//!
+//! Prints the 11 BS coordinates (five buildings inside the paper's
+//! 828 m × 559 m box) and an ASCII map with the shuttle route.
+
+use vifi_bench::{print_table, save_json};
+use vifi_sim::SimTime;
+use vifi_testbeds::{vanlan, Scenario};
+
+fn ascii_map(s: &Scenario) {
+    const W: usize = 84; // 828 m / ~10 m per column
+    const H: usize = 28; // 559 m / ~20 m per row
+    let mut grid = vec![vec![' '; W + 1]; H + 1];
+    // Route dots (campus portion only — points inside the box).
+    let veh = s.vehicle_ids()[0];
+    for sec in 0..s.lap.as_secs() {
+        let p = s.position(veh, SimTime::from_secs(sec));
+        if (0.0..=828.0).contains(&p.x) && (0.0..=559.0).contains(&p.y) {
+            let col = (p.x / 828.0 * W as f64) as usize;
+            let row = H - (p.y / 559.0 * H as f64) as usize;
+            grid[row.min(H)][col.min(W)] = '·';
+        }
+    }
+    // Basestations.
+    for (i, bs) in s.bs_ids().iter().enumerate() {
+        let p = s.position(*bs, SimTime::ZERO);
+        let col = (p.x / 828.0 * W as f64) as usize;
+        let row = H - (p.y / 559.0 * H as f64) as usize;
+        grid[row.min(H)][col.min(W)] = char::from_digit(i as u32 % 36, 36).unwrap_or('#');
+    }
+    println!("\n  VanLAN map (828 m x 559 m; digits = BSes, dots = shuttle route)");
+    println!("  +{}+", "-".repeat(W + 1));
+    for row in grid {
+        println!("  |{}|", row.into_iter().collect::<String>());
+    }
+    println!("  +{}+", "-".repeat(W + 1));
+}
+
+fn main() {
+    let s = vanlan(2);
+    println!("Figure 1: the layout of BSes in VanLAN");
+    let rows: Vec<Vec<String>> = s
+        .bs_ids()
+        .iter()
+        .map(|&bs| {
+            let p = s.position(bs, SimTime::ZERO);
+            vec![
+                s.node(bs).name.clone(),
+                format!("{:.0}", p.x),
+                format!("{:.0}", p.y),
+            ]
+        })
+        .collect();
+    print_table("BS coordinates (m)", &["BS", "x", "y"], &rows);
+    println!(
+        "\nvehicles: {} on a {:.1} km loop at 40 km/h (lap {:.0} s), {} visits/day",
+        s.vehicle_ids().len(),
+        s.lap.as_secs_f64() * vifi_phy::kmh_to_ms(40.0) / 1000.0,
+        s.lap.as_secs_f64(),
+        s.visits_per_day,
+    );
+    ascii_map(&s);
+    let coords: Vec<serde_json::Value> = s
+        .bs_ids()
+        .iter()
+        .map(|&bs| {
+            let p = s.position(bs, SimTime::ZERO);
+            serde_json::json!({"bs": s.node(bs).name, "x": p.x, "y": p.y})
+        })
+        .collect();
+    save_json("fig1", &serde_json::json!({ "bs": coords }));
+}

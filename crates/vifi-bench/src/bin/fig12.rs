@@ -1,0 +1,86 @@
+//! Figure 12: efficiency of medium usage in VanLAN — application packets
+//! delivered per wireless transmission, upstream and downstream, for BRR,
+//! ViFi and the PerfectRelay oracle (estimated from ViFi's packet logs,
+//! §5.4).
+
+use vifi_bench::{banner, fmt_ci, print_table, save_json, sweep_deployment, Scale, VifiConfig};
+use vifi_core::Direction;
+use vifi_runtime::{PerfectRelayOutcome, WorkloadSpec};
+use vifi_testbeds::vanlan;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 12: efficiency of medium usage", &scale);
+    let s = vanlan(1);
+    let duration = s.lap * (scale.laps.max(1) as u64 * 2);
+
+    // (efficiency_up, efficiency_down, perfect_up, perfect_down)
+    let extract = |o: vifi_runtime::RunOutcome| -> (f64, f64, f64, f64) {
+        let perfect = PerfectRelayOutcome::from_log(&o.log);
+        (
+            o.log.efficiency(Direction::Upstream).efficiency(),
+            o.log.efficiency(Direction::Downstream).efficiency(),
+            perfect.efficiency_up,
+            perfect.efficiency_down,
+        )
+    };
+
+    let vifi_stats = sweep_deployment(
+        &s,
+        VifiConfig::default(),
+        WorkloadSpec::paper_tcp(),
+        duration,
+        scale.seeds,
+        extract,
+    );
+    let brr_stats = sweep_deployment(
+        &s,
+        VifiConfig::brr_baseline(),
+        WorkloadSpec::paper_tcp(),
+        duration,
+        scale.seeds,
+        extract,
+    );
+
+    let col = |stats: &[(f64, f64, f64, f64)], f: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> {
+        stats.iter().map(f).collect()
+    };
+    let rows = vec![
+        vec![
+            "BRR".to_string(),
+            fmt_ci(&col(&brr_stats, |s| s.0), ""),
+            fmt_ci(&col(&brr_stats, |s| s.1), ""),
+        ],
+        vec![
+            "ViFi".to_string(),
+            fmt_ci(&col(&vifi_stats, |s| s.0), ""),
+            fmt_ci(&col(&vifi_stats, |s| s.1), ""),
+        ],
+        vec![
+            "PerfectRelay".to_string(),
+            fmt_ci(&col(&vifi_stats, |s| s.2), ""),
+            fmt_ci(&col(&vifi_stats, |s| s.3), ""),
+        ],
+    ];
+    print_table(
+        "application packets delivered per wireless transmission",
+        &["protocol", "upstream", "downstream"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: upstream ViFi ≈ PerfectRelay > BRR (upstream \
+         relays ride the backplane); downstream all three similar, BRR \
+         slightly best."
+    );
+    save_json(
+        "fig12",
+        &serde_json::json!({
+            "brr_up": vifi_metrics::mean(&col(&brr_stats, |s| s.0)),
+            "brr_down": vifi_metrics::mean(&col(&brr_stats, |s| s.1)),
+            "vifi_up": vifi_metrics::mean(&col(&vifi_stats, |s| s.0)),
+            "vifi_down": vifi_metrics::mean(&col(&vifi_stats, |s| s.1)),
+            "perfect_up": vifi_metrics::mean(&col(&vifi_stats, |s| s.2)),
+            "perfect_down": vifi_metrics::mean(&col(&vifi_stats, |s| s.3)),
+        }),
+    );
+}

@@ -1,0 +1,58 @@
+//! Table 1: detailed statistics on the behaviour of ViFi in VanLAN,
+//! derived from the packet logs of the TCP experiments (§5.5).
+
+use vifi_bench::{banner, print_table, run_deployment, save_json, Scale, VifiConfig};
+use vifi_runtime::Table1;
+use vifi_runtime::WorkloadSpec;
+use vifi_testbeds::vanlan;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Table 1: behaviour of ViFi in VanLAN", &scale);
+    let s = vanlan(1);
+    let duration = s.lap * (scale.laps.max(1) as u64 * 2);
+    let out = run_deployment(
+        &s,
+        VifiConfig::default(),
+        WorkloadSpec::paper_tcp(),
+        duration,
+        71,
+    );
+    let t = Table1::from_log(&out.log);
+    let pct = |x: f64| format!("{:.0}%", x * 100.0);
+    let num = |x: f64| format!("{x:.1}");
+    let rows = vec![
+        vec!["A1 median number of auxiliary BSes".to_string(), num(t.up.a1_median_aux), num(t.down.a1_median_aux)],
+        vec!["A2 avg auxiliaries hearing a source tx".to_string(), num(t.up.a2_aux_hear_tx), num(t.down.a2_aux_hear_tx)],
+        vec!["A3 avg auxiliaries hearing tx but not ACK".to_string(), num(t.up.a3_aux_hear_tx_not_ack), num(t.down.a3_aux_hear_tx_not_ack)],
+        vec!["B1 source tx that reach the destination".to_string(), pct(t.up.b1_src_reach), pct(t.down.b1_src_reach)],
+        vec!["B2 relays of successful source tx (false pos.)".to_string(), pct(t.up.b2_false_positive), pct(t.down.b2_false_positive)],
+        vec!["B3 avg relayers when a false positive occurs".to_string(), num(t.up.b3_relayers_on_fp), num(t.down.b3_relayers_on_fp)],
+        vec!["C1 source tx that do not reach the destination".to_string(), pct(t.up.c1_src_fail), pct(t.down.c1_src_fail)],
+        vec!["C2 failed source tx overheard by ≥1 auxiliary".to_string(), pct(t.up.c2_overheard), pct(t.down.c2_overheard)],
+        vec!["C3 failed source tx with zero relays (false neg.)".to_string(), pct(t.up.c3_false_negative), pct(t.down.c3_false_negative)],
+        vec!["C4 relayed packets that reach the destination".to_string(), pct(t.up.c4_relay_reach), pct(t.down.c4_relay_reach)],
+    ];
+    print_table(
+        "Table 1 (paper values for reference: A1 5/5, A2 1.7/3.6, A3 0.6/2.5, B1 67%/74%, B2 25%/33%, B3 1.5/1.5, C1 33%/26%, C2 66%/98%, C3 10%/34%, C4 100%/50%)",
+        &["row", "upstream", "downstream"],
+        &rows,
+    );
+    save_json(
+        "table1",
+        &serde_json::json!({
+            "up": {
+                "a1": t.up.a1_median_aux, "a2": t.up.a2_aux_hear_tx, "a3": t.up.a3_aux_hear_tx_not_ack,
+                "b1": t.up.b1_src_reach, "b2": t.up.b2_false_positive, "b3": t.up.b3_relayers_on_fp,
+                "c1": t.up.c1_src_fail, "c2": t.up.c2_overheard, "c3": t.up.c3_false_negative,
+                "c4": t.up.c4_relay_reach,
+            },
+            "down": {
+                "a1": t.down.a1_median_aux, "a2": t.down.a2_aux_hear_tx, "a3": t.down.a3_aux_hear_tx_not_ack,
+                "b1": t.down.b1_src_reach, "b2": t.down.b2_false_positive, "b3": t.down.b3_relayers_on_fp,
+                "c1": t.down.c1_src_fail, "c2": t.down.c2_overheard, "c3": t.down.c3_false_negative,
+                "c4": t.down.c4_relay_reach,
+            },
+        }),
+    );
+}

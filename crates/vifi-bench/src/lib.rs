@@ -1,0 +1,386 @@
+//! # vifi-bench — the paper's evaluation, regenerated
+//!
+//! One binary per table/figure (`cargo run --release -p vifi-bench --bin
+//! fig2` etc.), each printing the same rows/series the paper reports and
+//! appending machine-readable results to `results/`. Binaries accept
+//! `--full` for publication-scale runs (more laps, more seeds); the
+//! default scale finishes in seconds-to-a-couple-of-minutes per figure in
+//! release mode.
+//!
+//! The shared pieces here: run scaling, deployment/trace run helpers with
+//! parallel seed sweeps (crossbeam scoped threads — each thread builds
+//! and runs its own `Simulation`), session analysis plumbing, ASCII table
+//! and connectivity-strip rendering, and JSON result persistence.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use vifi_metrics::{mean_ci95, sessions_from_ratios, SessionDef};
+use vifi_runtime::{RunConfig, RunOutcome, Simulation, WorkloadSpec};
+use vifi_sim::{SimDuration, SimTime};
+use vifi_testbeds::{BeaconTrace, Scenario};
+
+pub use vifi_core::VifiConfig;
+
+/// Run scaling, derived from CLI args.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Laps of the testbed route to simulate per run.
+    pub laps: u32,
+    /// Independent seeds per configuration.
+    pub seeds: u64,
+    /// Full (publication-scale) mode.
+    pub full: bool,
+}
+
+impl Scale {
+    /// Parse from `std::env::args`: `--full` triples laps and seeds;
+    /// `--laps N` / `--seeds N` override.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let mut scale = Scale {
+            laps: if full { 3 } else { 1 },
+            seeds: if full { 5 } else { 2 },
+            full,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--laps" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        scale.laps = v;
+                    }
+                }
+                "--seeds" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        scale.seeds = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        scale
+    }
+
+    /// Simulated duration for a scenario at this scale.
+    pub fn duration(&self, scenario: &Scenario) -> SimDuration {
+        scenario.lap * self.laps as u64
+    }
+}
+
+/// Run one deployment-mode simulation.
+pub fn run_deployment(
+    scenario: &Scenario,
+    vifi: VifiConfig,
+    workload: WorkloadSpec,
+    duration: SimDuration,
+    seed: u64,
+) -> RunOutcome {
+    let wired_delay = match &workload {
+        WorkloadSpec::Voip => SimDuration::ZERO,
+        _ => SimDuration::from_millis(10),
+    };
+    let cfg = RunConfig {
+        vifi,
+        workload,
+        duration,
+        seed,
+        wired_delay,
+        ..RunConfig::default()
+    };
+    Simulation::deployment(scenario, cfg).run()
+}
+
+/// Run one trace-driven simulation.
+pub fn run_trace(
+    trace: &BeaconTrace,
+    vifi: VifiConfig,
+    workload: WorkloadSpec,
+    duration: SimDuration,
+    seed: u64,
+) -> RunOutcome {
+    let wired_delay = match &workload {
+        WorkloadSpec::Voip => SimDuration::ZERO,
+        _ => SimDuration::from_millis(10),
+    };
+    let cfg = RunConfig {
+        vifi,
+        workload,
+        duration,
+        seed,
+        wired_delay,
+        ..RunConfig::default()
+    };
+    Simulation::trace_driven(trace, cfg).run()
+}
+
+/// Run `seeds` deployment simulations in parallel, one thread per seed.
+pub fn sweep_deployment<F, T>(
+    scenario: &Scenario,
+    vifi: VifiConfig,
+    workload: WorkloadSpec,
+    duration: SimDuration,
+    seeds: u64,
+    extract: F,
+) -> Vec<T>
+where
+    F: Fn(RunOutcome) -> T + Sync,
+    T: Send,
+{
+    let mut out: Vec<(u64, T)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..seeds)
+            .map(|seed| {
+                let vifi = vifi.clone();
+                let workload = workload.clone();
+                let extract = &extract;
+                s.spawn(move |_| {
+                    let o = run_deployment(scenario, vifi, workload, duration, 1000 + seed);
+                    (seed, extract(o))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("sweep threads");
+    out.sort_by_key(|(s, _)| *s);
+    out.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Run `seeds` trace-driven simulations in parallel.
+pub fn sweep_trace<F, T>(
+    trace: &BeaconTrace,
+    vifi: VifiConfig,
+    workload: WorkloadSpec,
+    duration: SimDuration,
+    seeds: u64,
+    extract: F,
+) -> Vec<T>
+where
+    F: Fn(RunOutcome) -> T + Sync,
+    T: Send,
+{
+    let mut out: Vec<(u64, T)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..seeds)
+            .map(|seed| {
+                let vifi = vifi.clone();
+                let workload = workload.clone();
+                let extract = &extract;
+                s.spawn(move |_| {
+                    let o = run_trace(trace, vifi, workload, duration, 2000 + seed);
+                    (seed, extract(o))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("sweep threads");
+    out.sort_by_key(|(s, _)| *s);
+    out.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Median session length (time-weighted, seconds) of a per-second
+/// combined-ratio series under a session definition.
+pub fn median_session_secs(ratios_1s: &[f64], interval: SimDuration, min_ratio: f64) -> f64 {
+    // Re-aggregate 1 s ratios to the requested interval.
+    let k = (interval / SimDuration::from_secs(1)).max(1) as usize;
+    let agg: Vec<f64> = if k == 1 {
+        ratios_1s.to_vec()
+    } else {
+        ratios_1s
+            .chunks(k)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    };
+    let def = SessionDef {
+        interval,
+        min_ratio,
+    };
+    sessions_from_ratios(&agg, def)
+        .median_time_weighted()
+        .as_secs_f64()
+}
+
+/// Sub-second session analysis straight from slot ratios.
+pub fn median_session_secs_subsecond(
+    ratios_at: &[f64],
+    interval: SimDuration,
+    min_ratio: f64,
+) -> f64 {
+    let def = SessionDef {
+        interval,
+        min_ratio,
+    };
+    sessions_from_ratios(ratios_at, def)
+        .median_time_weighted()
+        .as_secs_f64()
+}
+
+// ---------------------------------------------------------------------
+// Output helpers
+// ---------------------------------------------------------------------
+
+/// Print a titled ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// `mean ± ci` formatting.
+pub fn fmt_ci(samples: &[f64], unit: &str) -> String {
+    let (m, hw) = mean_ci95(samples);
+    format!("{m:.2} ±{hw:.2}{unit}")
+}
+
+/// Render a connectivity strip (Figs. 3 and 8): one character per
+/// second — `█` adequate, `·` inadequate-but-present, space for dead air;
+/// interruptions inside coverage are marked `o`.
+pub fn strip(ratios_1s: &[f64], min_ratio: f64) -> String {
+    let mut s = String::with_capacity(ratios_1s.len());
+    let mut in_coverage = false;
+    for &r in ratios_1s {
+        if r >= min_ratio {
+            s.push('█');
+            in_coverage = true;
+        } else if r > 0.0 {
+            s.push('o');
+            in_coverage = true;
+        } else {
+            s.push(if in_coverage { 'o' } else { ' ' });
+            in_coverage = false;
+        }
+    }
+    s
+}
+
+/// Count interruptions: maximal runs of inadequate seconds strictly
+/// between adequate seconds.
+pub fn interruptions(ratios_1s: &[f64], min_ratio: f64) -> usize {
+    let mut n = 0;
+    let mut seen_good = false;
+    let mut in_gap = false;
+    for &r in ratios_1s {
+        if r >= min_ratio {
+            if in_gap && seen_good {
+                n += 1;
+            }
+            in_gap = false;
+            seen_good = true;
+        } else if seen_good {
+            in_gap = true;
+        }
+    }
+    n
+}
+
+/// Directory for machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("VIFI_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Persist a JSON result blob under `results/<name>.json`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    let pretty = serde_json::to_string_pretty(value).expect("serialize results");
+    f.write_all(pretty.as_bytes()).expect("write results");
+    println!("[saved {}]", path.display());
+}
+
+/// The standard 1-second combined ratio series from a CBR run outcome.
+pub fn cbr_ratios_1s(outcome: &RunOutcome, duration: SimDuration) -> Vec<f64> {
+    match &outcome.report {
+        vifi_runtime::WorkloadReport::Cbr(c) => {
+            c.combined_ratios(SimDuration::from_secs(1), duration)
+        }
+        other => panic!("expected CBR report, got {other:?}"),
+    }
+}
+
+/// Convenience: current time helper for bin banners.
+pub fn banner(name: &str, scale: &Scale) {
+    println!(
+        "ViFi reproduction — {name} (laps={}, seeds={}{})",
+        scale.laps,
+        scale.seeds,
+        if scale.full { ", FULL" } else { "" }
+    );
+}
+
+/// Format a SimTime axis label.
+pub fn fmt_t(t: SimTime) -> String {
+    format!("{:.0}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_rendering() {
+        let s = strip(&[0.9, 0.2, 0.0, 0.9, 0.0, 0.0], 0.5);
+        // After one dead second the renderer treats the client as out of
+        // coverage and stops drawing interruption marks.
+        assert_eq!(s, "█oo█o ");
+        let s = strip(&[0.0, 0.0, 0.9], 0.5);
+        assert_eq!(s, "  █");
+    }
+
+    #[test]
+    fn interruption_counting() {
+        assert_eq!(interruptions(&[0.9, 0.1, 0.9], 0.5), 1);
+        assert_eq!(interruptions(&[0.1, 0.9, 0.9], 0.5), 0, "leading gap isn't one");
+        assert_eq!(interruptions(&[0.9, 0.1, 0.1, 0.9, 0.1], 0.5), 1, "trailing gap isn't one");
+        assert_eq!(interruptions(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn median_session_helper() {
+        // 4 s good, 1 bad, 2 good.
+        let r = [1.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0];
+        let m = median_session_secs(&r, SimDuration::from_secs(1), 0.5);
+        assert_eq!(m, 4.0);
+        // With a 2 s interval the bad second hides (avg 0.5 ≥ 0.5).
+        let m2 = median_session_secs(&r, SimDuration::from_secs(2), 0.5);
+        assert!(m2 >= 6.0, "{m2}");
+    }
+
+    #[test]
+    fn scale_duration() {
+        let s = Scale {
+            laps: 2,
+            seeds: 1,
+            full: false,
+        };
+        let v = vifi_testbeds::vanlan(1);
+        assert_eq!(s.duration(&v), v.lap * 2);
+    }
+}

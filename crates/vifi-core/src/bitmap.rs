@@ -1,0 +1,218 @@
+//! The 8-packet acknowledgment bitmap (§4.8).
+//!
+//! *"ViFi packets carry a 1-byte bitmap that signals which of the last
+//! eight packets before the current packet were not received by the
+//! sender. This helps save some spurious retransmissions of data packets
+//! that are otherwise made due to loss of acknowledgment packets."*
+//!
+//! Concretely: when A sends a data packet to B, it piggybacks feedback
+//! about the *reverse* flow — the highest sequence it has seen from B and
+//! a bitmask over the eight sequences below it. B treats bits set in the
+//! mask as acknowledgments, cancelling retransmissions whose explicit ACK
+//! frames were lost.
+
+/// Receiver-side tracker for one incoming flow: remembers which of the
+/// most recent sequence numbers were received and renders the wire bitmap.
+#[derive(Clone, Debug, Default)]
+pub struct RxBitmap {
+    /// Highest sequence received so far (None until first reception).
+    highest: Option<u64>,
+    /// Bit k set ⇔ sequence `highest − 1 − k` was received (k in 0..8).
+    below: u8,
+}
+
+/// The wire form: `(highest_seq_received, mask_of_eight_below)`.
+pub type WireBitmap = Option<(u64, u8)>;
+
+impl RxBitmap {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the reception of `seq`.
+    pub fn record(&mut self, seq: u64) {
+        match self.highest {
+            None => {
+                self.highest = Some(seq);
+                self.below = 0;
+            }
+            Some(h) if seq > h => {
+                let shift = seq - h;
+                // The old highest becomes the (shift−1)-th bit below the
+                // new highest; previous bits slide down.
+                self.below = if shift >= 9 {
+                    0
+                } else {
+                    let mut b = (self.below as u16) << shift;
+                    b |= 1u16 << (shift - 1); // the old highest itself
+                    (b & 0xFF) as u8
+                };
+                self.highest = Some(seq);
+            }
+            Some(h) if seq == h => {} // duplicate of the highest
+            Some(h) => {
+                let back = h - seq;
+                if (1..=8).contains(&back) {
+                    self.below |= 1 << (back - 1);
+                }
+                // Older than 8 below: outside the window, ignore.
+            }
+        }
+    }
+
+    /// True if `seq` is known-received (within the tracked window).
+    pub fn contains(&self, seq: u64) -> bool {
+        match self.highest {
+            None => false,
+            Some(h) => {
+                if seq == h {
+                    true
+                } else if seq < h && h - seq <= 8 {
+                    self.below & (1 << (h - seq - 1)) != 0
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Render the wire form for piggybacking.
+    pub fn wire(&self) -> WireBitmap {
+        self.highest.map(|h| (h, self.below))
+    }
+
+    /// Iterate the sequences a wire bitmap acknowledges.
+    pub fn acked_seqs(wire: WireBitmap) -> Vec<u64> {
+        let Some((h, mask)) = wire else {
+            return Vec::new();
+        };
+        let mut out = vec![h];
+        for k in 0..8u64 {
+            if mask & (1 << k) != 0 {
+                if let Some(s) = h.checked_sub(k + 1) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker() {
+        let b = RxBitmap::new();
+        assert_eq!(b.wire(), None);
+        assert!(!b.contains(0));
+        assert!(RxBitmap::acked_seqs(None).is_empty());
+    }
+
+    #[test]
+    fn in_order_reception() {
+        let mut b = RxBitmap::new();
+        for s in 0..5 {
+            b.record(s);
+        }
+        assert_eq!(b.wire(), Some((4, 0b1111)));
+        for s in 0..5 {
+            assert!(b.contains(s), "seq {s}");
+        }
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    fn gaps_show_as_zero_bits() {
+        let mut b = RxBitmap::new();
+        b.record(0);
+        b.record(2); // 1 missing
+        b.record(3);
+        // highest 3; below bits: seq2 (bit0) = 1, seq1 (bit1) = 0,
+        // seq0 (bit2) = 1.
+        assert_eq!(b.wire(), Some((3, 0b101)));
+        assert!(b.contains(3) && b.contains(2) && b.contains(0));
+        assert!(!b.contains(1));
+    }
+
+    #[test]
+    fn late_arrival_fills_gap() {
+        let mut b = RxBitmap::new();
+        b.record(0);
+        b.record(2);
+        b.record(1); // late
+        assert_eq!(b.wire(), Some((2, 0b11)));
+        assert!(b.contains(1));
+    }
+
+    #[test]
+    fn window_slides_and_forgets() {
+        let mut b = RxBitmap::new();
+        b.record(0);
+        b.record(20); // jump > 8: window cleared
+        assert_eq!(b.wire(), Some((20, 0)));
+        assert!(!b.contains(0), "0 fell out of the window");
+        assert!(b.contains(20));
+        // A very old arrival is ignored.
+        b.record(5);
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    fn jump_within_window_keeps_history() {
+        let mut b = RxBitmap::new();
+        b.record(10);
+        b.record(13); // jump of 3
+        // highest 13; old 10 is 3 below → bit 2.
+        assert_eq!(b.wire(), Some((13, 0b100)));
+        assert!(b.contains(10));
+        assert!(!b.contains(11));
+        assert!(!b.contains(12));
+    }
+
+    #[test]
+    fn duplicate_records_are_idempotent() {
+        let mut b = RxBitmap::new();
+        b.record(3);
+        b.record(3);
+        b.record(2);
+        b.record(2);
+        assert_eq!(b.wire(), Some((3, 0b1)));
+    }
+
+    #[test]
+    fn wire_roundtrip_acks() {
+        let mut b = RxBitmap::new();
+        for s in [5u64, 7, 8, 10, 12] {
+            b.record(s);
+        }
+        let acked = RxBitmap::acked_seqs(b.wire());
+        let mut acked_sorted = acked.clone();
+        acked_sorted.sort_unstable();
+        assert_eq!(acked_sorted, vec![5, 7, 8, 10, 12]);
+    }
+
+    #[test]
+    fn wire_near_zero_no_underflow() {
+        let mut b = RxBitmap::new();
+        b.record(1);
+        b.record(0);
+        let mut acked = RxBitmap::acked_seqs(b.wire());
+        acked.sort_unstable();
+        assert_eq!(acked, vec![0, 1]);
+    }
+
+    #[test]
+    fn exactly_eight_below_tracked() {
+        let mut b = RxBitmap::new();
+        b.record(0);
+        b.record(8); // 0 is exactly 8 below
+        assert!(b.contains(0));
+        assert_eq!(b.wire(), Some((8, 0b1000_0000)));
+        b.record(9); // now 0 is 9 below: gone
+        assert!(!b.contains(0));
+        assert!(b.contains(8));
+    }
+}

@@ -1,0 +1,219 @@
+//! Protocol configuration.
+//!
+//! Everything the paper pins is pinned here with a section reference;
+//! everything it leaves open is documented as our decision (see DESIGN.md
+//! §4 for the full list).
+
+use vifi_sim::SimDuration;
+
+/// Which auxiliary-coordination formulation to run (§4.4 guidelines G1–G3
+/// and the three ablations of §5.5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Coordination {
+    /// The ViFi formulation: E[#relays] = 1, weighted toward auxiliaries
+    /// better connected to the destination.
+    #[default]
+    Vifi,
+    /// ¬G1: ignore other auxiliaries; relay with probability equal to own
+    /// delivery ratio to the destination.
+    NotG1,
+    /// ¬G2: ignore connectivity to the destination; relay with probability
+    /// 1/Σci.
+    NotG2,
+    /// ¬G3: aim for E[#relays *received*] = 1 (the optimization problem of
+    /// §5.5.1) instead of E[#relays sent] = 1.
+    NotG3,
+}
+
+impl Coordination {
+    /// Display name used in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Coordination::Vifi => "ViFi",
+            Coordination::NotG1 => "¬G1",
+            Coordination::NotG2 => "¬G2",
+            Coordination::NotG3 => "¬G3",
+        }
+    }
+}
+
+/// Full protocol configuration.
+#[derive(Clone, Debug)]
+pub struct VifiConfig {
+    /// Enable auxiliary relaying. Off = the paper's BRR baseline: same
+    /// framework (broadcast, bitmap ACKs, adaptive retransmission), no
+    /// diversity (§5.1).
+    pub diversity: bool,
+    /// Enable salvaging of stranded packets at anchor changes (§4.5). The
+    /// Fig. 9 "Only Diversity" bar is `diversity: true, salvaging: false`.
+    pub salvaging: bool,
+    /// Relay-probability formulation.
+    pub coordination: Coordination,
+    /// Beacon period. 802.11 default, and the vehicle's announcements ride
+    /// on it (§4.3: anchor/auxiliary identities are learned "at the
+    /// beaconing frequency").
+    pub beacon_period: SimDuration,
+    /// Window over which beacon reception ratios are computed before being
+    /// folded into the exponential average (§4.6: per-second ratios).
+    pub estimate_window: SimDuration,
+    /// Exponential averaging factor for reception probabilities (§4.6:
+    /// α = 0.5).
+    pub alpha: f64,
+    /// How long an auxiliary waits for an ACK before its relay timer may
+    /// consider the packet (our choice; §4.4 says only "within a small
+    /// window"). Must exceed one ACK airtime plus turnaround.
+    pub ack_wait: SimDuration,
+    /// Period of the auxiliary relay-check timer. Timers are phase-
+    /// randomized per BS, which (with ACK suppression) de-synchronizes
+    /// relays (§4.4).
+    pub relay_check_period: SimDuration,
+    /// Maximum number of retransmissions of an unacknowledged packet by
+    /// the source. The paper's application experiments use 3 (§5.3); the
+    /// link-layer experiments use 0 (§5.2).
+    pub max_retx: u32,
+    /// Maximum data packets queued at the interface. The prototype keeps
+    /// "no more than one packet pending at the interface" (§4.8) with the
+    /// rest in a driver queue; like any real driver queue it is bounded —
+    /// when a vehicle is out of coverage, fresh traffic displaces the
+    /// oldest backlog instead of accumulating without limit.
+    pub max_data_queue: usize,
+    /// Age threshold for salvaged packets (§4.5: one second, "based on the
+    /// minimum TCP retransmission timeout").
+    pub salvage_threshold: SimDuration,
+    /// Percentile of observed ACK delays used as the retransmission timer
+    /// (§4.7: the 99th).
+    pub retx_percentile: f64,
+    /// Retransmission timer floor/initial value (before samples exist).
+    pub retx_min: SimDuration,
+    /// Retransmission timer ceiling.
+    pub retx_max: SimDuration,
+    /// A neighbor (or auxiliary) is forgotten if no beacon is heard from
+    /// it for this long.
+    pub neighbor_timeout: SimDuration,
+    /// Wire overhead added to every data frame (ViFi header: id, flow
+    /// addressing, bitmap).
+    pub data_header_bytes: u32,
+    /// Size of an ACK frame on the wire.
+    pub ack_bytes: u32,
+    /// Base size of a beacon frame (grows with embedded probability
+    /// entries).
+    pub beacon_base_bytes: u32,
+}
+
+impl Default for VifiConfig {
+    fn default() -> Self {
+        VifiConfig {
+            diversity: true,
+            salvaging: true,
+            coordination: Coordination::Vifi,
+            beacon_period: SimDuration::from_millis(100),
+            estimate_window: SimDuration::from_secs(1),
+            alpha: 0.5,
+            ack_wait: SimDuration::from_millis(10),
+            relay_check_period: SimDuration::from_millis(4),
+            max_retx: 3,
+            max_data_queue: 64,
+            salvage_threshold: SimDuration::from_secs(1),
+            retx_percentile: 99.0,
+            retx_min: SimDuration::from_millis(25),
+            retx_max: SimDuration::from_millis(400),
+            neighbor_timeout: SimDuration::from_millis(2500),
+            data_header_bytes: 24,
+            ack_bytes: 40,
+            beacon_base_bytes: 60,
+        }
+    }
+}
+
+impl VifiConfig {
+    /// The BRR hard-handoff baseline: everything ViFi except diversity and
+    /// salvaging (§5.1's "fair comparison" configuration).
+    pub fn brr_baseline() -> Self {
+        VifiConfig {
+            diversity: false,
+            salvaging: false,
+            ..Self::default()
+        }
+    }
+
+    /// The Fig. 9 "Only Diversity" ablation: relaying without salvaging.
+    pub fn only_diversity() -> Self {
+        VifiConfig {
+            salvaging: false,
+            ..Self::default()
+        }
+    }
+
+    /// Link-layer measurement mode (§5.2): retransmissions disabled.
+    pub fn without_retx(mut self) -> Self {
+        self.max_retx = 0;
+        self
+    }
+
+    /// Sanity-check parameter interactions.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha out of range");
+        assert!(
+            (50.0..=100.0).contains(&self.retx_percentile),
+            "retx percentile out of range"
+        );
+        assert!(self.retx_min <= self.retx_max, "retx bounds inverted");
+        assert!(
+            !self.beacon_period.is_zero() && !self.estimate_window.is_zero(),
+            "periods must be positive"
+        );
+        assert!(
+            self.estimate_window.as_micros() % self.beacon_period.as_micros() == 0,
+            "estimate window should hold a whole number of beacons"
+        );
+    }
+
+    /// Beacons expected per estimation window.
+    pub fn beacons_per_window(&self) -> u32 {
+        (self.estimate_window / self.beacon_period) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        VifiConfig::default().validate();
+        VifiConfig::brr_baseline().validate();
+        VifiConfig::only_diversity().validate();
+    }
+
+    #[test]
+    fn preset_flags() {
+        let brr = VifiConfig::brr_baseline();
+        assert!(!brr.diversity && !brr.salvaging);
+        let od = VifiConfig::only_diversity();
+        assert!(od.diversity && !od.salvaging);
+        let link = VifiConfig::default().without_retx();
+        assert_eq!(link.max_retx, 0);
+        assert!(link.diversity);
+    }
+
+    #[test]
+    fn beacons_per_window_default() {
+        assert_eq!(VifiConfig::default().beacons_per_window(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of beacons")]
+    fn invalid_window_rejected() {
+        let c = VifiConfig {
+            beacon_period: SimDuration::from_millis(300),
+            ..VifiConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn coordination_names() {
+        assert_eq!(Coordination::Vifi.name(), "ViFi");
+        assert_eq!(Coordination::NotG3.name(), "¬G3");
+    }
+}

@@ -1,0 +1,66 @@
+//! Packet identity.
+//!
+//! §4.7: *"Each packet carries a unique identifier so that acknowledgments
+//! are not confused with an earlier transmission."* We use (origin node,
+//! 64-bit sequence); retransmissions and relays carry the same id, so the
+//! destination can deduplicate and any node can match ACKs.
+
+use std::fmt;
+
+use vifi_phy::NodeId;
+
+/// Globally unique identity of an application packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PacketId {
+    /// The node that originated the packet (vehicle for upstream, anchor
+    /// for downstream).
+    pub origin: NodeId,
+    /// Sequence number within the origin's stream.
+    pub seq: u64,
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// Traffic direction, in the paper's vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Vehicle → anchor → Internet.
+    Upstream,
+    /// Internet → anchor → vehicle.
+    Downstream,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Upstream => Direction::Downstream,
+            Direction::Downstream => Direction::Upstream,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_semantics() {
+        let a = PacketId { origin: NodeId(1), seq: 5 };
+        let b = PacketId { origin: NodeId(1), seq: 5 };
+        let c = PacketId { origin: NodeId(2), seq: 5 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a}"), "n1#5");
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Upstream.flip(), Direction::Downstream);
+        assert_eq!(Direction::Downstream.flip(), Direction::Upstream);
+    }
+}

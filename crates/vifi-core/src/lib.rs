@@ -1,0 +1,49 @@
+//! # vifi-core — the ViFi protocol
+//!
+//! This crate is the paper's primary contribution as a reusable library:
+//! a link-layer diversity protocol in which a moving vehicle anchors its
+//! connection at one basestation while every other basestation in earshot
+//! acts as an *auxiliary* that opportunistically repairs losses (§4).
+//!
+//! The protocol, per §4.3:
+//!
+//! 1. src transmits packet P (MAC broadcast).
+//! 2. If dst receives P, it broadcasts an ACK.
+//! 3. If an auxiliary overhears P but not the ACK within a small window,
+//!    it **probabilistically relays** P.
+//! 4. If dst receives relayed P and has not already ACKed, it ACKs.
+//! 5. If src sees no ACK within its retransmission interval, it
+//!    retransmits.
+//!
+//! The intelligence is in step 3 ([`prob`]): each auxiliary independently
+//! computes a relay probability from beacon-disseminated loss rates
+//! ([`beacon`]) such that the **expected number of relays across all
+//! auxiliaries is 1**, favouring auxiliaries better connected to the
+//! destination — no per-packet coordination, no batching, no central
+//! controller.
+//!
+//! Everything is a poll-style state machine ([`endpoint`]) with explicit
+//! `now` parameters: no wall clock, no threads, no I/O. The same
+//! [`endpoint::Endpoint`] type implements ViFi, the paper's BRR hard-handoff
+//! baseline (diversity off, §5.1), and the "Only Diversity" ablation
+//! (salvaging off, Fig. 9) via [`config::VifiConfig`] switches, exactly as
+//! the paper's evaluation framework does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beacon;
+pub mod bitmap;
+pub mod config;
+pub mod endpoint;
+pub mod ids;
+pub mod prob;
+pub mod retx;
+
+pub use beacon::{BeaconPayload, ProbEstimator, ProbView, VehicleInfo};
+pub use bitmap::RxBitmap;
+pub use config::{Coordination, VifiConfig};
+pub use endpoint::{Action, DataFrame, Endpoint, Role, StatEvent, VifiPayload};
+pub use ids::{Direction, PacketId};
+pub use prob::{relay_probability, RelayContext};
+pub use retx::RetxTimer;

@@ -1,0 +1,310 @@
+//! Relay-probability computation — the heart of ViFi (§4.4).
+//!
+//! When auxiliary BS *x* overhears a packet from source *s* to destination
+//! *d* but no ACK, it must decide locally whether to relay. ViFi's three
+//! guidelines:
+//!
+//! * **G1** — account for the other auxiliaries' likely decisions;
+//! * **G2** — prefer auxiliaries better connected to the destination;
+//! * **G3** — keep the *expected number of relayed transmissions* at 1.
+//!
+//! With `c_i` the probability that auxiliary `i` is contending (heard the
+//! packet, Eq. 3: `c_i = p_sBi · (1 − p_sd·p_dBi)`) and `r_i` its relay
+//! probability, ViFi solves
+//!
+//! ```text
+//! Σ c_i·r_i = 1           (Eq. 1, expected relays = 1)
+//! r_i / r_j = p_Bid / p_Bjd   (Eq. 2, weight toward good exits)
+//! ```
+//!
+//! giving `r_x = min(r · p_Bxd, 1)` with `r = 1 / Σ c_i·p_Bid`.
+//!
+//! The three ablations of §5.5.1 (¬G1, ¬G2, ¬G3) are implemented alongside
+//! and dissected in Table 2.
+
+use crate::config::Coordination;
+
+/// The probability inputs an auxiliary needs, all learned from beacons
+/// (§4.6). Index `i` ranges over the current auxiliary set; `me` is the
+/// deciding auxiliary's own index.
+#[derive(Clone, Debug)]
+pub struct RelayContext {
+    /// `p_sB[i]`: source → auxiliary i delivery probability.
+    pub p_s_b: Vec<f64>,
+    /// `p_sd`: source → destination.
+    pub p_s_d: f64,
+    /// `p_dB[i]`: destination → auxiliary i (governs ACK overhearing).
+    pub p_d_b: Vec<f64>,
+    /// `p_Bd[i]`: auxiliary i → destination.
+    pub p_b_d: Vec<f64>,
+}
+
+impl RelayContext {
+    /// Number of auxiliaries.
+    pub fn len(&self) -> usize {
+        self.p_s_b.len()
+    }
+
+    /// True if there are no auxiliaries.
+    pub fn is_empty(&self) -> bool {
+        self.p_s_b.is_empty()
+    }
+
+    /// Validate shape and ranges.
+    pub fn validate(&self) {
+        let n = self.p_s_b.len();
+        assert_eq!(self.p_d_b.len(), n, "p_d_b length");
+        assert_eq!(self.p_b_d.len(), n, "p_b_d length");
+        let ok = |p: f64| (0.0..=1.0).contains(&p);
+        assert!(ok(self.p_s_d), "p_s_d out of range");
+        assert!(
+            self.p_s_b.iter().all(|&p| ok(p))
+                && self.p_d_b.iter().all(|&p| ok(p))
+                && self.p_b_d.iter().all(|&p| ok(p)),
+            "probability out of range"
+        );
+    }
+
+    /// Eq. 3: the probability that auxiliary `i` contends on a packet —
+    /// it heard the source transmission but not the destination's ACK.
+    /// (The ACK exists only if the destination got the packet, hence the
+    /// `p_sd·p_dBi` product; the two events are treated as independent.)
+    pub fn contention(&self, i: usize) -> f64 {
+        self.p_s_b[i] * (1.0 - self.p_s_d * self.p_d_b[i])
+    }
+}
+
+/// Relay probability for auxiliary `me` under the chosen coordination
+/// formulation. Always in `[0, 1]`.
+pub fn relay_probability(ctx: &RelayContext, me: usize, coord: Coordination) -> f64 {
+    ctx.validate();
+    assert!(me < ctx.len(), "auxiliary index out of range");
+    let r = match coord {
+        Coordination::Vifi => vifi_rule(ctx, me),
+        Coordination::NotG1 => ctx.p_b_d[me],
+        Coordination::NotG2 => not_g2(ctx),
+        Coordination::NotG3 => not_g3(ctx, me),
+    };
+    r.clamp(0.0, 1.0)
+}
+
+/// ViFi: `r_x = min(r·p_Bxd, 1)` with `r` solving Σ c_i·r·p_Bid = 1.
+fn vifi_rule(ctx: &RelayContext, me: usize) -> f64 {
+    let denom: f64 = (0..ctx.len())
+        .map(|i| ctx.contention(i) * ctx.p_b_d[i])
+        .sum();
+    if denom <= f64::EPSILON {
+        // No auxiliary (including us) is believed able to help; relaying
+        // is free upside if we have any path at all.
+        return if ctx.p_b_d[me] > 0.0 { 1.0 } else { 0.0 };
+    }
+    (ctx.p_b_d[me] / denom).min(1.0)
+}
+
+/// ¬G2: ignore destination connectivity; `r = 1/Σ c_i`.
+fn not_g2(ctx: &RelayContext) -> f64 {
+    let total: f64 = (0..ctx.len()).map(|i| ctx.contention(i)).sum();
+    if total <= f64::EPSILON {
+        1.0
+    } else {
+        (1.0 / total).min(1.0)
+    }
+}
+
+/// ¬G3: minimize relays subject to E[#relays *delivered*] ≥ 1 (§5.5.1).
+///
+/// Greedy optimum: walk auxiliaries in decreasing `p_Bid`; give each
+/// `r = 1` until the accumulated `Σ r·p·c` reaches 1; the marginal one
+/// gets the fractional remainder; the rest get 0.
+fn not_g3(ctx: &RelayContext, me: usize) -> f64 {
+    // Rank by p_b_d descending, ties broken by index for determinism.
+    let mut order: Vec<usize> = (0..ctx.len()).collect();
+    order.sort_by(|&a, &b| {
+        ctx.p_b_d[b]
+            .partial_cmp(&ctx.p_b_d[a])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut acc = 0.0;
+    for &i in &order {
+        let gain = ctx.p_b_d[i] * ctx.contention(i);
+        let r_i = if acc >= 1.0 || gain <= f64::EPSILON {
+            0.0
+        } else if acc + gain <= 1.0 {
+            1.0
+        } else {
+            (1.0 - acc) / gain
+        };
+        if i == me {
+            return r_i;
+        }
+        acc += r_i * gain;
+    }
+    // Constraint unreachable even with everyone at r = 1: relay anyway if
+    // we have a path (mirrors the ViFi degenerate case).
+    if ctx.p_b_d[me] > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Expected number of relayed transmissions if every auxiliary applies
+/// `coord` — the quantity G3 pins to 1 (used by tests and Table 2).
+pub fn expected_relays(ctx: &RelayContext, coord: Coordination) -> f64 {
+    (0..ctx.len())
+        .map(|i| ctx.contention(i) * relay_probability(ctx, i, coord))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric(n: usize, p_sb: f64, p_sd: f64, p_db: f64, p_bd: f64) -> RelayContext {
+        RelayContext {
+            p_s_b: vec![p_sb; n],
+            p_s_d: p_sd,
+            p_d_b: vec![p_db; n],
+            p_b_d: vec![p_bd; n],
+        }
+    }
+
+    #[test]
+    fn contention_formula() {
+        let ctx = symmetric(1, 0.8, 0.5, 0.9, 0.7);
+        // c = 0.8 · (1 − 0.5·0.9) = 0.8 · 0.55 = 0.44
+        assert!((ctx.contention(0) - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_relays_is_one_when_feasible() {
+        // Symmetric case with enough contention mass.
+        let ctx = symmetric(4, 0.9, 0.3, 0.5, 0.8);
+        let e = expected_relays(&ctx, Coordination::Vifi);
+        assert!((e - 1.0).abs() < 1e-9, "E[#relays] = {e}");
+    }
+
+    #[test]
+    fn saturation_caps_expected_relays() {
+        // One lonely auxiliary with weak contention: r clamps at 1 and the
+        // expectation falls short of 1 — the best it can do.
+        let ctx = symmetric(1, 0.3, 0.9, 0.9, 0.5);
+        let r = relay_probability(&ctx, 0, Coordination::Vifi);
+        assert_eq!(r, 1.0);
+        let e = expected_relays(&ctx, Coordination::Vifi);
+        assert!(e < 1.0);
+        assert!((e - ctx.contention(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_connected_aux_relays_more() {
+        // Eq. 2: r_i/r_j = p_Bid/p_Bjd.
+        let ctx = RelayContext {
+            p_s_b: vec![0.8, 0.8],
+            p_s_d: 0.4,
+            p_d_b: vec![0.6, 0.6],
+            p_b_d: vec![0.9, 0.3],
+        };
+        let r0 = relay_probability(&ctx, 0, Coordination::Vifi);
+        let r1 = relay_probability(&ctx, 1, Coordination::Vifi);
+        assert!(r0 > r1);
+        if r0 < 1.0 {
+            assert!((r0 / r1 - 0.9 / 0.3).abs() < 1e-9, "ratio {}", r0 / r1);
+        }
+    }
+
+    #[test]
+    fn disconnected_aux_never_relays() {
+        let ctx = RelayContext {
+            p_s_b: vec![0.8, 0.8],
+            p_s_d: 0.4,
+            p_d_b: vec![0.6, 0.6],
+            p_b_d: vec![0.0, 0.9],
+        };
+        assert_eq!(relay_probability(&ctx, 0, Coordination::Vifi), 0.0);
+        for coord in [Coordination::NotG1, Coordination::NotG3] {
+            assert_eq!(relay_probability(&ctx, 0, coord), 0.0, "{coord:?}");
+        }
+    }
+
+    #[test]
+    fn lone_aux_with_no_paths_anywhere() {
+        let ctx = symmetric(2, 0.0, 0.5, 0.5, 0.0);
+        assert_eq!(relay_probability(&ctx, 0, Coordination::Vifi), 0.0);
+    }
+
+    #[test]
+    fn not_g1_ignores_peers() {
+        // ¬G1's relay probability is independent of how many peers exist.
+        let small = symmetric(1, 0.9, 0.3, 0.5, 0.7);
+        let large = symmetric(10, 0.9, 0.3, 0.5, 0.7);
+        let r_small = relay_probability(&small, 0, Coordination::NotG1);
+        let r_large = relay_probability(&large, 0, Coordination::NotG1);
+        assert_eq!(r_small, r_large);
+        assert_eq!(r_small, 0.7);
+        // Which is exactly why its false positives blow up with density
+        // (Table 2): expected relays grow linearly.
+        let e = expected_relays(&large, Coordination::NotG1);
+        assert!(e > 3.0, "¬G1 E[#relays] with 10 auxes = {e}");
+    }
+
+    #[test]
+    fn not_g2_ignores_destination_quality() {
+        let ctx = RelayContext {
+            p_s_b: vec![0.8, 0.8],
+            p_s_d: 0.4,
+            p_d_b: vec![0.6, 0.6],
+            p_b_d: vec![0.9, 0.1],
+        };
+        let r0 = relay_probability(&ctx, 0, Coordination::NotG2);
+        let r1 = relay_probability(&ctx, 1, Coordination::NotG2);
+        assert_eq!(r0, r1, "¬G2 cannot tell good exits from bad");
+    }
+
+    #[test]
+    fn not_g3_concentrates_on_best_exit() {
+        // With a strong best exit, ¬G3 gives it r=1 and the rest ~0.
+        let ctx = RelayContext {
+            p_s_b: vec![1.0, 1.0, 1.0],
+            p_s_d: 0.0, // everyone always contends
+            p_d_b: vec![0.0, 0.0, 0.0],
+            p_b_d: vec![0.9, 0.8, 0.7],
+        };
+        // c_i = 1; best exit alone gives 0.9 < 1 → second gets fraction.
+        let r0 = relay_probability(&ctx, 0, Coordination::NotG3);
+        let r1 = relay_probability(&ctx, 1, Coordination::NotG3);
+        let r2 = relay_probability(&ctx, 2, Coordination::NotG3);
+        assert_eq!(r0, 1.0);
+        assert!((r1 - 0.125).abs() < 1e-9, "r1 = {r1}"); // (1−0.9)/0.8
+        assert_eq!(r2, 0.0);
+        // Expected *deliveries* = Σ r·p·c = 0.9 + 0.125·0.8 = 1.
+        let deliveries: f64 = (0..3).map(|i| {
+            ctx.contention(i)
+                * relay_probability(&ctx, i, Coordination::NotG3)
+                * ctx.p_b_d[i]
+        }).sum();
+        assert!((deliveries - 1.0).abs() < 1e-9);
+        // And expected *relays* exceed 1 — ¬G3's false-positive problem.
+        let e = expected_relays(&ctx, Coordination::NotG3);
+        assert!(e > 1.0, "¬G3 E[#relays] = {e}");
+    }
+
+    #[test]
+    fn vifi_relays_fewer_than_not_g3_under_weak_exits() {
+        // Weak exits: delivering one copy in expectation takes many
+        // relays; ViFi refuses to flood, ¬G3 floods (Table 2's 157%).
+        let ctx = symmetric(6, 0.9, 0.2, 0.3, 0.25);
+        let vifi = expected_relays(&ctx, Coordination::Vifi);
+        let g3 = expected_relays(&ctx, Coordination::NotG3);
+        assert!(vifi <= 1.0 + 1e-9, "ViFi E = {vifi}");
+        assert!(g3 > 2.0, "¬G3 E = {g3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probabilities() {
+        let ctx = symmetric(1, 1.5, 0.5, 0.5, 0.5);
+        relay_probability(&ctx, 0, Coordination::Vifi);
+    }
+}

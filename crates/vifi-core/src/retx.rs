@@ -1,0 +1,178 @@
+//! Adaptive retransmission timer (§4.7).
+//!
+//! In stock 802.11 the ACK follows the frame within a SIFS, so "no ACK" is
+//! known almost immediately. In ViFi an ACK may be triggered by a *relayed*
+//! copy, arriving only after the auxiliary's relay timer and a second
+//! transmission — so the retransmission timeout must track observed ACK
+//! delays. The source keeps a window of measured delays and uses their
+//! **99th percentile**: erring toward waiting (a spurious retransmission
+//! costs airtime; a late one costs only latency the application was going
+//! to suffer anyway).
+
+use vifi_sim::{SimDuration, SimTime};
+
+/// Rolling ACK-delay tracker with percentile readout.
+#[derive(Clone, Debug)]
+pub struct RetxTimer {
+    window: Vec<SimDuration>,
+    /// Next slot to overwrite (ring buffer).
+    cursor: usize,
+    capacity: usize,
+    percentile: f64,
+    floor: SimDuration,
+    ceiling: SimDuration,
+    /// Cached timeout, recomputed lazily after new samples.
+    cached: Option<SimDuration>,
+}
+
+impl RetxTimer {
+    /// Create a timer tracking up to `capacity` recent delay samples.
+    pub fn new(
+        capacity: usize,
+        percentile: f64,
+        floor: SimDuration,
+        ceiling: SimDuration,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!((50.0..=100.0).contains(&percentile));
+        assert!(floor <= ceiling);
+        RetxTimer {
+            window: Vec::with_capacity(capacity),
+            cursor: 0,
+            capacity,
+            percentile,
+            floor,
+            ceiling,
+            cached: None,
+        }
+    }
+
+    /// Defaults matching [`crate::config::VifiConfig`].
+    pub fn from_config(cfg: &crate::config::VifiConfig) -> Self {
+        Self::new(512, cfg.retx_percentile, cfg.retx_min, cfg.retx_max)
+    }
+
+    /// Record an observed ACK delay (send → matching ACK reception).
+    pub fn record(&mut self, delay: SimDuration) {
+        if self.window.len() < self.capacity {
+            self.window.push(delay);
+        } else {
+            self.window[self.cursor] = delay;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+        self.cached = None;
+    }
+
+    /// Number of samples currently held.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The current retransmission timeout: the configured percentile of
+    /// the sample window, clamped to `[floor, ceiling]`; the floor alone
+    /// before any samples exist.
+    pub fn timeout(&mut self) -> SimDuration {
+        if let Some(c) = self.cached {
+            return c;
+        }
+        let t = if self.window.is_empty() {
+            self.floor
+        } else {
+            let mut v: Vec<u64> = self.window.iter().map(|d| d.as_micros()).collect();
+            v.sort_unstable();
+            // Ceil, not round: §4.7 says sources "err towards waiting
+            // longer when conditions change rather than retransmitting
+            // spuriously".
+            let rank = (self.percentile / 100.0 * (v.len() - 1) as f64).ceil() as usize;
+            SimDuration::from_micros(v[rank.min(v.len() - 1)])
+        };
+        let t = t.max(self.floor).min(self.ceiling);
+        self.cached = Some(t);
+        t
+    }
+
+    /// Deadline for a packet transmitted at `sent`.
+    pub fn deadline(&mut self, sent: SimTime) -> SimTime {
+        sent + self.timeout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn timer() -> RetxTimer {
+        RetxTimer::new(100, 99.0, ms(5), ms(500))
+    }
+
+    #[test]
+    fn empty_uses_floor() {
+        let mut t = timer();
+        assert_eq!(t.timeout(), ms(5));
+        assert_eq!(t.deadline(SimTime::from_secs(1)), SimTime::from_secs(1) + ms(5));
+    }
+
+    #[test]
+    fn tracks_high_percentile() {
+        let mut t = timer();
+        // 99 fast ACKs and one slow one: the p99 must see the slow tail.
+        for _ in 0..99 {
+            t.record(ms(10));
+        }
+        t.record(ms(100));
+        let to = t.timeout();
+        assert!(to >= ms(99), "p99 should be near the tail, got {to:?}");
+    }
+
+    #[test]
+    fn clamps_to_ceiling_and_floor() {
+        let mut t = timer();
+        t.record(ms(5000));
+        assert_eq!(t.timeout(), ms(500));
+        let mut t2 = timer();
+        t2.record(SimDuration::from_micros(10));
+        assert_eq!(t2.timeout(), ms(5));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut t = RetxTimer::new(10, 99.0, ms(1), ms(10_000));
+        for _ in 0..10 {
+            t.record(ms(1000));
+        }
+        assert!(t.timeout() >= ms(1000));
+        // Flood with fast samples: old slow ones age out entirely.
+        for _ in 0..10 {
+            t.record(ms(20));
+        }
+        assert_eq!(t.samples(), 10);
+        assert!(t.timeout() <= ms(25), "got {:?}", t.timeout());
+    }
+
+    #[test]
+    fn waiting_longer_beats_spurious_retx() {
+        // The §4.7 design intent: with mixed delays the timeout sits above
+        // nearly all of them.
+        let mut t = timer();
+        for i in 0..200u64 {
+            t.record(ms(5 + i % 40));
+        }
+        let to = t.timeout();
+        let covered = (0..200u64).filter(|i| ms(5 + i % 40) <= to).count();
+        assert!(covered >= 195, "timeout covers {covered}/200 delays");
+    }
+
+    #[test]
+    fn cache_invalidation() {
+        let mut t = timer();
+        t.record(ms(10));
+        let a = t.timeout();
+        t.record(ms(400));
+        let b = t.timeout();
+        assert!(b > a);
+    }
+}

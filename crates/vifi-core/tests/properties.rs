@@ -1,0 +1,127 @@
+//! Property-based tests for the ViFi protocol invariants.
+
+use proptest::prelude::*;
+use vifi_core::config::Coordination;
+use vifi_core::prob::{expected_relays, relay_probability, RelayContext};
+use vifi_core::RxBitmap;
+
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|x| x as f64 / 1000.0)
+}
+
+fn ctx_strategy(max_aux: usize) -> impl Strategy<Value = RelayContext> {
+    (1..=max_aux).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(prob(), n),
+            prob(),
+            proptest::collection::vec(prob(), n),
+            proptest::collection::vec(prob(), n),
+        )
+            .prop_map(|(p_s_b, p_s_d, p_d_b, p_b_d)| RelayContext {
+                p_s_b,
+                p_s_d,
+                p_d_b,
+                p_b_d,
+            })
+    })
+}
+
+proptest! {
+    /// Relay probabilities are valid probabilities under every
+    /// formulation and every input.
+    #[test]
+    fn relay_prob_in_unit_interval(ctx in ctx_strategy(12)) {
+        for coord in [Coordination::Vifi, Coordination::NotG1, Coordination::NotG2, Coordination::NotG3] {
+            for i in 0..ctx.len() {
+                let r = relay_probability(&ctx, i, coord);
+                prop_assert!((0.0..=1.0).contains(&r), "{coord:?} r={r}");
+            }
+        }
+    }
+
+    /// ViFi's G3: the expected number of relays never exceeds 1 (up to
+    /// clamping slack, it equals 1 whenever feasible).
+    #[test]
+    fn vifi_expected_relays_at_most_one(ctx in ctx_strategy(12)) {
+        let e = expected_relays(&ctx, Coordination::Vifi);
+        prop_assert!(e <= 1.0 + 1e-9, "E[#relays] = {e}");
+    }
+
+    /// When no auxiliary saturates (all r < 1) the expectation is exactly 1.
+    #[test]
+    fn vifi_expected_relays_exactly_one_when_unsaturated(ctx in ctx_strategy(12)) {
+        let rs: Vec<f64> = (0..ctx.len())
+            .map(|i| relay_probability(&ctx, i, Coordination::Vifi))
+            .collect();
+        let denom: f64 = (0..ctx.len()).map(|i| ctx.contention(i) * ctx.p_b_d[i]).sum();
+        prop_assume!(denom > 1e-6);
+        prop_assume!(rs.iter().all(|&r| r < 1.0 - 1e-9));
+        let e = expected_relays(&ctx, Coordination::Vifi);
+        prop_assert!((e - 1.0).abs() < 1e-6, "E[#relays] = {e}");
+    }
+
+    /// G2: better-connected auxiliaries never relay with lower probability.
+    #[test]
+    fn vifi_monotone_in_exit_quality(ctx in ctx_strategy(12)) {
+        for i in 0..ctx.len() {
+            for j in 0..ctx.len() {
+                if ctx.p_b_d[i] >= ctx.p_b_d[j] {
+                    let ri = relay_probability(&ctx, i, Coordination::Vifi);
+                    let rj = relay_probability(&ctx, j, Coordination::Vifi);
+                    prop_assert!(ri >= rj - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Contention probabilities are valid and match Eq. 3.
+    #[test]
+    fn contention_formula_valid(ctx in ctx_strategy(12)) {
+        for i in 0..ctx.len() {
+            let c = ctx.contention(i);
+            prop_assert!((0.0..=1.0).contains(&c));
+            let manual = ctx.p_s_b[i] * (1.0 - ctx.p_s_d * ctx.p_d_b[i]);
+            prop_assert!((c - manual).abs() < 1e-12);
+        }
+    }
+
+    /// ¬G3 meets its delivery constraint whenever it is feasible at all.
+    #[test]
+    fn not_g3_meets_delivery_constraint_when_feasible(ctx in ctx_strategy(12)) {
+        let max_deliveries: f64 = (0..ctx.len())
+            .map(|i| ctx.contention(i) * ctx.p_b_d[i])
+            .sum();
+        prop_assume!(max_deliveries >= 1.0);
+        let deliveries: f64 = (0..ctx.len())
+            .map(|i| {
+                ctx.contention(i)
+                    * relay_probability(&ctx, i, Coordination::NotG3)
+                    * ctx.p_b_d[i]
+            })
+            .sum();
+        prop_assert!(deliveries >= 1.0 - 1e-6, "E[deliveries] = {deliveries}");
+    }
+
+    /// The RxBitmap window invariant: after arbitrary receptions, `wire`
+    /// names only sequences that were actually recorded, and every
+    /// recorded sequence within 8 of the maximum is named.
+    #[test]
+    fn bitmap_wire_sound_and_complete(seqs in proptest::collection::vec(0u64..64, 1..40)) {
+        let mut bm = RxBitmap::new();
+        let mut seen = std::collections::HashSet::new();
+        for &s in &seqs {
+            bm.record(s);
+            seen.insert(s);
+        }
+        let max = *seqs.iter().max().unwrap();
+        let acked = RxBitmap::acked_seqs(bm.wire());
+        for &a in &acked {
+            prop_assert!(seen.contains(&a), "bitmap invented seq {a}");
+        }
+        for &s in &seen {
+            if max - s <= 8 {
+                prop_assert!(acked.contains(&s), "bitmap forgot in-window seq {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # vifi-handoff — the §3 handoff study
+//!
+//! The paper's case for diversity is built by replaying measured probe
+//! traces through six handoff policies (§3.1):
+//!
+//! | Policy | Association rule |
+//! |---|---|
+//! | RSSI | highest exponentially-averaged beacon RSSI |
+//! | BRR | highest exponentially-averaged beacon reception ratio |
+//! | Sticky | keep current BS until 3 s of silence, then best instantaneous RSSI |
+//! | History | best historical performance at this location (previous day) |
+//! | BestBS | *oracle*: best (up+down) reception in the coming second |
+//! | AllBSes | *oracle*: union of all BSes, the macrodiversity upper bound |
+//!
+//! All six are *hard-handoff* policies except AllBSes. BestBS bounds what
+//! any hard handoff can do; AllBSes bounds what any protocol can do.
+//!
+//! [`replay::ProbeLog`] is the measured artifact (500-byte broadcast
+//! probes at 10 Hz in both directions, §3.1); [`replay::evaluate`] replays
+//! a policy over it and yields per-slot delivery timelines that feed the
+//! session metrics of `vifi-metrics`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod policy;
+pub mod replay;
+
+pub use history::HistoryDb;
+pub use policy::{Policy, PolicyState};
+pub use replay::{evaluate, evaluate_with_history, generate_probe_log, EvalOutcome, ProbeLog};

@@ -1,0 +1,332 @@
+//! The association policies themselves.
+//!
+//! Causal policies ([`PolicyState`]) consume one [`SecondObs`] per second
+//! and expose the association they would use for the *following* second —
+//! they never see the future. The two oracles (BestBS, AllBSes) are
+//! implemented in the replay loop, since by definition they need the log.
+
+use vifi_metrics::exp_avg;
+use vifi_phy::Point;
+
+use crate::history::HistoryDb;
+
+/// The smoothing factor the paper uses for both RSSI and BRR estimators
+/// (§3.1: "We use an exponential averaging factor of half … and find the
+/// results robust to the exact choice").
+pub const ALPHA: f64 = 0.5;
+
+/// Seconds of silence after which Sticky abandons its BS (§3.1, from the
+/// CarTel study).
+pub const STICKY_TIMEOUT_SECS: u32 = 3;
+
+/// Which policy to replay.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Policy {
+    /// Highest exponentially averaged beacon RSSI.
+    Rssi,
+    /// Highest exponentially averaged beacon reception ratio.
+    Brr,
+    /// Hold until 3 s of silence, then best instantaneous RSSI.
+    Sticky,
+    /// Best historical performance at the current location.
+    History,
+    /// Oracle: best (up+down) reception in the coming second.
+    BestBs,
+    /// Oracle: union of all BSes.
+    AllBses,
+}
+
+impl Policy {
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Rssi => "RSSI",
+            Policy::Brr => "BRR",
+            Policy::Sticky => "Sticky",
+            Policy::History => "History",
+            Policy::BestBs => "BestBS",
+            Policy::AllBses => "AllBSes",
+        }
+    }
+
+    /// All six policies in the paper's presentation order.
+    pub fn all() -> [Policy; 6] {
+        [
+            Policy::AllBses,
+            Policy::BestBs,
+            Policy::History,
+            Policy::Rssi,
+            Policy::Brr,
+            Policy::Sticky,
+        ]
+    }
+}
+
+/// One second of per-BS observations, as a client would have seen them.
+#[derive(Clone, Debug)]
+pub struct SecondObs {
+    /// Second index.
+    pub sec: usize,
+    /// Downstream (beacon) reception ratio per BS this second.
+    pub down_ratio: Vec<f64>,
+    /// Upstream reception ratio per BS this second. Only the oracles may
+    /// use this (a real client does not know it), but it is part of the
+    /// observation bundle for History *training*, which runs offline on
+    /// the previous day's logs — the paper's formulation.
+    pub up_ratio: Vec<f64>,
+    /// Mean RSSI of beacons heard per BS this second (None = silent).
+    pub mean_rssi: Vec<Option<f64>>,
+    /// Vehicle position at the start of the second.
+    pub pos: Point,
+}
+
+/// Causal policy state machine.
+#[derive(Clone, Debug)]
+pub struct PolicyState {
+    policy: Policy,
+    /// Exponentially averaged RSSI per BS (None until first heard).
+    avg_rssi: Vec<Option<f64>>,
+    /// Exponentially averaged beacon reception ratio per BS.
+    avg_brr: Vec<f64>,
+    /// Whether each BS has ever been heard (BRR stays 0 for never-heard
+    /// BSes so they are never selected).
+    heard: Vec<bool>,
+    /// Sticky: current BS and seconds of silence from it.
+    sticky_bs: Option<usize>,
+    sticky_silent: u32,
+    /// History database (only for Policy::History).
+    history: Option<HistoryDb>,
+    /// The association in force for the next second.
+    current: Option<usize>,
+}
+
+impl PolicyState {
+    /// Fresh state for `bs_count` basestations.
+    pub fn new(policy: Policy, bs_count: usize) -> Self {
+        PolicyState {
+            policy,
+            avg_rssi: vec![None; bs_count],
+            avg_brr: vec![0.0; bs_count],
+            heard: vec![false; bs_count],
+            sticky_bs: None,
+            sticky_silent: 0,
+            history: None,
+            current: None,
+        }
+    }
+
+    /// Attach a trained history database (required for [`Policy::History`]).
+    pub fn with_history(mut self, db: HistoryDb) -> Self {
+        self.history = Some(db);
+        self
+    }
+
+    /// The association the policy wants for the upcoming second.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Feed one second of observations; updates the association decision.
+    pub fn observe(&mut self, obs: &SecondObs) {
+        let n = self.avg_brr.len();
+        assert_eq!(obs.down_ratio.len(), n, "obs size mismatch");
+        // Update estimators.
+        for b in 0..n {
+            if let Some(r) = obs.mean_rssi[b] {
+                self.heard[b] = true;
+                self.avg_rssi[b] = Some(match self.avg_rssi[b] {
+                    Some(old) => exp_avg(old, r, ALPHA),
+                    None => r,
+                });
+            }
+            self.avg_brr[b] = exp_avg(self.avg_brr[b], obs.down_ratio[b], ALPHA);
+        }
+
+        self.current = match self.policy {
+            Policy::Rssi => self.best_rssi(),
+            Policy::Brr => self.best_brr(),
+            Policy::Sticky => self.sticky(obs),
+            Policy::History => self.historical(obs),
+            // Oracles decide in the replay loop; keep None here.
+            Policy::BestBs | Policy::AllBses => None,
+        };
+    }
+
+    fn best_rssi(&self) -> Option<usize> {
+        let mut best = None;
+        let mut best_v = f64::NEG_INFINITY;
+        for (b, r) in self.avg_rssi.iter().enumerate() {
+            if let Some(v) = r {
+                if *v > best_v {
+                    best_v = *v;
+                    best = Some(b);
+                }
+            }
+        }
+        best
+    }
+
+    fn best_brr(&self) -> Option<usize> {
+        let mut best = None;
+        let mut best_v = 0.0;
+        for (b, &v) in self.avg_brr.iter().enumerate() {
+            if self.heard[b] && v > best_v {
+                best_v = v;
+                best = Some(b);
+            }
+        }
+        best
+    }
+
+    fn sticky(&mut self, obs: &SecondObs) -> Option<usize> {
+        if let Some(b) = self.sticky_bs {
+            if obs.down_ratio[b] > 0.0 {
+                self.sticky_silent = 0;
+                return Some(b);
+            }
+            self.sticky_silent += 1;
+            if self.sticky_silent < STICKY_TIMEOUT_SECS {
+                return Some(b);
+            }
+            // Give up on it.
+            self.sticky_bs = None;
+            self.sticky_silent = 0;
+        }
+        // Pick the BS with the best instantaneous RSSI, if any is audible.
+        let mut best = None;
+        let mut best_v = f64::NEG_INFINITY;
+        for (b, r) in obs.mean_rssi.iter().enumerate() {
+            if let Some(v) = r {
+                if *v > best_v {
+                    best_v = *v;
+                    best = Some(b);
+                }
+            }
+        }
+        self.sticky_bs = best;
+        best
+    }
+
+    fn historical(&self, obs: &SecondObs) -> Option<usize> {
+        match &self.history {
+            Some(db) => db.best_at(obs.pos).or_else(|| self.best_brr()),
+            // Untrained history degrades to BRR (documented fallback).
+            None => self.best_brr(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(
+        sec: usize,
+        down: Vec<f64>,
+        rssi: Vec<Option<f64>>,
+    ) -> SecondObs {
+        let n = down.len();
+        SecondObs {
+            sec,
+            down_ratio: down,
+            up_ratio: vec![0.0; n],
+            mean_rssi: rssi,
+            pos: Point::new(0.0, 0.0),
+        }
+    }
+
+    #[test]
+    fn rssi_tracks_strongest() {
+        let mut st = PolicyState::new(Policy::Rssi, 2);
+        st.observe(&obs(0, vec![1.0, 1.0], vec![Some(-70.0), Some(-60.0)]));
+        assert_eq!(st.current(), Some(1));
+        // BS 0 becomes much stronger; exponential average follows.
+        for s in 1..5 {
+            st.observe(&obs(s, vec![1.0, 1.0], vec![Some(-40.0), Some(-60.0)]));
+        }
+        assert_eq!(st.current(), Some(0));
+    }
+
+    #[test]
+    fn rssi_ignores_never_heard() {
+        let mut st = PolicyState::new(Policy::Rssi, 3);
+        st.observe(&obs(0, vec![0.0, 1.0, 0.0], vec![None, Some(-80.0), None]));
+        assert_eq!(st.current(), Some(1));
+    }
+
+    #[test]
+    fn brr_prefers_reliable_over_loud() {
+        let mut st = PolicyState::new(Policy::Brr, 2);
+        // BS 0: loud but lossy (30%); BS 1: quiet but reliable (90%).
+        for s in 0..6 {
+            st.observe(&obs(
+                s,
+                vec![0.3, 0.9],
+                vec![Some(-50.0), Some(-80.0)],
+            ));
+        }
+        assert_eq!(st.current(), Some(1));
+    }
+
+    #[test]
+    fn brr_estimator_lags_reality() {
+        // The failure mode the paper identifies: after a sharp drop, BRR
+        // keeps the client on the dead BS for a while, because the
+        // exponential average decays rather than tracking instantaneously.
+        let mut st = PolicyState::new(Policy::Brr, 2);
+        for s in 0..10 {
+            st.observe(&obs(s, vec![1.0, 0.45], vec![Some(-60.0), Some(-70.0)]));
+        }
+        assert_eq!(st.current(), Some(0));
+        // BS 0 dies abruptly; one second later its average is still 0.5,
+        // above BS 1's steady 0.45 — the client stays on the dead BS.
+        st.observe(&obs(10, vec![0.0, 0.45], vec![None, Some(-70.0)]));
+        assert_eq!(st.current(), Some(0), "estimator lag keeps dead BS");
+        // The next silent second halves it again (0.25) and BRR switches.
+        st.observe(&obs(11, vec![0.0, 0.45], vec![None, Some(-70.0)]));
+        assert_eq!(st.current(), Some(1));
+    }
+
+    #[test]
+    fn sticky_holds_through_short_silence() {
+        let mut st = PolicyState::new(Policy::Sticky, 2);
+        st.observe(&obs(0, vec![1.0, 0.5], vec![Some(-50.0), Some(-60.0)]));
+        assert_eq!(st.current(), Some(0));
+        // Two silent seconds: still stuck.
+        st.observe(&obs(1, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        assert_eq!(st.current(), Some(0));
+        st.observe(&obs(2, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        assert_eq!(st.current(), Some(0));
+        // Third silent second: timeout, switch to audible BS 1.
+        st.observe(&obs(3, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        assert_eq!(st.current(), Some(1));
+    }
+
+    #[test]
+    fn sticky_resets_silence_on_contact() {
+        let mut st = PolicyState::new(Policy::Sticky, 2);
+        st.observe(&obs(0, vec![1.0, 0.5], vec![Some(-50.0), Some(-60.0)]));
+        st.observe(&obs(1, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        st.observe(&obs(2, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        // Contact again: silence counter resets.
+        st.observe(&obs(3, vec![0.3, 0.5], vec![Some(-55.0), Some(-60.0)]));
+        st.observe(&obs(4, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        st.observe(&obs(5, vec![0.0, 0.5], vec![None, Some(-60.0)]));
+        assert_eq!(st.current(), Some(0), "still within fresh 3 s window");
+    }
+
+    #[test]
+    fn history_without_db_falls_back_to_brr() {
+        let mut st = PolicyState::new(Policy::History, 2);
+        for s in 0..4 {
+            st.observe(&obs(s, vec![0.2, 0.8], vec![Some(-60.0), Some(-65.0)]));
+        }
+        assert_eq!(st.current(), Some(1));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Policy::AllBses.name(), "AllBSes");
+        assert_eq!(Policy::all().len(), 6);
+    }
+}

@@ -1,0 +1,404 @@
+//! Probe logs and trace replay (§3.1 methodology).
+//!
+//! During the measurement study every BS and the vehicle broadcast a
+//! 500-byte packet at 1 Mbps every 100 ms; all nodes log correct
+//! receptions with PHY info. A handoff policy is then evaluated *offline*:
+//! the policy decides the association over time, and the logged probe
+//! outcomes determine which packets the associated BS would have carried.
+//! (Self-interference was verified negligible, so we sample the channel
+//! directly rather than through the CSMA medium — the same simplification
+//! the paper makes for this study.)
+
+use vifi_phy::{LinkModel, NodeId, Point};
+use vifi_sim::{Rng, SimDuration, SimTime};
+use vifi_testbeds::Scenario;
+
+use crate::policy::{Policy, PolicyState, SecondObs};
+
+/// The measured artifact: per-slot, per-BS probe outcomes in both
+/// directions plus vehicle positions.
+#[derive(Clone, Debug)]
+pub struct ProbeLog {
+    /// Probe slot width (100 ms in the paper).
+    pub slot: SimDuration,
+    /// Slots per second (10 in the paper).
+    pub slots_per_sec: usize,
+    /// `down[b][i]`: vehicle received BS `b`'s probe in slot `i`.
+    pub down: Vec<Vec<bool>>,
+    /// `up[b][i]`: BS `b` received the vehicle's probe in slot `i`.
+    pub up: Vec<Vec<bool>>,
+    /// `rssi[b][i]`: RSSI of the received downstream probe, dBm
+    /// (NaN when lost).
+    pub rssi: Vec<Vec<f32>>,
+    /// Vehicle position per slot (for the History policy's location index).
+    pub pos: Vec<Point>,
+}
+
+impl ProbeLog {
+    /// Number of BSes.
+    pub fn bs_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of whole seconds.
+    pub fn seconds(&self) -> usize {
+        self.slots() / self.slots_per_sec
+    }
+
+    /// Downstream reception ratio of BS `b` during second `sec`.
+    pub fn down_ratio(&self, b: usize, sec: usize) -> f64 {
+        let lo = sec * self.slots_per_sec;
+        let hi = (lo + self.slots_per_sec).min(self.down[b].len());
+        if hi <= lo {
+            return 0.0;
+        }
+        self.down[b][lo..hi].iter().filter(|&&x| x).count() as f64 / (hi - lo) as f64
+    }
+
+    /// Upstream reception ratio of BS `b` during second `sec`.
+    pub fn up_ratio(&self, b: usize, sec: usize) -> f64 {
+        let lo = sec * self.slots_per_sec;
+        let hi = (lo + self.slots_per_sec).min(self.up[b].len());
+        if hi <= lo {
+            return 0.0;
+        }
+        self.up[b][lo..hi].iter().filter(|&&x| x).count() as f64 / (hi - lo) as f64
+    }
+
+    /// Mean RSSI of downstream probes heard from BS `b` in second `sec`,
+    /// or None if none were heard.
+    pub fn mean_rssi(&self, b: usize, sec: usize) -> Option<f64> {
+        let lo = sec * self.slots_per_sec;
+        let hi = (lo + self.slots_per_sec).min(self.rssi[b].len());
+        let vals: Vec<f64> = self.rssi[b][lo..hi]
+            .iter()
+            .filter(|v| !v.is_nan())
+            .map(|&v| v as f64)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// The per-second observation bundle handed to causal policies.
+    pub fn second_obs(&self, sec: usize) -> SecondObs {
+        SecondObs {
+            sec,
+            down_ratio: (0..self.bs_count()).map(|b| self.down_ratio(b, sec)).collect(),
+            up_ratio: (0..self.bs_count()).map(|b| self.up_ratio(b, sec)).collect(),
+            mean_rssi: (0..self.bs_count()).map(|b| self.mean_rssi(b, sec)).collect(),
+            pos: self.pos[(sec * self.slots_per_sec).min(self.pos.len() - 1)],
+        }
+    }
+}
+
+/// Generate a probe log by sampling a scenario's channel at the probe
+/// schedule (10 Hz × both directions × every BS).
+pub fn generate_probe_log(
+    scenario: &Scenario,
+    vehicle: NodeId,
+    duration: SimDuration,
+    rng: &Rng,
+) -> ProbeLog {
+    let mut link = scenario.build_link_model(rng);
+    let bs_ids = scenario.bs_ids();
+    let slot = SimDuration::from_millis(100);
+    let slots = (duration / slot) as usize;
+    let slots_per_sec = 10;
+    let mut down = vec![vec![false; slots]; bs_ids.len()];
+    let mut up = vec![vec![false; slots]; bs_ids.len()];
+    let mut rssi = vec![vec![f32::NAN; slots]; bs_ids.len()];
+    let mut pos = Vec::with_capacity(slots);
+    for i in 0..slots {
+        let t = SimTime::ZERO + slot * i as u64;
+        pos.push(scenario.position(vehicle, t));
+        for (b, &bs) in bs_ids.iter().enumerate() {
+            if link.sample_delivery(bs, vehicle, t) {
+                down[b][i] = true;
+                rssi[b][i] = link.rssi_dbm(bs, vehicle, t).unwrap_or(-95.0) as f32;
+            }
+            up[b][i] = link.sample_delivery(vehicle, bs, t);
+        }
+    }
+    ProbeLog {
+        slot,
+        slots_per_sec,
+        down,
+        up,
+        rssi,
+        pos,
+    }
+}
+
+/// The outcome of replaying one policy over one log.
+#[derive(Clone, Debug)]
+pub struct EvalOutcome {
+    /// Which BS the client was associated with in each second
+    /// (None = AllBSes or no association possible).
+    pub association: Vec<Option<usize>>,
+    /// Per-slot downstream delivery under the policy.
+    pub down_ok: Vec<bool>,
+    /// Per-slot upstream delivery under the policy.
+    pub up_ok: Vec<bool>,
+}
+
+impl EvalOutcome {
+    /// Total packets delivered (both directions).
+    pub fn delivered(&self) -> u64 {
+        (self.down_ok.iter().filter(|&&x| x).count()
+            + self.up_ok.iter().filter(|&&x| x).count()) as u64
+    }
+
+    /// Combined per-second reception ratios (down + up over 2×slots/sec),
+    /// the input to session analysis.
+    pub fn combined_ratios(&self, slots_per_sec: usize) -> Vec<f64> {
+        let secs = self.down_ok.len() / slots_per_sec;
+        (0..secs)
+            .map(|s| {
+                let lo = s * slots_per_sec;
+                let hi = lo + slots_per_sec;
+                let d = self.down_ok[lo..hi].iter().filter(|&&x| x).count();
+                let u = self.up_ok[lo..hi].iter().filter(|&&x| x).count();
+                (d + u) as f64 / (2 * slots_per_sec) as f64
+            })
+            .collect()
+    }
+
+    /// Per-`interval` combined reception ratios for arbitrary averaging
+    /// intervals (Fig. 4a sweeps this).
+    pub fn combined_ratios_interval(
+        &self,
+        slots_per_sec: usize,
+        interval: SimDuration,
+    ) -> Vec<f64> {
+        let slots_per_interval =
+            (interval.as_millis() as usize * slots_per_sec / 1000).max(1);
+        let n = self.down_ok.len() / slots_per_interval;
+        (0..n)
+            .map(|s| {
+                let lo = s * slots_per_interval;
+                let hi = lo + slots_per_interval;
+                let d = self.down_ok[lo..hi].iter().filter(|&&x| x).count();
+                let u = self.up_ok[lo..hi].iter().filter(|&&x| x).count();
+                (d + u) as f64 / (2 * slots_per_interval) as f64
+            })
+            .collect()
+    }
+}
+
+/// Replay `policy` over `log` per §3.1: the policy re-associates at
+/// 1-second boundaries based on what it has seen; the log determines which
+/// packets the association would have carried. [`Policy::History`] runs
+/// untrained here (falls back to BRR); use [`evaluate_with_history`] to
+/// supply a previous-day database.
+pub fn evaluate(log: &ProbeLog, policy: Policy) -> EvalOutcome {
+    evaluate_inner(log, policy, None)
+}
+
+/// Replay the History policy with a database trained on a previous day's
+/// log (§3.1's formulation).
+pub fn evaluate_with_history(log: &ProbeLog, db: crate::history::HistoryDb) -> EvalOutcome {
+    evaluate_inner(log, Policy::History, Some(db))
+}
+
+fn evaluate_inner(
+    log: &ProbeLog,
+    policy: Policy,
+    history: Option<crate::history::HistoryDb>,
+) -> EvalOutcome {
+    let secs = log.seconds();
+    let slots_per_sec = log.slots_per_sec;
+    let mut state = PolicyState::new(policy, log.bs_count());
+    if let Some(db) = history {
+        state = state.with_history(db);
+    }
+    let mut association = Vec::with_capacity(secs);
+    let mut down_ok = vec![false; secs * slots_per_sec];
+    let mut up_ok = vec![false; secs * slots_per_sec];
+
+    for sec in 0..secs {
+        // Oracles peek at the current second; causal policies have been fed
+        // through the *previous* seconds only.
+        let assoc = match policy {
+            Policy::BestBs => {
+                // Best (up+down) reception in this coming second.
+                let mut best = None;
+                let mut best_score = f64::NEG_INFINITY;
+                for b in 0..log.bs_count() {
+                    let score = log.down_ratio(b, sec) + log.up_ratio(b, sec);
+                    if score > best_score {
+                        best_score = score;
+                        best = Some(b);
+                    }
+                }
+                if best_score > 0.0 {
+                    best
+                } else {
+                    None
+                }
+            }
+            Policy::AllBses => None,
+            _ => state.current(),
+        };
+        association.push(assoc);
+
+        for i in 0..slots_per_sec {
+            let slot = sec * slots_per_sec + i;
+            match policy {
+                Policy::AllBses => {
+                    // Union over BSes: up succeeds if anyone heard it; down
+                    // succeeds if the vehicle heard anyone this slot.
+                    down_ok[slot] = (0..log.bs_count()).any(|b| log.down[b][slot]);
+                    up_ok[slot] = (0..log.bs_count()).any(|b| log.up[b][slot]);
+                }
+                _ => {
+                    if let Some(b) = assoc {
+                        down_ok[slot] = log.down[b][slot];
+                        up_ok[slot] = log.up[b][slot];
+                    }
+                }
+            }
+        }
+
+        // Feed this second's observations to causal policies for their
+        // next-second decision.
+        let obs = log.second_obs(sec);
+        state.observe(&obs);
+    }
+
+    EvalOutcome {
+        association,
+        down_ok,
+        up_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_testbeds::vanlan;
+
+    fn small_log() -> ProbeLog {
+        let s = vanlan(1);
+        let veh = s.vehicle_ids()[0];
+        generate_probe_log(&s, veh, SimDuration::from_secs(150), &Rng::new(3))
+    }
+
+    #[test]
+    fn log_dimensions() {
+        let log = small_log();
+        assert_eq!(log.bs_count(), 11);
+        assert_eq!(log.slots(), 1500);
+        assert_eq!(log.seconds(), 150);
+        assert_eq!(log.pos.len(), 1500);
+    }
+
+    #[test]
+    fn rssi_only_for_received() {
+        let log = small_log();
+        for b in 0..log.bs_count() {
+            for i in 0..log.slots() {
+                if log.down[b][i] {
+                    assert!(!log.rssi[b][i].is_nan());
+                } else {
+                    assert!(log.rssi[b][i].is_nan());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratios_match_slots() {
+        let log = small_log();
+        for b in 0..log.bs_count() {
+            for sec in 0..log.seconds() {
+                let manual = (0..10)
+                    .filter(|i| log.down[b][sec * 10 + i])
+                    .count() as f64
+                    / 10.0;
+                assert_eq!(log.down_ratio(b, sec), manual);
+            }
+        }
+    }
+
+    #[test]
+    fn allbses_dominates_everyone() {
+        let log = small_log();
+        let all = evaluate(&log, Policy::AllBses).delivered();
+        for p in [Policy::Rssi, Policy::Brr, Policy::Sticky, Policy::BestBs] {
+            let d = evaluate(&log, p).delivered();
+            assert!(
+                all >= d,
+                "{p:?} delivered {d} > AllBSes {all}; union must dominate"
+            );
+        }
+    }
+
+    #[test]
+    fn bestbs_dominates_causal_policies_roughly() {
+        // BestBS is the per-second optimum; causal policies may beat it
+        // only through slot-level luck, not in aggregate.
+        let log = small_log();
+        let best = evaluate(&log, Policy::BestBs).delivered();
+        for p in [Policy::Rssi, Policy::Brr, Policy::Sticky] {
+            let d = evaluate(&log, p).delivered();
+            assert!(
+                best as f64 >= d as f64 * 0.98,
+                "{p:?} delivered {d} vs BestBS {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let log = small_log();
+        let a = evaluate(&log, Policy::Brr);
+        let b = evaluate(&log, Policy::Brr);
+        assert_eq!(a.down_ok, b.down_ok);
+        assert_eq!(a.association, b.association);
+    }
+
+    #[test]
+    fn combined_ratios_are_bounded() {
+        let log = small_log();
+        let out = evaluate(&log, Policy::Brr);
+        for r in out.combined_ratios(10) {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn interval_ratios_lengths() {
+        let log = small_log();
+        let out = evaluate(&log, Policy::AllBses);
+        let r1 = out.combined_ratios_interval(10, SimDuration::from_secs(1));
+        let r2 = out.combined_ratios_interval(10, SimDuration::from_secs(2));
+        assert_eq!(r1.len(), 150);
+        assert_eq!(r2.len(), 75);
+        let r_half = out.combined_ratios_interval(10, SimDuration::from_millis(500));
+        assert_eq!(r_half.len(), 300);
+    }
+
+    #[test]
+    fn no_association_when_nothing_heard() {
+        // A log with zero receptions anywhere: policies must deliver zero.
+        let log = ProbeLog {
+            slot: SimDuration::from_millis(100),
+            slots_per_sec: 10,
+            down: vec![vec![false; 100]; 3],
+            up: vec![vec![false; 100]; 3],
+            rssi: vec![vec![f32::NAN; 100]; 3],
+            pos: vec![Point::new(0.0, 0.0); 100],
+        };
+        for p in [Policy::Rssi, Policy::Brr, Policy::Sticky, Policy::BestBs, Policy::AllBses] {
+            assert_eq!(evaluate(&log, p).delivered(), 0, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the handoff replay study.
+
+use proptest::prelude::*;
+use vifi_handoff::{evaluate, Policy, ProbeLog};
+use vifi_phy::Point;
+use vifi_sim::SimDuration;
+
+/// Build a random probe log: `bs` basestations × `secs` seconds at 10
+/// slots/second, with per-(bs, second) delivery probabilities.
+fn random_log(bs: usize, secs: usize, seed: u64) -> ProbeLog {
+    let mut rng = vifi_sim::Rng::new(seed);
+    let slots = secs * 10;
+    let mut down = vec![vec![false; slots]; bs];
+    let mut up = vec![vec![false; slots]; bs];
+    let mut rssi = vec![vec![f32::NAN; slots]; bs];
+    for b in 0..bs {
+        for sec in 0..secs {
+            let p = rng.next_f64();
+            for i in 0..10 {
+                let slot = sec * 10 + i;
+                if rng.chance(p) {
+                    down[b][slot] = true;
+                    rssi[b][slot] = -90.0 + (p * 40.0) as f32;
+                }
+                up[b][slot] = rng.chance(p * 0.9);
+            }
+        }
+    }
+    ProbeLog {
+        slot: SimDuration::from_millis(100),
+        slots_per_sec: 10,
+        down,
+        up,
+        rssi,
+        pos: vec![Point::new(0.0, 0.0); slots],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// AllBSes (the union) delivers at least as much as every other
+    /// policy, slot by slot — on any channel whatsoever.
+    #[test]
+    fn union_dominates_everything(bs in 1usize..6, secs in 2usize..30, seed in any::<u64>()) {
+        let log = random_log(bs, secs, seed);
+        let union = evaluate(&log, Policy::AllBses);
+        for p in [Policy::Rssi, Policy::Brr, Policy::Sticky, Policy::BestBs] {
+            let out = evaluate(&log, p);
+            for slot in 0..log.slots() {
+                prop_assert!(
+                    union.down_ok[slot] || !out.down_ok[slot],
+                    "{p:?} delivered downstream slot {slot} the union missed"
+                );
+                prop_assert!(
+                    union.up_ok[slot] || !out.up_ok[slot],
+                    "{p:?} delivered upstream slot {slot} the union missed"
+                );
+            }
+        }
+    }
+
+    /// A policy's claimed deliveries always correspond to real receptions
+    /// at the associated BS (no policy invents packets).
+    #[test]
+    fn deliveries_are_sound(bs in 1usize..6, secs in 2usize..30, seed in any::<u64>()) {
+        let log = random_log(bs, secs, seed);
+        for p in [Policy::Rssi, Policy::Brr, Policy::Sticky, Policy::BestBs] {
+            let out = evaluate(&log, p);
+            for sec in 0..log.seconds() {
+                let assoc = out.association[sec];
+                for i in 0..log.slots_per_sec {
+                    let slot = sec * log.slots_per_sec + i;
+                    match assoc {
+                        Some(b) => {
+                            prop_assert_eq!(out.down_ok[slot], log.down[b][slot]);
+                            prop_assert_eq!(out.up_ok[slot], log.up[b][slot]);
+                        }
+                        None => {
+                            prop_assert!(!out.down_ok[slot] && !out.up_ok[slot]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Combined per-second ratios are well-formed probabilities and agree
+    /// with total delivery counts.
+    #[test]
+    fn ratios_consistent(bs in 1usize..5, secs in 2usize..20, seed in any::<u64>()) {
+        let log = random_log(bs, secs, seed);
+        let out = evaluate(&log, Policy::Brr);
+        let ratios = out.combined_ratios(log.slots_per_sec);
+        prop_assert_eq!(ratios.len(), log.seconds());
+        let total_from_ratios: f64 = ratios.iter().map(|r| r * 20.0).sum();
+        prop_assert!((total_from_ratios - out.delivered() as f64).abs() < 1e-6);
+        for r in ratios {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

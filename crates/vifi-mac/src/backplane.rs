@@ -1,0 +1,193 @@
+//! The inter-BS backplane: thin, shared, and explicitly accounted.
+//!
+//! §4.1: *"in WiFi deployments today, inter-BS communication tends to be
+//! based on relatively thin broadband links or a multi-hop wireless mesh.
+//! Accordingly, we assume that inter-BS communication is bandwidth
+//! constrained."* ViFi's whole coordination design (probabilistic relaying
+//! instead of MRD-style "ship every frame to a controller") exists because
+//! of this constraint, so the model makes the constraint concrete: a shared
+//! serialization capacity, a propagation latency, and a bounded queue whose
+//! overflow drops messages.
+//!
+//! Like the medium, the backplane is passive: `send` computes the delivery
+//! instant and the runtime schedules the corresponding event.
+
+use vifi_phy::NodeId;
+use vifi_sim::{SimDuration, SimTime};
+
+/// Backplane configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BackplaneParams {
+    /// Shared serialization capacity in bits per second. 0 is rejected.
+    pub capacity_bps: u64,
+    /// One-way propagation/forwarding latency added to every message.
+    pub latency: SimDuration,
+    /// Maximum backlog (bytes queued but not yet serialized) before
+    /// messages are dropped.
+    pub max_backlog_bytes: u64,
+}
+
+impl Default for BackplaneParams {
+    fn default() -> Self {
+        BackplaneParams {
+            // A few Mbps of shared broadband / mesh capacity.
+            capacity_bps: 5_000_000,
+            latency: SimDuration::from_millis(8),
+            max_backlog_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Shared inter-BS communication plane.
+#[derive(Clone, Debug)]
+pub struct Backplane {
+    params: BackplaneParams,
+    /// Instant at which the serializer frees up.
+    busy_until: SimTime,
+    /// Messages accepted (for load accounting).
+    pub accepted: u64,
+    /// Messages dropped to backlog overflow.
+    pub dropped: u64,
+    /// Total bytes carried.
+    pub bytes_carried: u64,
+}
+
+impl Backplane {
+    /// New idle backplane.
+    pub fn new(params: BackplaneParams) -> Self {
+        assert!(params.capacity_bps > 0, "backplane capacity must be positive");
+        Backplane {
+            params,
+            busy_until: SimTime::ZERO,
+            accepted: 0,
+            dropped: 0,
+            bytes_carried: 0,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &BackplaneParams {
+        &self.params
+    }
+
+    /// Submit a message of `size_bytes` from `from` to `to` at `now`.
+    ///
+    /// Returns the instant the message arrives at `to`, or `None` if the
+    /// backlog is full and the message is dropped. `from`/`to` are recorded
+    /// for symmetry with the medium API; the shared-capacity model does not
+    /// differentiate paths (a town mesh funnels through the same uplinks).
+    pub fn send(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        size_bytes: u32,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let backlog_end = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        // Current backlog in bytes, implied by the serializer horizon.
+        let backlog_bytes =
+            (backlog_end - now).as_micros() * self.params.capacity_bps / 8 / 1_000_000;
+        if backlog_bytes > self.params.max_backlog_bytes {
+            self.dropped += 1;
+            return None;
+        }
+        let serialize =
+            SimDuration::from_micros(size_bytes as u64 * 8 * 1_000_000 / self.params.capacity_bps);
+        self.busy_until = backlog_end + serialize;
+        self.accepted += 1;
+        self.bytes_carried += size_bytes as u64;
+        Some(self.busy_until + self.params.latency)
+    }
+
+    /// Fraction of the interval `[from, to)` during which the serializer
+    /// was busy, assuming no further sends — a utilization snapshot.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp(capacity_bps: u64) -> Backplane {
+        Backplane::new(BackplaneParams {
+            capacity_bps,
+            latency: SimDuration::from_millis(10),
+            max_backlog_bytes: 10_000,
+        })
+    }
+
+    #[test]
+    fn single_message_timing() {
+        let mut b = bp(1_000_000); // 1 Mbps
+        let arrival = b
+            .send(NodeId(0), NodeId(1), 1250, SimTime::ZERO) // 10_000 bits = 10 ms
+            .unwrap();
+        assert_eq!(arrival, SimTime::from_millis(20)); // 10 ms serialize + 10 ms latency
+        assert_eq!(b.accepted, 1);
+        assert_eq!(b.bytes_carried, 1250);
+    }
+
+    #[test]
+    fn messages_queue_behind_each_other() {
+        let mut b = bp(1_000_000);
+        let a1 = b.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).unwrap();
+        let a2 = b.send(NodeId(2), NodeId(3), 1250, SimTime::ZERO).unwrap();
+        assert_eq!(a1, SimTime::from_millis(20));
+        assert_eq!(a2, SimTime::from_millis(30), "second serializes after first");
+    }
+
+    #[test]
+    fn idle_gap_resets_queue() {
+        let mut b = bp(1_000_000);
+        let _ = b.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).unwrap();
+        // Much later, the serializer is idle again.
+        let a = b.send(NodeId(0), NodeId(1), 1250, SimTime::from_secs(5)).unwrap();
+        assert_eq!(a, SimTime::from_secs(5) + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut b = bp(1_000_000);
+        let mut dropped = 0;
+        for _ in 0..100 {
+            if b.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).is_none() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "10 KB backlog cap must drop some of 125 KB");
+        assert_eq!(b.dropped, dropped);
+        // Accepted + dropped = attempts.
+        assert_eq!(b.accepted + b.dropped, 100);
+    }
+
+    #[test]
+    fn backlog_snapshot() {
+        let mut b = bp(1_000_000);
+        let _ = b.send(NodeId(0), NodeId(1), 2500, SimTime::ZERO);
+        assert_eq!(b.backlog_at(SimTime::ZERO), SimDuration::from_millis(20));
+        assert_eq!(b.backlog_at(SimTime::from_millis(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn capacity_scales_serialization() {
+        let mut fast = bp(10_000_000);
+        let a = fast.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).unwrap();
+        assert_eq!(a, SimTime::from_millis(11)); // 1 ms serialize + 10 ms
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Backplane::new(BackplaneParams {
+            capacity_bps: 0,
+            latency: SimDuration::ZERO,
+            max_backlog_bytes: 1,
+        });
+    }
+}

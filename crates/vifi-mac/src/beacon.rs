@@ -1,0 +1,124 @@
+//! Beacon scheduling.
+//!
+//! Every ViFi node beacons periodically (§4.6); beacons carry the
+//! reception-probability estimates and the vehicle's anchor/auxiliary
+//! designations. Real APs stagger their beacon phases (and so do we) —
+//! otherwise 25 nodes beaconing at the same instant would serialize behind
+//! carrier sense every 100 ms and distort the channel-estimation process.
+
+use vifi_phy::NodeId;
+use vifi_sim::{Rng, SimDuration, SimTime};
+
+/// Deterministic per-node staggered beacon schedule.
+#[derive(Clone, Debug)]
+pub struct BeaconSchedule {
+    period: SimDuration,
+    seed: u64,
+}
+
+impl BeaconSchedule {
+    /// A schedule with the given period; per-node phases derive from `rng`.
+    pub fn new(period: SimDuration, rng: &Rng) -> Self {
+        assert!(!period.is_zero(), "beacon period must be positive");
+        let mut r = rng.fork_named("beacon-phase");
+        BeaconSchedule {
+            period,
+            seed: r.next_u64(),
+        }
+    }
+
+    /// Beacon period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The fixed phase offset of a node within the period.
+    pub fn phase(&self, node: NodeId) -> SimDuration {
+        // Hash node id with the schedule seed into [0, period).
+        let mut h = self.seed ^ (node.label().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        SimDuration::from_micros(h % self.period.as_micros())
+    }
+
+    /// First beacon instant of `node` strictly after `now`.
+    pub fn next_after(&self, node: NodeId, now: SimTime) -> SimTime {
+        let phase = self.phase(node);
+        let period_us = self.period.as_micros();
+        let now_us = now.as_micros();
+        let phase_us = phase.as_micros();
+        // Smallest k with k·period + phase > now.
+        let k = if now_us < phase_us {
+            0
+        } else {
+            (now_us - phase_us) / period_us + 1
+        };
+        SimTime::from_micros(k * period_us + phase_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> BeaconSchedule {
+        BeaconSchedule::new(SimDuration::from_millis(100), &Rng::new(42))
+    }
+
+    #[test]
+    fn next_is_strictly_after_now() {
+        let s = sched();
+        let n = NodeId(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            let next = s.next_after(n, now);
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn consecutive_beacons_are_one_period_apart() {
+        let s = sched();
+        let n = NodeId(7);
+        let t1 = s.next_after(n, SimTime::ZERO);
+        let t2 = s.next_after(n, t1);
+        assert_eq!(t2 - t1, s.period());
+    }
+
+    #[test]
+    fn phases_differ_between_nodes() {
+        let s = sched();
+        let phases: Vec<_> = (0..10).map(|i| s.phase(NodeId(i))).collect();
+        let distinct: std::collections::HashSet<_> =
+            phases.iter().map(|p| p.as_micros()).collect();
+        assert!(distinct.len() >= 8, "phases should spread out: {distinct:?}");
+    }
+
+    #[test]
+    fn phase_is_stable() {
+        let s = sched();
+        assert_eq!(s.phase(NodeId(5)), s.phase(NodeId(5)));
+        let s2 = BeaconSchedule::new(SimDuration::from_millis(100), &Rng::new(42));
+        assert_eq!(s.phase(NodeId(5)), s2.phase(NodeId(5)), "same seed, same phase");
+    }
+
+    #[test]
+    fn beacons_per_second_matches_period() {
+        let s = sched();
+        let n = NodeId(1);
+        let mut count = 0;
+        let mut now = SimTime::ZERO;
+        let end = SimTime::from_secs(10);
+        loop {
+            let next = s.next_after(n, now);
+            if next > end {
+                break;
+            }
+            count += 1;
+            now = next;
+        }
+        assert_eq!(count, 100, "10 s at 100 ms period");
+    }
+}

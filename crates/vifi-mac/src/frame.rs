@@ -1,0 +1,114 @@
+//! Frames and 802.11b airtime.
+//!
+//! All ViFi traffic is MAC-level broadcast (§4.8); logical addressing lives
+//! in the payload, so [`Frame`] is generic over the protocol payload type.
+//! The one thing the MAC must know about a frame is how long it occupies
+//! the air, which at a fixed rate is a pure function of its size.
+
+use vifi_phy::NodeId;
+use vifi_sim::SimDuration;
+
+/// MAC/PHY timing parameters. Defaults model 802.11b long-preamble DSSS at
+/// the paper's fixed 1 Mbps rate (§5.1).
+#[derive(Clone, Copy, Debug)]
+pub struct MacParams {
+    /// Data rate, bits per second.
+    pub bitrate_bps: u64,
+    /// PHY preamble + PLCP header duration (192 µs for 802.11b long
+    /// preamble).
+    pub phy_overhead: SimDuration,
+    /// DIFS: idle time required before a transmission may start.
+    pub difs: SimDuration,
+    /// Backoff slot duration.
+    pub slot: SimDuration,
+    /// Contention window: backoff is a uniform number of slots in
+    /// `[0, cw_slots)`. Broadcast frames use a fixed window (no exponential
+    /// growth — §4.8 disables backoff escalation deliberately).
+    pub cw_slots: u64,
+    /// Slow-scale link quality above which a node senses another's carrier
+    /// and above which an overlapping foreign transmission interferes at a
+    /// receiver.
+    pub sense_threshold: f64,
+}
+
+impl Default for MacParams {
+    fn default() -> Self {
+        MacParams {
+            bitrate_bps: 1_000_000,
+            phy_overhead: SimDuration::from_micros(192),
+            difs: SimDuration::from_micros(50),
+            slot: SimDuration::from_micros(20),
+            cw_slots: 32,
+            sense_threshold: 0.05,
+        }
+    }
+}
+
+impl MacParams {
+    /// Time on air for a frame of `size_bytes` (PHY overhead + serialization).
+    pub fn airtime(&self, size_bytes: u32) -> SimDuration {
+        let bits = size_bytes as u64 * 8;
+        // Microseconds = bits / (bps / 1e6); computed in integer µs.
+        let serialize_us = bits * 1_000_000 / self.bitrate_bps;
+        self.phy_overhead + SimDuration::from_micros(serialize_us)
+    }
+}
+
+/// A MAC frame: broadcast on the air, logically addressed inside `P`.
+#[derive(Clone, Debug)]
+pub struct Frame<P> {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Size on the wire, bytes (drives airtime and backplane load).
+    pub size_bytes: u32,
+    /// Protocol payload (ViFi data/ack/beacon content).
+    pub payload: P,
+}
+
+impl<P> Frame<P> {
+    /// Construct a frame.
+    pub fn new(src: NodeId, size_bytes: u32, payload: P) -> Self {
+        Frame {
+            src,
+            size_bytes,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_500b_at_1mbps() {
+        let p = MacParams::default();
+        // 500 B = 4000 bits = 4000 µs + 192 µs preamble.
+        assert_eq!(p.airtime(500), SimDuration::from_micros(4192));
+    }
+
+    #[test]
+    fn airtime_scales_linearly() {
+        let p = MacParams::default();
+        let a1 = p.airtime(100);
+        let a2 = p.airtime(200);
+        let overhead = p.phy_overhead;
+        assert_eq!((a2 - overhead).as_micros(), 2 * (a1 - overhead).as_micros());
+    }
+
+    #[test]
+    fn airtime_at_higher_rate() {
+        let p = MacParams {
+            bitrate_bps: 11_000_000,
+            ..MacParams::default()
+        };
+        // 500 B at 11 Mbps = 363 µs (integer division) + 192.
+        assert_eq!(p.airtime(500), SimDuration::from_micros(363 + 192));
+    }
+
+    #[test]
+    fn zero_byte_frame_still_costs_preamble() {
+        let p = MacParams::default();
+        assert_eq!(p.airtime(0), p.phy_overhead);
+    }
+}

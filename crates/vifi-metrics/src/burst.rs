@@ -1,0 +1,223 @@
+//! Burst-loss estimators behind Fig. 6.
+//!
+//! Fig. 6(a): a single BS sends a probe every 10 ms; plot
+//! `P(loss of packet i+k | packet i lost)` against lag `k`. Burstiness shows
+//! as conditional loss ≫ unconditional at small `k`, decaying to the
+//! unconditional rate.
+//!
+//! Fig. 6(b): two BSes A and B alternate probes; tabulate the unconditional
+//! reception probabilities and the conditionals after a loss —
+//! `P(A_{i+1} | ¬A_i)` collapses while `P(B_{i+1} | ¬A_i)` barely moves,
+//! i.e. bursts are path-dependent, not receiver-dependent, so a second BS
+//! rescues exactly the packets the first one drops.
+
+/// `P(loss at i+k | loss at i)` for each lag in `ks`, over a boolean
+/// delivery sequence (`true` = received). Lags with no conditioning events
+/// yield `None`.
+pub fn conditional_loss_curve(delivered: &[bool], ks: &[usize]) -> Vec<(usize, Option<f64>)> {
+    ks.iter()
+        .map(|&k| {
+            if k == 0 || k >= delivered.len() {
+                return (k, None);
+            }
+            let mut num = 0u64;
+            let mut den = 0u64;
+            for i in 0..delivered.len() - k {
+                if !delivered[i] {
+                    den += 1;
+                    if !delivered[i + k] {
+                        num += 1;
+                    }
+                }
+            }
+            (k, (den > 0).then(|| num as f64 / den as f64))
+        })
+        .collect()
+}
+
+/// Unconditional loss rate of a delivery sequence.
+pub fn loss_rate(delivered: &[bool]) -> f64 {
+    if delivered.is_empty() {
+        return 0.0;
+    }
+    delivered.iter().filter(|&&d| !d).count() as f64 / delivered.len() as f64
+}
+
+/// The six probabilities of Fig. 6(b) for a pair of senders A and B probing
+/// the same receiver on interleaved schedules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairConditionals {
+    /// P(A): unconditional reception probability from A.
+    pub p_a: f64,
+    /// P(A_{i+1} | ¬A_i): reception of A's next packet given A's packet i
+    /// was lost.
+    pub p_a_next_given_not_a: f64,
+    /// P(B_{i+1} | ¬A_i): reception of B's next packet given A's packet i
+    /// was lost.
+    pub p_b_next_given_not_a: f64,
+    /// P(B): unconditional reception probability from B.
+    pub p_b: f64,
+    /// P(B_{i+1} | ¬B_i).
+    pub p_b_next_given_not_b: f64,
+    /// P(A_{i+1} | ¬B_i).
+    pub p_a_next_given_not_b: f64,
+}
+
+/// Compute the Fig. 6(b) table from two aligned delivery sequences (entry
+/// `i` of each is the outcome of that sender's `i`-th probe; the probes
+/// interleave in time). Sequences must have equal length ≥ 2.
+pub fn reception_conditionals(a: &[bool], b: &[bool]) -> PairConditionals {
+    assert_eq!(a.len(), b.len(), "sequences must align");
+    assert!(a.len() >= 2, "need at least two probes");
+    let n = a.len();
+    let p = |s: &[bool]| s.iter().filter(|&&d| d).count() as f64 / s.len() as f64;
+
+    // P(X_{i+1} | ¬Y_i): over i in 0..n-1 where Y_i lost.
+    let cond = |x: &[bool], y: &[bool]| {
+        let mut num = 0u64;
+        let mut den = 0u64;
+        for i in 0..n - 1 {
+            if !y[i] {
+                den += 1;
+                if x[i + 1] {
+                    num += 1;
+                }
+            }
+        }
+        if den == 0 {
+            f64::NAN
+        } else {
+            num as f64 / den as f64
+        }
+    };
+
+    PairConditionals {
+        p_a: p(a),
+        p_a_next_given_not_a: cond(a, a),
+        p_b_next_given_not_a: cond(b, a),
+        p_b: p(b),
+        p_b_next_given_not_b: cond(b, b),
+        p_a_next_given_not_b: cond(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rate_basics() {
+        assert_eq!(loss_rate(&[]), 0.0);
+        assert_eq!(loss_rate(&[true, true]), 0.0);
+        assert_eq!(loss_rate(&[false, true, false, true]), 0.5);
+    }
+
+    #[test]
+    fn iid_losses_have_flat_curve() {
+        // Deterministic pseudo-random i.i.d. sequence at 25% loss.
+        let mut rng = vifi_sim::Rng::new(4);
+        let seq: Vec<bool> = (0..200_000).map(|_| !rng.chance(0.25)).collect();
+        let curve = conditional_loss_curve(&seq, &[1, 10, 100]);
+        for (_, p) in curve {
+            let p = p.unwrap();
+            assert!((p - 0.25).abs() < 0.02, "iid conditional {p}");
+        }
+    }
+
+    #[test]
+    fn bursty_losses_have_decaying_curve() {
+        // Synthetic bursty sequence: losses arrive in runs of ~20.
+        let mut rng = vifi_sim::Rng::new(9);
+        let mut seq = Vec::with_capacity(200_000);
+        let mut losing = false;
+        for _ in 0..200_000 {
+            if losing {
+                if rng.chance(0.05) {
+                    losing = false;
+                }
+            } else if rng.chance(0.01) {
+                losing = true;
+            }
+            seq.push(!losing);
+        }
+        let curve = conditional_loss_curve(&seq, &[1, 200]);
+        let p1 = curve[0].1.unwrap();
+        let p200 = curve[1].1.unwrap();
+        let overall = loss_rate(&seq);
+        assert!(p1 > 0.9, "P(loss|loss) at lag 1 = {p1}");
+        assert!(p1 > 2.0 * overall, "lag-1 must exceed unconditional {overall}");
+        assert!(p200 < p1, "curve must decay: {p200} vs {p1}");
+    }
+
+    #[test]
+    fn degenerate_lags() {
+        let seq = [true, false, true];
+        let curve = conditional_loss_curve(&seq, &[0, 5]);
+        assert_eq!(curve[0], (0, None));
+        assert_eq!(curve[1], (5, None));
+    }
+
+    #[test]
+    fn no_losses_means_no_conditioning() {
+        let seq = [true; 10];
+        let curve = conditional_loss_curve(&seq, &[1]);
+        assert_eq!(curve[0], (1, None));
+    }
+
+    #[test]
+    fn pair_conditionals_on_known_sequences() {
+        // A: lost at even i. B: always received.
+        let a = [false, true, false, true, false, true];
+        let b = [true; 6];
+        let t = reception_conditionals(&a, &b);
+        assert_eq!(t.p_a, 0.5);
+        assert_eq!(t.p_b, 1.0);
+        // After every A loss (i = 0, 2, 4), A_{i+1} is received.
+        assert_eq!(t.p_a_next_given_not_a, 1.0);
+        assert_eq!(t.p_b_next_given_not_a, 1.0);
+        // B never lost → conditionals on ¬B are NaN.
+        assert!(t.p_b_next_given_not_b.is_nan());
+        assert!(t.p_a_next_given_not_b.is_nan());
+    }
+
+    #[test]
+    fn pair_conditionals_show_path_dependence() {
+        // A has bursty losses; B is independent with the same marginal.
+        let mut rng_a = vifi_sim::Rng::new(31);
+        let mut rng_b = vifi_sim::Rng::new(32);
+        let n = 300_000;
+        let mut a = Vec::with_capacity(n);
+        let mut losing = false;
+        for _ in 0..n {
+            if losing {
+                if rng_a.chance(0.08) {
+                    losing = false;
+                }
+            } else if rng_a.chance(0.03) {
+                losing = true;
+            }
+            a.push(!losing);
+        }
+        let pa = a.iter().filter(|&&d| d).count() as f64 / n as f64;
+        let b: Vec<bool> = (0..n).map(|_| rng_b.chance(pa)).collect();
+        let t = reception_conditionals(&a, &b);
+        // After an A loss: A stays bad, B unaffected — the Fig. 6(b) story.
+        assert!(
+            t.p_a_next_given_not_a < 0.3,
+            "A after A-loss {}",
+            t.p_a_next_given_not_a
+        );
+        assert!(
+            (t.p_b_next_given_not_a - t.p_b).abs() < 0.05,
+            "B after A-loss {} vs P(B) {}",
+            t.p_b_next_given_not_a,
+            t.p_b
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sequences must align")]
+    fn mismatched_lengths_panic() {
+        reception_conditionals(&[true], &[true, false]);
+    }
+}

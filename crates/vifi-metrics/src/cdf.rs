@@ -1,0 +1,205 @@
+//! Weighted empirical CDFs, the workhorse plot of the paper
+//! (Figs. 3d and 5 are CDFs; the session medians in Figs. 4 and 7 are
+//! quantiles of time-weighted CDFs).
+
+/// An empirical cumulative distribution over f64 values with non-negative
+/// weights. For Fig. 3d ("% of time the client spends in a session of a
+/// given length"), each session enters with weight = its own length.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    /// (value, weight), sorted by value after `finalize`.
+    points: Vec<(f64, f64)>,
+    total_weight: f64,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Build an unweighted CDF from values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut c = Cdf::new();
+        for v in values {
+            c.add(v, 1.0);
+        }
+        c
+    }
+
+    /// Build a time-weighted CDF where each value weights itself
+    /// (Fig. 3d semantics: a 60 s session occupies 60 s of the y-axis).
+    pub fn self_weighted(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut c = Cdf::new();
+        for v in values {
+            c.add(v, v.max(0.0));
+        }
+        c
+    }
+
+    /// Add a value with a weight. Negative weights are rejected.
+    pub fn add(&mut self, value: f64, weight: f64) {
+        assert!(weight >= 0.0, "negative weight");
+        assert!(value.is_finite(), "non-finite value");
+        if weight > 0.0 {
+            self.points.push((value, weight));
+            self.total_weight += weight;
+            self.sorted = false;
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.points
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in CDF"));
+            self.sorted = true;
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no mass has been added.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Fraction of mass at values ≤ `x`, in `[0, 1]`. 0 for an empty CDF.
+    pub fn fraction_le(&mut self, x: f64) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let mut acc = 0.0;
+        for &(v, w) in &self.points {
+            if v <= x {
+                acc += w;
+            } else {
+                break;
+            }
+        }
+        acc / self.total_weight
+    }
+
+    /// Smallest value `x` with `fraction_le(x) ≥ q`, `q` in `(0, 1]`.
+    /// Returns 0 for an empty CDF.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let target = q * self.total_weight;
+        let mut acc = 0.0;
+        for &(v, w) in &self.points {
+            acc += w;
+            if acc >= target {
+                return v;
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Median of the distribution.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Evaluate the CDF at each of the given x-values — ready-to-print
+    /// series for the figure harnesses.
+    pub fn series(&mut self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_basics() {
+        let mut c = Cdf::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.fraction_le(0.5), 0.0);
+        assert_eq!(c.fraction_le(2.0), 0.5);
+        assert_eq!(c.fraction_le(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn weighted_mass() {
+        let mut c = Cdf::new();
+        c.add(1.0, 1.0);
+        c.add(10.0, 9.0);
+        assert_eq!(c.fraction_le(1.0), 0.1);
+        assert_eq!(c.median(), 10.0);
+    }
+
+    #[test]
+    fn self_weighted_matches_fig3d_semantics() {
+        // Two sessions: 10 s and 90 s. The client spends 90% of its
+        // connected time in the long session.
+        let mut c = Cdf::self_weighted([10.0, 90.0]);
+        assert_eq!(c.fraction_le(10.0), 0.1);
+        assert_eq!(c.fraction_le(90.0), 1.0);
+        assert_eq!(c.median(), 90.0);
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let mut c = Cdf::new();
+        c.add(5.0, 0.0);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_le(10.0), 0.0);
+        assert_eq!(c.median(), 0.0);
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let mut a = Cdf::new();
+        let mut b = Cdf::new();
+        for v in [3.0, 1.0, 2.0] {
+            a.add(v, 1.0);
+        }
+        for v in [1.0, 2.0, 3.0] {
+            b.add(v, 1.0);
+        }
+        for x in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+            assert_eq!(a.fraction_le(x), b.fraction_le(x));
+        }
+    }
+
+    #[test]
+    fn series_output() {
+        let mut c = Cdf::from_values([1.0, 2.0]);
+        let s = c.series(&[0.0, 1.0, 2.0]);
+        assert_eq!(s, vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut c = Cdf::from_values((0..100).map(|i| ((i * 37) % 100) as f64));
+        let mut last = 0.0;
+        for x in 0..120 {
+            let f = c.fraction_le(x as f64);
+            assert!(f >= last);
+            last = f;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_panics() {
+        Cdf::new().add(1.0, -1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Medium-usage efficiency accounting (Fig. 12).
+//!
+//! §5.4: *"We measure efficiency as the number of application packets
+//! delivered per transmission, in the channel between the vehicle and the
+//! BSes."* Transmissions on the wired inter-BS backplane do **not** count;
+//! that is why ViFi's upstream relaying (which travels over the backplane)
+//! is nearly free, while downstream relays (over the air) are not.
+
+/// Counter ledger for one experiment run and one traffic direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EfficiencyLedger {
+    /// Data transmissions on the vehicle–BS wireless channel, including
+    /// source transmissions, wireless relays, and retransmissions.
+    pub wireless_tx: u64,
+    /// Relay transfers carried on the wired backplane (not counted against
+    /// efficiency, tracked for the backplane-load analysis).
+    pub backplane_tx: u64,
+    /// Acknowledgment frames on the wireless channel (reported separately;
+    /// the paper's metric counts data transmissions).
+    pub ack_tx: u64,
+    /// Distinct application packets delivered to the destination.
+    pub delivered: u64,
+}
+
+impl EfficiencyLedger {
+    /// New, zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count a data transmission on the wireless medium.
+    pub fn on_wireless_tx(&mut self) {
+        self.wireless_tx += 1;
+    }
+
+    /// Count a relay transfer on the backplane.
+    pub fn on_backplane_tx(&mut self) {
+        self.backplane_tx += 1;
+    }
+
+    /// Count an acknowledgment frame.
+    pub fn on_ack_tx(&mut self) {
+        self.ack_tx += 1;
+    }
+
+    /// Count a distinct application packet reaching its destination.
+    pub fn on_delivered(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Application packets delivered per wireless data transmission
+    /// (the Fig. 12 metric). 0 when nothing was transmitted.
+    pub fn efficiency(&self) -> f64 {
+        if self.wireless_tx == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.wireless_tx as f64
+        }
+    }
+
+    /// Merge another ledger into this one (for aggregating trials).
+    pub fn merge(&mut self, other: &EfficiencyLedger) {
+        self.wireless_tx += other.wireless_tx;
+        self.backplane_tx += other.backplane_tx;
+        self.ack_tx += other.ack_tx;
+        self.delivered += other.delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_ratio() {
+        let mut l = EfficiencyLedger::new();
+        assert_eq!(l.efficiency(), 0.0);
+        for _ in 0..10 {
+            l.on_wireless_tx();
+        }
+        for _ in 0..7 {
+            l.on_delivered();
+        }
+        assert!((l.efficiency() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backplane_does_not_hurt_efficiency() {
+        let mut l = EfficiencyLedger::new();
+        l.on_wireless_tx();
+        l.on_delivered();
+        for _ in 0..100 {
+            l.on_backplane_tx();
+        }
+        assert_eq!(l.efficiency(), 1.0);
+        assert_eq!(l.backplane_tx, 100);
+    }
+
+    #[test]
+    fn acks_tracked_separately() {
+        let mut l = EfficiencyLedger::new();
+        l.on_wireless_tx();
+        l.on_ack_tx();
+        l.on_delivered();
+        assert_eq!(l.efficiency(), 1.0);
+        assert_eq!(l.ack_tx, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EfficiencyLedger {
+            wireless_tx: 10,
+            backplane_tx: 1,
+            ack_tx: 2,
+            delivered: 5,
+        };
+        let b = EfficiencyLedger {
+            wireless_tx: 10,
+            backplane_tx: 3,
+            ack_tx: 4,
+            delivered: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.wireless_tx, 20);
+        assert_eq!(a.delivered, 14);
+        assert!((a.efficiency() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vifi-metrics — the paper's measurement methodology as a library
+//!
+//! §3.1 of the paper defines two families of measures and uses them for
+//! every figure:
+//!
+//! * **Aggregate performance** — totals (packets delivered per day) that
+//!   matter to delay-tolerant applications (Fig. 2);
+//! * **Periods of uninterrupted connectivity** — maximal stretches during
+//!   which per-interval reception stays above a threshold; their
+//!   (time-weighted) distribution is what interactive applications feel
+//!   (Figs. 3, 4, 7; [`sessions`]).
+//!
+//! Plus the diagnosis machinery behind Fig. 6 ([`burst`]), the medium-use
+//! efficiency accounting of Fig. 12 ([`efficiency`]), and the generic
+//! statistics (means, medians, 95% confidence intervals, CDFs) every plot
+//! needs ([`stats`], [`cdf`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod cdf;
+pub mod efficiency;
+pub mod sessions;
+pub mod stats;
+
+pub use burst::{conditional_loss_curve, loss_rate, reception_conditionals, PairConditionals};
+pub use cdf::Cdf;
+pub use efficiency::EfficiencyLedger;
+pub use sessions::{sessions_from_ratios, SessionDef, SessionSet, SlotSeries};
+pub use stats::{exp_avg, mean, mean_ci95, median, percentile, Summary};

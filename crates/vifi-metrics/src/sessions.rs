@@ -1,0 +1,377 @@
+//! Periods of uninterrupted connectivity (§3.1).
+//!
+//! The paper's definition: pick an *averaging interval* I and a *minimum
+//! reception ratio* R. Time is divided into consecutive intervals of length
+//! I; an interval is **adequate** if at least fraction R of the expected
+//! packets were received in it. A **session** is a maximal run of adequate
+//! intervals; its length is the run length × I. Varying (I, R) spans
+//! application requirements from lax (background sync) to stringent (VoIP) —
+//! that sweep *is* Figs. 4 and 7.
+//!
+//! [`SlotSeries`] collects raw delivery counts at the workload granularity
+//! (100 ms probe slots); [`sessions_from_ratios`] applies a
+//! [`SessionDef`] to produce a [`SessionSet`].
+
+use vifi_sim::{SimDuration, SimTime};
+
+use crate::cdf::Cdf;
+
+/// A session definition: the (interval, threshold) pair of §3.1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionDef {
+    /// Averaging interval I.
+    pub interval: SimDuration,
+    /// Minimum reception ratio R in `[0, 1]`. An interval with reception
+    /// ratio ≥ R is adequate.
+    pub min_ratio: f64,
+}
+
+impl SessionDef {
+    /// The paper's headline definition: ≥50% reception over 1 s.
+    pub fn paper_default() -> Self {
+        SessionDef {
+            interval: SimDuration::from_secs(1),
+            min_ratio: 0.5,
+        }
+    }
+}
+
+/// Raw per-slot delivery accounting at a fixed slot width.
+///
+/// `record` may be called in any order; slots index from time zero. Expected
+/// counts let the series represent workloads that pause (no expectation ⇒
+/// the slot never counts against a session... see `ratios`).
+#[derive(Clone, Debug)]
+pub struct SlotSeries {
+    slot: SimDuration,
+    delivered: Vec<u32>,
+    expected: Vec<u32>,
+}
+
+impl SlotSeries {
+    /// New series with the given slot width.
+    pub fn new(slot: SimDuration) -> Self {
+        assert!(!slot.is_zero(), "slot width must be positive");
+        SlotSeries {
+            slot,
+            delivered: Vec::new(),
+            expected: Vec::new(),
+        }
+    }
+
+    /// Slot width.
+    pub fn slot(&self) -> SimDuration {
+        self.slot
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.delivered.len() {
+            self.delivered.resize(idx + 1, 0);
+            self.expected.resize(idx + 1, 0);
+        }
+    }
+
+    /// Record an outcome at time `t`: `delivered` of `expected` packets.
+    pub fn record(&mut self, t: SimTime, delivered: u32, expected: u32) {
+        assert!(delivered <= expected, "delivered > expected");
+        let idx = t.bin(self.slot) as usize;
+        self.ensure(idx);
+        self.delivered[idx] += delivered;
+        self.expected[idx] += expected;
+    }
+
+    /// Record a single packet outcome at time `t`.
+    pub fn record_packet(&mut self, t: SimTime, ok: bool) {
+        self.record(t, ok as u32, 1);
+    }
+
+    /// Number of slots covered.
+    pub fn len(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty()
+    }
+
+    /// Total delivered / total expected over the whole series.
+    pub fn overall_ratio(&self) -> f64 {
+        let d: u64 = self.delivered.iter().map(|&x| x as u64).sum();
+        let e: u64 = self.expected.iter().map(|&x| x as u64).sum();
+        if e == 0 {
+            0.0
+        } else {
+            d as f64 / e as f64
+        }
+    }
+
+    /// Total packets delivered.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.iter().map(|&x| x as u64).sum()
+    }
+
+    /// Aggregate to reception ratios over intervals of length `interval`
+    /// (must be a multiple of the slot width). Intervals with zero expected
+    /// packets get ratio 0 — the client was expecting traffic every slot in
+    /// the paper's workloads, so silence means disconnection.
+    pub fn ratios(&self, interval: SimDuration) -> Vec<f64> {
+        let k = (interval / self.slot) as usize;
+        assert!(k > 0, "interval smaller than slot");
+        assert!(
+            interval.as_micros() % self.slot.as_micros() == 0,
+            "interval must be a multiple of slot width"
+        );
+        self.delivered
+            .chunks(k)
+            .zip(self.expected.chunks(k))
+            .map(|(d, e)| {
+                let dd: u64 = d.iter().map(|&x| x as u64).sum();
+                let ee: u64 = e.iter().map(|&x| x as u64).sum();
+                if ee == 0 {
+                    0.0
+                } else {
+                    dd as f64 / ee as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Apply a session definition to this series.
+    pub fn sessions(&self, def: SessionDef) -> SessionSet {
+        sessions_from_ratios(&self.ratios(def.interval), def)
+    }
+}
+
+/// The sessions extracted from one timeline.
+#[derive(Clone, Debug)]
+pub struct SessionSet {
+    /// Session lengths.
+    pub lengths: Vec<SimDuration>,
+    /// The definition that produced them.
+    pub def: SessionDef,
+}
+
+impl SessionSet {
+    /// Number of sessions.
+    pub fn count(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Total time spent in sessions.
+    pub fn total_time(&self) -> SimDuration {
+        self.lengths
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &l| acc + l)
+    }
+
+    /// Time-weighted CDF of session lengths (Fig. 3d: the y-axis is the
+    /// fraction of *connected time* spent in sessions ≤ a given length).
+    pub fn time_weighted_cdf(&self) -> Cdf {
+        Cdf::self_weighted(self.lengths.iter().map(|l| l.as_secs_f64()))
+    }
+
+    /// Median session length, time-weighted (the metric of Figs. 4 and 7:
+    /// "the median session length" experienced, i.e. the session length at
+    /// which half the connected time lies in shorter sessions).
+    pub fn median_time_weighted(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.time_weighted_cdf().median())
+    }
+
+    /// Plain (unweighted) median session length.
+    pub fn median_unweighted(&self) -> SimDuration {
+        let mut v: Vec<f64> = self.lengths.iter().map(|l| l.as_secs_f64()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(v[v.len() / 2])
+        }
+    }
+}
+
+/// Extract sessions from a pre-aggregated ratio series.
+pub fn sessions_from_ratios(ratios: &[f64], def: SessionDef) -> SessionSet {
+    let mut lengths = Vec::new();
+    let mut run = 0u64;
+    for &r in ratios {
+        if r >= def.min_ratio && r > 0.0 {
+            run += 1;
+        } else if run > 0 {
+            lengths.push(def.interval * run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        lengths.push(def.interval * run);
+    }
+    SessionSet { lengths, def }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(secs: u64, ratio: f64) -> SessionDef {
+        SessionDef {
+            interval: SimDuration::from_secs(secs),
+            min_ratio: ratio,
+        }
+    }
+
+    #[test]
+    fn single_session() {
+        let s = sessions_from_ratios(&[0.9, 0.8, 0.7], def(1, 0.5));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.lengths[0], SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn interruption_splits_sessions() {
+        let s = sessions_from_ratios(&[0.9, 0.2, 0.9, 0.9], def(1, 0.5));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.lengths[0], SimDuration::from_secs(1));
+        assert_eq!(s.lengths[1], SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let s = sessions_from_ratios(&[0.5], def(1, 0.5));
+        assert_eq!(s.count(), 1);
+        let s = sessions_from_ratios(&[0.4999], def(1, 0.5));
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn zero_ratio_never_adequate_even_with_zero_threshold() {
+        // threshold 0 means "any connectivity at all" — dead air is not it.
+        let s = sessions_from_ratios(&[0.0, 0.1, 0.0], def(1, 0.0));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.lengths[0], SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn all_inadequate() {
+        let s = sessions_from_ratios(&[0.1, 0.0, 0.3], def(1, 0.5));
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.total_time(), SimDuration::ZERO);
+        assert_eq!(s.median_time_weighted(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn total_time_partitions() {
+        let ratios = [0.9, 0.9, 0.1, 0.9, 0.1, 0.9, 0.9, 0.9];
+        let s = sessions_from_ratios(&ratios, def(1, 0.5));
+        let adequate = ratios.iter().filter(|&&r| r >= 0.5).count() as u64;
+        assert_eq!(s.total_time(), SimDuration::from_secs(1) * adequate);
+    }
+
+    #[test]
+    fn time_weighted_median_favours_long_sessions() {
+        // Sessions: 1 s ×10 and one of 90 s. Unweighted median 1 s;
+        // time-weighted median 90 s (90% of connected time is in it).
+        let mut ratios = Vec::new();
+        for _ in 0..10 {
+            ratios.push(1.0);
+            ratios.push(0.0);
+        }
+        ratios.extend(std::iter::repeat_n(1.0, 90));
+        let s = sessions_from_ratios(&ratios, def(1, 0.5));
+        assert_eq!(s.count(), 11);
+        assert_eq!(s.median_unweighted(), SimDuration::from_secs(1));
+        assert_eq!(s.median_time_weighted(), SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn slot_series_aggregation() {
+        let mut ss = SlotSeries::new(SimDuration::from_millis(100));
+        // Second 0: 10 slots, all delivered. Second 1: none delivered.
+        for i in 0..10 {
+            ss.record_packet(SimTime::from_millis(i * 100), true);
+            ss.record_packet(SimTime::from_millis(1000 + i * 100), false);
+        }
+        let ratios = ss.ratios(SimDuration::from_secs(1));
+        assert_eq!(ratios, vec![1.0, 0.0]);
+        assert_eq!(ss.overall_ratio(), 0.5);
+        assert_eq!(ss.total_delivered(), 10);
+    }
+
+    #[test]
+    fn slot_series_sessions_end_to_end() {
+        let mut ss = SlotSeries::new(SimDuration::from_millis(100));
+        // 3 s good, 1 s bad, 2 s good (10 packets per second).
+        for sec in 0..6u64 {
+            let good = sec != 3;
+            for i in 0..10 {
+                ss.record_packet(
+                    SimTime::from_millis(sec * 1000 + i * 100),
+                    good && i % 2 == 0 || good && i % 2 == 1, // all good secs deliver
+                );
+            }
+        }
+        let sess = ss.sessions(SessionDef::paper_default());
+        assert_eq!(sess.count(), 2);
+        assert_eq!(sess.lengths[0], SimDuration::from_secs(3));
+        assert_eq!(sess.lengths[1], SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn partial_delivery_against_threshold() {
+        let mut ss = SlotSeries::new(SimDuration::from_millis(100));
+        // 6 of 10 packets in second 0, 4 of 10 in second 1.
+        for i in 0..10 {
+            ss.record_packet(SimTime::from_millis(i * 100), i < 6);
+            ss.record_packet(SimTime::from_millis(1000 + i * 100), i < 4);
+        }
+        let sess = ss.sessions(SessionDef::paper_default());
+        assert_eq!(sess.count(), 1);
+        assert_eq!(sess.lengths[0], SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn gaps_with_no_expectation_break_sessions() {
+        let mut ss = SlotSeries::new(SimDuration::from_millis(100));
+        ss.record_packet(SimTime::from_millis(0), true);
+        // Nothing recorded in second 1 (vehicle out of range / no workload).
+        ss.record_packet(SimTime::from_millis(2000), true);
+        let sess = ss.sessions(SessionDef::paper_default());
+        assert_eq!(sess.count(), 2, "silent second must break the session");
+    }
+
+    #[test]
+    fn empty_series() {
+        let ss = SlotSeries::new(SimDuration::from_millis(100));
+        assert!(ss.is_empty());
+        assert_eq!(ss.overall_ratio(), 0.0);
+        let sess = ss.sessions(SessionDef::paper_default());
+        assert_eq!(sess.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be a multiple")]
+    fn non_multiple_interval_panics() {
+        let ss = SlotSeries::new(SimDuration::from_millis(300));
+        let _ = ss.ratios(SimDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn multi_interval_definition() {
+        // 8 s of alternating good/dead seconds: with I=1 s nothing survives
+        // a 50% threshold every other second; with I=2 s every interval has
+        // ratio 0.5 and the whole thing is one 8 s session. This is the
+        // Fig. 4(a) effect: longer intervals = laxer definition = longer
+        // sessions.
+        let mut ss = SlotSeries::new(SimDuration::from_millis(100));
+        for sec in 0..8u64 {
+            for i in 0..10 {
+                ss.record_packet(SimTime::from_millis(sec * 1000 + i * 100), sec % 2 == 0);
+            }
+        }
+        let strict = ss.sessions(def(1, 0.5));
+        let lax = ss.sessions(def(2, 0.5));
+        assert_eq!(strict.count(), 4); // four isolated good seconds
+        assert_eq!(strict.median_time_weighted(), SimDuration::from_secs(1));
+        assert_eq!(lax.count(), 1);
+        assert_eq!(lax.lengths[0], SimDuration::from_secs(8));
+    }
+}

@@ -1,0 +1,218 @@
+//! Scalar statistics: means, medians, percentiles, confidence intervals,
+//! and the exponential averaging the paper's estimators use.
+
+/// Arithmetic mean. Returns 0 for an empty slice (callers print it as-is in
+/// tables; avoiding `Option` noise at every call site is worth the
+/// convention).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator). 0 for n < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated percentile, `q` in `[0, 100]`. 0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] + (v[hi] - v[lo]) * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// One step of exponential averaging with factor `alpha`:
+/// `new = alpha·sample + (1−alpha)·old`. The paper uses α = 0.5 for both
+/// its RSSI/BRR handoff estimators (§3.1) and ViFi's beacon-based delivery
+/// probability estimates (§4.6).
+pub fn exp_avg(old: f64, sample: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
+    alpha * sample + (1.0 - alpha) * old
+}
+
+/// Two-sided 95% critical value of Student's t for `df` degrees of freedom.
+/// Table for small df, 1.96 asymptote beyond 30 — accurate to ~0.5%, fine
+/// for error bars.
+fn t_crit_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean with a 95% confidence half-width, the error bars on every figure in
+/// the paper. Returns `(mean, half_width)`; half-width is 0 for n < 2.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let se = std_dev(xs) / (xs.len() as f64).sqrt();
+    (m, t_crit_95(xs.len() - 1) * se)
+}
+
+/// A compact summary of a sample, for table printing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum (0 if empty).
+    pub min: f64,
+    /// Maximum (0 if empty).
+    pub max: f64,
+    /// 95% CI half-width of the mean.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        let (mean, ci95) = mean_ci95(xs);
+        let (min, max) = if xs.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                xs.iter().copied().fold(f64::INFINITY, f64::min),
+                xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        Summary {
+            n: xs.len(),
+            mean,
+            median: median(xs),
+            std_dev: std_dev(xs),
+            min,
+            max,
+            ci95,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        assert_eq!(variance(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Known example: population var 4, sample var 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn p99_of_uniform_grid() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert!((percentile(&xs, 99.0) - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_avg_is_convex_combination() {
+        assert_eq!(exp_avg(0.0, 1.0, 0.5), 0.5);
+        assert_eq!(exp_avg(0.5, 1.0, 0.5), 0.75);
+        assert_eq!(exp_avg(10.0, 20.0, 0.0), 10.0);
+        assert_eq!(exp_avg(10.0, 20.0, 1.0), 20.0);
+    }
+
+    #[test]
+    fn ci95_known_value() {
+        // n=4, sd=2 → se=1, t_crit(3)=3.182.
+        let xs = [8.0, 10.0, 12.0, 10.0];
+        let (m, hw) = mean_ci95(&xs);
+        assert_eq!(m, 10.0);
+        let sd = std_dev(&xs);
+        let expect = 3.182 * sd / 2.0;
+        assert!((hw - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_large_n_uses_normal() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (_, hw) = mean_ci95(&xs);
+        let expect = 1.96 * std_dev(&xs) / (1000.0f64).sqrt();
+        assert!((hw - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_degenerate() {
+        assert_eq!(mean_ci95(&[]), (0.0, 0.0));
+        assert_eq!(mean_ci95(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.ci95 > 0.0);
+    }
+}

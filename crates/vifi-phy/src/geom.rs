@@ -1,0 +1,271 @@
+//! Planar geometry and vehicle mobility.
+//!
+//! Positions are meters in a local east/north frame (the paper's VanLAN maps
+//! cover an 828 m × 559 m box, so a flat-earth frame is exact enough).
+//! Mobility is expressed as [`Route`]s — closed or open polylines traversed
+//! at constant speed — from which a position can be queried at any instant,
+//! mirroring the 1 Hz GPS logs the testbeds collected.
+
+use vifi_sim::SimTime;
+
+/// A point in the local frame, meters.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// East coordinate, meters.
+    pub x: f64,
+    /// North coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+/// Convert km/h to m/s.
+pub fn kmh_to_ms(kmh: f64) -> f64 {
+    kmh / 3.6
+}
+
+/// A polyline route traversed at constant speed.
+///
+/// If `closed` is true the route loops (shuttle service); otherwise the
+/// vehicle parks at the final waypoint. Traversal begins at `start_offset_m`
+/// along the route so multiple vehicles can share a loop without stacking.
+#[derive(Clone, Debug)]
+pub struct Route {
+    waypoints: Vec<Point>,
+    /// Cumulative arc length up to each waypoint, meters. `cum[0] == 0`.
+    cum: Vec<f64>,
+    speed_ms: f64,
+    closed: bool,
+    start_offset_m: f64,
+}
+
+impl Route {
+    /// Build a route from waypoints. Panics if fewer than two waypoints or a
+    /// non-positive speed is given. Zero-length segments are tolerated.
+    pub fn new(waypoints: Vec<Point>, speed_ms: f64, closed: bool) -> Self {
+        assert!(waypoints.len() >= 2, "route needs at least 2 waypoints");
+        assert!(speed_ms > 0.0, "speed must be positive");
+        let mut cum = Vec::with_capacity(waypoints.len() + 1);
+        cum.push(0.0);
+        for w in waypoints.windows(2) {
+            let d = w[0].distance(w[1]);
+            cum.push(cum.last().unwrap() + d);
+        }
+        if closed {
+            let d = waypoints.last().unwrap().distance(waypoints[0]);
+            cum.push(cum.last().unwrap() + d);
+        }
+        Route {
+            waypoints,
+            cum,
+            speed_ms,
+            closed,
+            start_offset_m: 0.0,
+        }
+    }
+
+    /// Set the starting offset along the route, meters (wrapped to length).
+    pub fn with_start_offset(mut self, offset_m: f64) -> Self {
+        let len = self.length();
+        self.start_offset_m = if len > 0.0 { offset_m.rem_euclid(len) } else { 0.0 };
+        self
+    }
+
+    /// Total arc length of the route, meters (including the closing segment
+    /// for closed routes).
+    pub fn length(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    /// Travel speed in m/s.
+    pub fn speed_ms(&self) -> f64 {
+        self.speed_ms
+    }
+
+    /// Time to complete one full traversal.
+    pub fn lap_time_s(&self) -> f64 {
+        self.length() / self.speed_ms
+    }
+
+    /// Position after travelling `dist_m` meters from the route start
+    /// (offset applied), wrapping for closed routes, clamping for open ones.
+    pub fn position_at_distance(&self, dist_m: f64) -> Point {
+        let len = self.length();
+        if len == 0.0 {
+            return self.waypoints[0];
+        }
+        let mut d = dist_m + self.start_offset_m;
+        if self.closed {
+            d = d.rem_euclid(len);
+        } else {
+            d = d.clamp(0.0, len);
+        }
+        // Find the segment containing arc-length d.
+        // cum has n entries for open routes (n-1 segments), n+1 for closed.
+        let seg_count = self.cum.len() - 1;
+        // Binary search for the last cum[i] <= d.
+        let mut lo = 0usize;
+        let mut hi = seg_count;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.cum[mid] <= d {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let i = lo.min(seg_count - 1);
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        let t = if seg_len > 0.0 { (d - self.cum[i]) / seg_len } else { 0.0 };
+        let a = self.waypoints[i];
+        let b = self.waypoints[(i + 1) % self.waypoints.len()];
+        a.lerp(b, t)
+    }
+
+    /// Position at virtual time `t` (distance = speed × time).
+    pub fn position_at(&self, t: SimTime) -> Point {
+        self.position_at_distance(self.speed_ms * t.as_secs_f64())
+    }
+}
+
+/// A mobility source: anything that has a position at a given time.
+pub trait Mobility {
+    /// Position at instant `t`.
+    fn position_at(&self, t: SimTime) -> Point;
+}
+
+/// A fixed position (basestations).
+#[derive(Clone, Copy, Debug)]
+pub struct Fixed(pub Point);
+
+impl Mobility for Fixed {
+    fn position_at(&self, _t: SimTime) -> Point {
+        self.0
+    }
+}
+
+impl Mobility for Route {
+    fn position_at(&self, t: SimTime) -> Point {
+        Route::position_at(self, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(0.0, 100.0),
+        ]
+    }
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        let m = a.lerp(b, 0.5);
+        assert!((m.x - 1.5).abs() < 1e-12 && (m.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_route_clamps_at_ends() {
+        let r = Route::new(square(), 10.0, false);
+        assert!((r.length() - 300.0).abs() < 1e-9);
+        let p0 = r.position_at(SimTime::ZERO);
+        assert_eq!(p0, Point::new(0.0, 0.0));
+        // Past the end: parked at last waypoint.
+        let pe = r.position_at(SimTime::from_secs(1000));
+        assert_eq!(pe, Point::new(0.0, 100.0));
+    }
+
+    #[test]
+    fn closed_route_wraps() {
+        let r = Route::new(square(), 10.0, true);
+        assert!((r.length() - 400.0).abs() < 1e-9);
+        assert!((r.lap_time_s() - 40.0).abs() < 1e-9);
+        // After exactly one lap we are back at the start.
+        let p = r.position_at(SimTime::from_secs(40));
+        assert!(p.distance(Point::new(0.0, 0.0)) < 1e-6);
+        // Half a lap: 200 m along = corner (100, 100).
+        let p = r.position_at(SimTime::from_secs(20));
+        assert!(p.distance(Point::new(100.0, 100.0)) < 1e-6);
+    }
+
+    #[test]
+    fn midsegment_interpolation() {
+        let r = Route::new(square(), 10.0, true);
+        // 5 s at 10 m/s = 50 m: halfway along the first edge.
+        let p = r.position_at(SimTime::from_secs(5));
+        assert!(p.distance(Point::new(50.0, 0.0)) < 1e-6);
+        // 150 m: halfway up the second edge.
+        let p = r.position_at_distance(150.0);
+        assert!(p.distance(Point::new(100.0, 50.0)) < 1e-6);
+        // 350 m: halfway down the closing edge.
+        let p = r.position_at_distance(350.0);
+        assert!(p.distance(Point::new(0.0, 50.0)) < 1e-6);
+    }
+
+    #[test]
+    fn start_offset_shifts_phase() {
+        let r = Route::new(square(), 10.0, true).with_start_offset(100.0);
+        let p = r.position_at(SimTime::ZERO);
+        assert!(p.distance(Point::new(100.0, 0.0)) < 1e-6);
+        // Offsets wrap.
+        let r = Route::new(square(), 10.0, true).with_start_offset(500.0);
+        let p = r.position_at(SimTime::ZERO);
+        assert!(p.distance(Point::new(100.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn negative_distance_wraps_on_closed() {
+        let r = Route::new(square(), 10.0, true);
+        let p = r.position_at_distance(-50.0); // 50 m before start = 350 m
+        assert!(p.distance(Point::new(0.0, 50.0)) < 1e-6);
+    }
+
+    #[test]
+    fn kmh_conversion() {
+        assert!((kmh_to_ms(36.0) - 10.0).abs() < 1e-12);
+        assert!((kmh_to_ms(40.0) - 11.111).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_length_segments_tolerated() {
+        let r = Route::new(
+            vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            1.0,
+            false,
+        );
+        let p = r.position_at_distance(5.0);
+        assert!(p.distance(Point::new(5.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn fixed_mobility() {
+        let f = Fixed(Point::new(3.0, 4.0));
+        assert_eq!(f.position_at(SimTime::from_secs(99)), Point::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Gray periods: second-scale, unpredictable connectivity collapses.
+//!
+//! §3.3 of the paper: *"in realistic environments this connectivity is often
+//! marred by gray periods where connection quality drops sharply. Gray
+//! periods are unpredictable and occur even close to BSes. … because they
+//! tend to be short-lived, gray periods do not severely impact aggregate
+//! performance"* — but they wreck interactive sessions, which is the whole
+//! case for diversity.
+//!
+//! We model gray periods as a two-state semi-Markov process per directed
+//! link (independent across links — the property AllBSes and ViFi exploit),
+//! with exponential sojourns: long Normal phases, short Gray phases during
+//! which the link suffers a deep extra attenuation. The attenuation is
+//! large (default 24 dB) precisely so that gray periods knock out links
+//! *even close to BSes*, as the paper observed. This sits *between* the
+//! slow path-loss mean and the fast Gilbert–Elliott fades: three
+//! timescales, which is what the measured conditional-loss curve (Fig. 6a)
+//! needs to show both its sharp head and its long tail.
+
+use vifi_sim::{Rng, SimDuration, SimTime};
+
+/// Parameters of the gray-period process.
+#[derive(Clone, Copy, Debug)]
+pub struct GrayParams {
+    /// Mean duration of Normal phases.
+    pub mean_normal: SimDuration,
+    /// Mean duration of Gray phases. The paper reports gray periods as
+    /// short-lived (seconds).
+    pub mean_gray: SimDuration,
+    /// Extra attenuation during a Gray phase, dB. Deep enough to take down
+    /// links with substantial SNR margin.
+    pub depth_db: f64,
+}
+
+impl Default for GrayParams {
+    fn default() -> Self {
+        GrayParams {
+            mean_normal: SimDuration::from_secs(14),
+            mean_gray: SimDuration::from_millis(4000),
+            depth_db: 24.0,
+        }
+    }
+}
+
+impl GrayParams {
+    /// Stationary fraction of time spent gray.
+    pub fn stationary_gray(&self) -> f64 {
+        let n = self.mean_normal.as_secs_f64();
+        let g = self.mean_gray.as_secs_f64();
+        g / (n + g)
+    }
+}
+
+/// A lazily-advanced gray-period process for one directed link.
+///
+/// Like [`crate::gilbert::GilbertElliott`], queries must use non-decreasing
+/// `now`; earlier queries return the current state without rewinding.
+#[derive(Clone, Debug)]
+pub struct GrayProcess {
+    params: GrayParams,
+    gray: bool,
+    until: SimTime,
+    rng: Rng,
+}
+
+impl GrayProcess {
+    /// Create a process with its own RNG stream, started in the stationary
+    /// distribution.
+    pub fn new(params: GrayParams, mut rng: Rng) -> Self {
+        let gray = rng.chance(params.stationary_gray());
+        let mut p = GrayProcess {
+            params,
+            gray,
+            until: SimTime::ZERO,
+            rng,
+        };
+        p.until = SimTime::ZERO + p.draw_sojourn(gray);
+        p
+    }
+
+    fn draw_sojourn(&mut self, gray: bool) -> SimDuration {
+        let mean = if gray {
+            self.params.mean_gray
+        } else {
+            self.params.mean_normal
+        };
+        SimDuration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()).max(1e-6))
+    }
+
+    /// Advance to `now`; true if the link is in a gray period.
+    pub fn is_gray_at(&mut self, now: SimTime) -> bool {
+        while now >= self.until {
+            self.gray = !self.gray;
+            let sojourn = self.draw_sojourn(self.gray);
+            self.until = self.until + sojourn;
+        }
+        self.gray
+    }
+
+    /// Extra attenuation at `now`, dB (advances the process).
+    pub fn attenuation_db_at(&mut self, now: SimTime) -> f64 {
+        if self.is_gray_at(now) {
+            self.params.depth_db
+        } else {
+            0.0
+        }
+    }
+
+    /// The process parameters.
+    pub fn params(&self) -> &GrayParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_gray_fraction() {
+        let params = GrayParams::default();
+        let mut p = GrayProcess::new(params, Rng::new(5));
+        let step = SimDuration::from_millis(50);
+        let mut t = SimTime::ZERO;
+        let mut gray = 0u64;
+        let n = 2_000_000u64;
+        for _ in 0..n {
+            gray += p.is_gray_at(t) as u64;
+            t += step;
+        }
+        let frac = gray as f64 / n as f64;
+        let expect = params.stationary_gray();
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "gray fraction {frac} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn gray_periods_are_short_lived() {
+        let params = GrayParams::default();
+        let mut p = GrayProcess::new(params, Rng::new(9));
+        let step = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO;
+        let mut lens = Vec::new();
+        let mut start = None;
+        for _ in 0..4_000_000u64 {
+            let g = p.is_gray_at(t);
+            match (g, start) {
+                (true, None) => start = Some(t),
+                (false, Some(s)) => {
+                    lens.push((t - s).as_secs_f64());
+                    start = None;
+                }
+                _ => {}
+            }
+            t += step;
+        }
+        assert!(lens.len() > 50, "need enough gray periods, got {}", lens.len());
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        // "Short-lived": seconds, not tens of seconds.
+        assert!(mean < 6.0, "mean gray period {mean}s");
+        assert!(mean > 0.5, "mean gray period {mean}s");
+    }
+
+    #[test]
+    fn attenuation_reflects_state() {
+        let params = GrayParams {
+            mean_normal: SimDuration::from_secs(1),
+            mean_gray: SimDuration::from_secs(1),
+            depth_db: 24.0,
+        };
+        let mut p = GrayProcess::new(params, Rng::new(2));
+        let mut saw_deep = false;
+        let mut saw_clear = false;
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let a = p.attenuation_db_at(t);
+            if a == 24.0 {
+                saw_deep = true;
+            }
+            if a == 0.0 {
+                saw_clear = true;
+            }
+            t += SimDuration::from_millis(10);
+        }
+        assert!(saw_deep && saw_clear);
+    }
+
+    #[test]
+    fn independent_across_streams() {
+        let params = GrayParams::default();
+        let mut a = GrayProcess::new(params, Rng::new(100));
+        let mut b = GrayProcess::new(params, Rng::new(200));
+        let step = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO;
+        let (mut pa, mut pb, mut pab) = (0u64, 0u64, 0u64);
+        let n = 2_000_000u64;
+        for _ in 0..n {
+            let ga = a.is_gray_at(t);
+            let gb = b.is_gray_at(t);
+            pa += ga as u64;
+            pb += gb as u64;
+            pab += (ga && gb) as u64;
+            t += step;
+        }
+        let (pa, pb, pab) = (pa as f64 / n as f64, pb as f64 / n as f64, pab as f64 / n as f64);
+        assert!((pab - pa * pb).abs() < 0.005, "joint {pab} vs {}", pa * pb);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let params = GrayParams::default();
+        let mut a = GrayProcess::new(params, Rng::new(77));
+        let mut b = GrayProcess::new(params, Rng::new(77));
+        let mut t = SimTime::ZERO;
+        for _ in 0..100_000 {
+            assert_eq!(a.is_gray_at(t), b.is_gray_at(t));
+            t += SimDuration::from_millis(33);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Large-scale propagation: log-distance path loss, spatially correlated
+//! shadowing, and the SNR → delivery-probability mapping.
+//!
+//! This is the *mean* (slow-scale) component of the channel; the dynamics
+//! that matter to the paper — gray periods and burst losses — are layered on
+//! top by [`crate::link::PhysicalLinkModel`].
+//!
+//! The numbers below are calibrated for 802.11b at 1 Mbps (the fixed rate
+//! used throughout the paper, §5.1, chosen by the authors "to maximize
+//! range"): long-preamble DSSS is decodable at low SNR, giving the multi-
+//! hundred-meter outdoor ranges the VanLAN map implies (11 BSes covering an
+//! 828 m × 559 m box).
+
+use crate::geom::Point;
+
+/// Radio-chain parameters for the physical channel model.
+///
+/// Defaults are chosen so that the *measured* behaviour of the synthetic
+/// testbeds matches the paper's measurement figures (Figs. 5 and 6); see
+/// EXPERIMENTS.md for the calibration record.
+#[derive(Clone, Debug)]
+pub struct RadioParams {
+    /// Effective isotropic radiated power of basestations, dBm.
+    pub bs_tx_power_dbm: f64,
+    /// EIRP of vehicles, dBm. Slightly below the BS value: roof-mount van
+    /// antennas see more local clutter, which is how the paper's upstream
+    /// direction ends up a few points worse than downstream (Table 1, B1).
+    pub vehicle_tx_power_dbm: f64,
+    /// Path loss at the 1 m reference distance, dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent. ~2 is free space; 3–3.5 suits a campus/town with
+    /// buildings and trees.
+    pub pl_exponent: f64,
+    /// Log-normal shadowing standard deviation, dB.
+    pub shadow_sigma_db: f64,
+    /// Shadowing spatial correlation length, meters (value-noise cell size).
+    pub shadow_corr_m: f64,
+    /// Receiver noise floor, dBm.
+    pub noise_floor_dbm: f64,
+    /// SNR at which 1 Mbps DSSS frames are received with probability 0.5,
+    /// dB (includes implementation margin).
+    pub snr_p50_db: f64,
+    /// Logistic width of the SNR → delivery curve, dB. Smaller = sharper
+    /// cliff between coverage and none.
+    pub snr_width_db: f64,
+    /// Hard radio horizon, meters: beyond this, delivery probability is
+    /// zero regardless of the draw (keeps far-field links out of hot loops).
+    pub max_range_m: f64,
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        RadioParams {
+            bs_tx_power_dbm: 21.0,
+            vehicle_tx_power_dbm: 19.5,
+            pl0_db: 40.0,
+            pl_exponent: 2.8,
+            shadow_sigma_db: 5.0,
+            shadow_corr_m: 45.0,
+            noise_floor_dbm: -94.0,
+            snr_p50_db: 10.0,
+            snr_width_db: 1.5,
+            max_range_m: 500.0,
+        }
+    }
+}
+
+impl RadioParams {
+    /// Log-distance path loss in dB at distance `d_m` meters.
+    pub fn path_loss_db(&self, d_m: f64) -> f64 {
+        let d = d_m.max(1.0);
+        self.pl0_db + 10.0 * self.pl_exponent * d.log10()
+    }
+
+    /// Received power in dBm for a transmitter at `tx_power_dbm`, before
+    /// shadowing.
+    pub fn rx_power_dbm(&self, tx_power_dbm: f64, d_m: f64) -> f64 {
+        tx_power_dbm - self.path_loss_db(d_m)
+    }
+
+    /// Mean frame-delivery probability from SNR via a logistic curve.
+    pub fn delivery_prob_from_snr(&self, snr_db: f64) -> f64 {
+        let z = (snr_db - self.snr_p50_db) / self.snr_width_db;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Mean delivery probability at distance `d_m` with a given shadowing
+    /// term (dB, signed) and transmit power.
+    pub fn mean_delivery_prob(&self, tx_power_dbm: f64, d_m: f64, shadow_db: f64) -> f64 {
+        if d_m > self.max_range_m {
+            return 0.0;
+        }
+        let rx = self.rx_power_dbm(tx_power_dbm, d_m) + shadow_db;
+        let snr = rx - self.noise_floor_dbm;
+        self.delivery_prob_from_snr(snr)
+    }
+
+    /// The distance at which the *unshadowed* delivery probability crosses
+    /// 0.5 for the given transmit power (closed form of the logistic
+    /// midpoint). Useful for calibration and tests.
+    pub fn p50_distance_m(&self, tx_power_dbm: f64) -> f64 {
+        // snr == snr_p50  ⇔  tx - PL(d) - noise == snr_p50
+        let pl = tx_power_dbm - self.noise_floor_dbm - self.snr_p50_db;
+        10f64.powf((pl - self.pl0_db) / (10.0 * self.pl_exponent))
+    }
+}
+
+/// Deterministic, spatially correlated shadowing field.
+///
+/// Implemented as hash-based value noise: each `corr_m × corr_m` grid cell
+/// owns a Gaussian draw keyed on `(stream, cell_x, cell_y)`; querying a
+/// point bilinearly interpolates the four surrounding cell values and scales
+/// by `sigma_db`. Properties:
+///
+/// * pure function of `(stream, position)` — no state, replayable, and two
+///   different links (different `stream`s) decorrelate completely, which is
+///   the independence property §3.4.2 relies on;
+/// * smooth at the correlation length, so a moving vehicle sees shadowing
+///   that evolves over tens of meters, like the real logs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowField {
+    /// Stream id: mix of the run seed and the link identity.
+    pub stream: u64,
+    /// Shadowing σ, dB.
+    pub sigma_db: f64,
+    /// Cell size, meters.
+    pub corr_m: f64,
+}
+
+impl ShadowField {
+    /// Construct a field for one directed-link stream.
+    pub fn new(stream: u64, sigma_db: f64, corr_m: f64) -> Self {
+        ShadowField {
+            stream,
+            sigma_db,
+            corr_m: corr_m.max(1.0),
+        }
+    }
+
+    /// Standard-normal-ish value owned by a grid cell (deterministic hash →
+    /// approximately N(0,1) via sum of 4 uniforms, CLT).
+    fn cell_value(&self, ix: i64, iy: i64) -> f64 {
+        let mut h = self
+            .stream
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((ix as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add((iy as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
+        let mut sum = 0.0f64;
+        for _ in 0..4 {
+            // SplitMix64 steps.
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            sum += (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        }
+        // Sum of 4 U(0,1): mean 2, var 4/12 → standardize.
+        (sum - 2.0) / (4.0f64 / 12.0).sqrt()
+    }
+
+    /// Shadowing value at a point, dB (zero-mean, σ = `sigma_db`).
+    pub fn sample_db(&self, p: Point) -> f64 {
+        let gx = p.x / self.corr_m;
+        let gy = p.y / self.corr_m;
+        let ix = gx.floor() as i64;
+        let iy = gy.floor() as i64;
+        let fx = gx - ix as f64;
+        let fy = gy - iy as f64;
+        // Smoothstep for C1 continuity at cell borders.
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let v00 = self.cell_value(ix, iy);
+        let v10 = self.cell_value(ix + 1, iy);
+        let v01 = self.cell_value(ix, iy + 1);
+        let v11 = self.cell_value(ix + 1, iy + 1);
+        let top = v00 + (v10 - v00) * sx;
+        let bot = v01 + (v11 - v01) * sx;
+        (top + (bot - top) * sy) * self.sigma_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_monotone_in_distance() {
+        let p = RadioParams::default();
+        let mut last = 0.0;
+        for d in [1.0, 10.0, 50.0, 100.0, 200.0, 400.0] {
+            let pl = p.path_loss_db(d);
+            assert!(pl > last, "PL must grow with distance");
+            last = pl;
+        }
+    }
+
+    #[test]
+    fn path_loss_clamps_below_reference() {
+        let p = RadioParams::default();
+        assert_eq!(p.path_loss_db(0.1), p.path_loss_db(1.0));
+    }
+
+    #[test]
+    fn delivery_prob_is_probability_and_monotone() {
+        let p = RadioParams::default();
+        let mut last = 1.1;
+        for d in [10.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0] {
+            let prob = p.mean_delivery_prob(p.bs_tx_power_dbm, d, 0.0);
+            assert!((0.0..=1.0).contains(&prob));
+            assert!(prob < last, "delivery prob must fall with distance");
+            last = prob;
+        }
+    }
+
+    #[test]
+    fn p50_distance_is_logistic_midpoint() {
+        let p = RadioParams::default();
+        let d50 = p.p50_distance_m(p.bs_tx_power_dbm);
+        let prob = p.mean_delivery_prob(p.bs_tx_power_dbm, d50, 0.0);
+        assert!((prob - 0.5).abs() < 1e-9, "prob at p50 distance = {prob}");
+        // Calibration guard: the default testbed geometry assumes a p50
+        // range in the low hundreds of meters (BS spacing ~200 m).
+        assert!((100.0..300.0).contains(&d50), "d50 = {d50}");
+    }
+
+    #[test]
+    fn beyond_horizon_is_zero() {
+        let p = RadioParams::default();
+        assert_eq!(
+            p.mean_delivery_prob(p.bs_tx_power_dbm, p.max_range_m + 1.0, 30.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn close_range_is_near_one() {
+        let p = RadioParams::default();
+        let prob = p.mean_delivery_prob(p.bs_tx_power_dbm, 20.0, 0.0);
+        assert!(prob > 0.99, "prob at 20 m = {prob}");
+    }
+
+    #[test]
+    fn upstream_slightly_weaker_than_downstream() {
+        let p = RadioParams::default();
+        let d = p.p50_distance_m(p.bs_tx_power_dbm) * 0.9;
+        let down = p.mean_delivery_prob(p.bs_tx_power_dbm, d, 0.0);
+        let up = p.mean_delivery_prob(p.vehicle_tx_power_dbm, d, 0.0);
+        assert!(up < down, "vehicle EIRP below BS EIRP must show up in prob");
+        assert!(down - up < 0.35, "asymmetry should be modest");
+    }
+
+    #[test]
+    fn shadow_zero_mean_unit_variance() {
+        let f = ShadowField::new(12345, 5.0, 45.0);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let n = 4000;
+        for i in 0..n {
+            // Sample far apart so draws are nearly independent.
+            let p = Point::new((i as f64) * 137.0, (i as f64 % 61.0) * 211.0);
+            let v = f.sample_db(p);
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / n as f64;
+        let std = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        // Bilinear interpolation reduces variance somewhat vs the raw cell
+        // values; accept a broad band around σ.
+        assert!((2.5..=6.5).contains(&std), "std {std}");
+    }
+
+    #[test]
+    fn shadow_is_deterministic_and_stream_dependent() {
+        let a = ShadowField::new(1, 5.0, 45.0);
+        let b = ShadowField::new(1, 5.0, 45.0);
+        let c = ShadowField::new(2, 5.0, 45.0);
+        let p = Point::new(123.4, 567.8);
+        assert_eq!(a.sample_db(p), b.sample_db(p));
+        assert_ne!(a.sample_db(p), c.sample_db(p));
+    }
+
+    #[test]
+    fn shadow_is_spatially_smooth() {
+        let f = ShadowField::new(99, 5.0, 45.0);
+        // Two points 1 m apart differ by far less than sigma.
+        let p1 = Point::new(100.0, 100.0);
+        let p2 = Point::new(101.0, 100.0);
+        let diff = (f.sample_db(p1) - f.sample_db(p2)).abs();
+        assert!(diff < 1.0, "1 m apart differs by {diff} dB");
+        // Two points 10 correlation lengths apart are free to differ a lot;
+        // just check they are not identical (field is non-constant).
+        let p3 = Point::new(550.0, 100.0);
+        assert_ne!(f.sample_db(p1), f.sample_db(p3));
+    }
+}

@@ -1,0 +1,32 @@
+//! # vifi-runtime — the deployment in a box
+//!
+//! This crate assembles everything below it into the two experimental
+//! apparatuses of §5.1:
+//!
+//! * **Deployment mode** — a [`vifi_testbeds::Scenario`] drives a
+//!   [`vifi_phy::PhysicalLinkModel`]; every node runs a
+//!   [`vifi_core::Endpoint`] over the CSMA [`vifi_mac::Medium`] and the
+//!   bandwidth-limited [`vifi_mac::Backplane`]; an application workload
+//!   ([`workload`]) rides on top. This is the stand-in for the live
+//!   VanLAN prototype.
+//! * **Trace-driven mode** — a [`vifi_testbeds::trace::TraceSimSetup`]
+//!   supplies the link model instead (per-second beacon loss ratios, the
+//!   §5.1 rules); everything above the channel is identical. This is the
+//!   stand-in for the authors' QualNet setup, and the pair lets us run
+//!   the paper's validation (same measurements, both modes).
+//!
+//! [`logging::RunLog`] records every transmission, reception, relay
+//! decision and delivery; Tables 1 and 2, the Fig. 12 efficiency bars and
+//! the PerfectRelay oracle (§5.4) are all *post-processed* from that log,
+//! exactly as the paper derives them from its packet logs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logging;
+pub mod sim;
+pub mod workload;
+
+pub use logging::{PerfectRelayOutcome, RunLog, Table1, Table2Row};
+pub use sim::{RunConfig, RunOutcome, Simulation};
+pub use workload::{TcpStats, VoipStats, WorkloadReport, WorkloadSpec};

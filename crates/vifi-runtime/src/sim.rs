@@ -1,0 +1,789 @@
+//! The full-stack discrete-event simulation.
+//!
+//! One [`Simulation`] = one experiment run: a link model (physical or
+//! trace-driven), the CSMA medium, the backplane, a ViFi/BRR endpoint per
+//! radio node, one instrumented vehicle carrying an application workload,
+//! and an Internet host behind a wired hop. Determinism: everything
+//! derives from `(RunConfig, seed)`.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use vifi_core::endpoint::BackplaneMsg;
+use vifi_core::{Action, Direction, Endpoint, PacketId, Role, StatEvent, VifiConfig, VifiPayload};
+use vifi_mac::{Backplane, BackplaneParams, BeaconSchedule, Frame, MacParams, Medium, TxHandle};
+use vifi_phy::{LinkModel, NodeId, NodeKind};
+use vifi_sim::{Rng, Scheduler, SimDuration, SimTime, TimerToken};
+use vifi_testbeds::trace::TraceSimSetup;
+use vifi_testbeds::{BeaconTrace, Scenario};
+
+use crate::logging::RunLog;
+use crate::workload::{build_driver, Driver, HostApi, HostCmd, WorkloadReport, WorkloadSpec};
+
+/// Experiment configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Protocol configuration (ViFi / BRR / ablations).
+    pub vifi: VifiConfig,
+    /// Application workload.
+    pub workload: WorkloadSpec,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+    /// MAC parameters.
+    pub mac: MacParams,
+    /// Backplane parameters.
+    pub backplane: BackplaneParams,
+    /// One-way wired delay between the anchor and the Internet host.
+    /// Note: VoIP runs should keep this 0 — the VoIP scorer adds the
+    /// paper's fixed 40 ms wired budget itself (§5.3.2).
+    pub wired_delay: SimDuration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            vifi: VifiConfig::default(),
+            workload: WorkloadSpec::Idle,
+            duration: SimDuration::from_secs(60),
+            seed: 1,
+            mac: MacParams::default(),
+            backplane: BackplaneParams::default(),
+            wired_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Scheduler events.
+enum Event {
+    /// A node's beacon is due.
+    Beacon(NodeId),
+    /// A wireless transmission completed.
+    TxDone(NodeId, TxHandle),
+    /// A node's protocol timer fired.
+    Wakeup(NodeId),
+    /// A backplane message arrived.
+    BackplaneArrive {
+        from: NodeId,
+        to: NodeId,
+        msg: BackplaneMsg,
+    },
+    /// A downstream application payload reached the anchor's radio side.
+    WiredDownArrive(Bytes),
+    /// An upstream application payload reached the Internet host.
+    WiredUpArrive {
+        payload: Bytes,
+        /// When the anchor received it (radio exit time).
+        radio_exit: SimTime,
+    },
+    /// Workload tick.
+    AppTick(u8),
+}
+
+/// Results of one run.
+pub struct RunOutcome {
+    /// Workload-level report.
+    pub report: WorkloadReport,
+    /// Packet-level log (Tables 1/2, Fig. 12, PerfectRelay).
+    pub log: RunLog,
+    /// Anchor switches observed at the instrumented vehicle.
+    pub anchor_switches: u64,
+    /// Packets recovered through salvage at new anchors.
+    pub salvaged: u64,
+    /// Downstream app packets dropped because the vehicle had no anchor.
+    pub unroutable_down: u64,
+    /// Total events dispatched (performance accounting).
+    pub events: u64,
+    /// Total wireless frames transmitted.
+    pub frames_tx: u64,
+}
+
+/// The assembled simulation.
+pub struct Simulation {
+    cfg: RunConfig,
+    sched: Scheduler<Event>,
+    link: Box<dyn LinkModel>,
+    medium: Medium<VifiPayload>,
+    backplane: Backplane,
+    beacons: BeaconSchedule,
+    endpoints: HashMap<NodeId, Endpoint>,
+    iface_busy: HashMap<NodeId, bool>,
+    pending_beacon: HashMap<NodeId, (VifiPayload, u32)>,
+    wakeup_tokens: HashMap<NodeId, TimerToken>,
+    /// The instrumented vehicle.
+    vehicle: NodeId,
+    bs_ids: Vec<NodeId>,
+    driver: Option<Box<dyn Driver>>,
+    log: RunLog,
+    rng_mac: Rng,
+    rng_driver: Rng,
+    anchor_switches: u64,
+    salvaged: u64,
+    unroutable_down: u64,
+}
+
+impl Simulation {
+    /// Deployment mode: build from a scenario (physical channel). The
+    /// first vehicle is instrumented; any further vehicles run the
+    /// protocol (beacons, anchoring) as background occupants of the
+    /// channel.
+    pub fn deployment(scenario: &Scenario, cfg: RunConfig) -> Self {
+        let rng = Rng::new(cfg.seed);
+        let link = Box::new(scenario.build_link_model(&rng));
+        let vehicles = scenario.vehicle_ids();
+        let bs_ids = scenario.bs_ids();
+        Self::assemble(link, vehicles, bs_ids, cfg, rng)
+    }
+
+    /// Trace-driven mode (§5.1): build from a beacon trace.
+    pub fn trace_driven(trace: &BeaconTrace, cfg: RunConfig) -> Self {
+        let rng = Rng::new(cfg.seed);
+        let setup = TraceSimSetup::from_trace(trace, &rng);
+        let vehicles = vec![setup.vehicle];
+        let bs_ids = setup.bs_ids.clone();
+        Self::assemble(Box::new(setup.link), vehicles, bs_ids, cfg, rng)
+    }
+
+    fn assemble(
+        link: Box<dyn LinkModel>,
+        vehicles: Vec<NodeId>,
+        bs_ids: Vec<NodeId>,
+        cfg: RunConfig,
+        rng: Rng,
+    ) -> Self {
+        assert!(!vehicles.is_empty() && !bs_ids.is_empty());
+        let mut endpoints = HashMap::new();
+        let mut iface_busy = HashMap::new();
+        for &v in &vehicles {
+            endpoints.insert(
+                v,
+                Endpoint::new(
+                    v,
+                    Role::Vehicle,
+                    cfg.vifi.clone(),
+                    bs_ids.clone(),
+                    rng.fork(0x5EED_0000 + v.label()),
+                ),
+            );
+            iface_busy.insert(v, false);
+        }
+        for &b in &bs_ids {
+            endpoints.insert(
+                b,
+                Endpoint::new(
+                    b,
+                    Role::Bs,
+                    cfg.vifi.clone(),
+                    bs_ids.clone(),
+                    rng.fork(0x5EED_1000 + b.label()),
+                ),
+            );
+            iface_busy.insert(b, false);
+        }
+        let beacons = BeaconSchedule::new(cfg.vifi.beacon_period, &rng);
+        Simulation {
+            medium: Medium::new(cfg.mac),
+            backplane: Backplane::new(cfg.backplane),
+            beacons,
+            sched: Scheduler::new(),
+            link,
+            endpoints,
+            iface_busy,
+            pending_beacon: HashMap::new(),
+            wakeup_tokens: HashMap::new(),
+            vehicle: vehicles[0],
+            bs_ids,
+            driver: Some(build_driver(&cfg.workload, SimTime::ZERO)),
+            log: RunLog::new(),
+            rng_mac: rng.fork_named("mac"),
+            rng_driver: rng.fork_named("driver"),
+            cfg,
+            anchor_switches: 0,
+            salvaged: 0,
+            unroutable_down: 0,
+        }
+    }
+
+    /// The instrumented vehicle's node id.
+    pub fn vehicle(&self) -> NodeId {
+        self.vehicle
+    }
+
+    fn is_bs(&self, n: NodeId) -> bool {
+        self.bs_ids.contains(&n)
+    }
+
+    /// Traffic direction of a data frame by its logical source.
+    fn dir_of_src(&self, flow_src: NodeId) -> Direction {
+        if self.is_bs(flow_src) {
+            Direction::Downstream
+        } else {
+            Direction::Upstream
+        }
+    }
+
+    /// Run to completion and produce the outcome.
+    pub fn run(mut self) -> RunOutcome {
+        // Kick off beacons for every radio node.
+        let ids: Vec<NodeId> = self.endpoints.keys().copied().collect();
+        for id in ids {
+            let at = self.beacons.next_after(id, SimTime::ZERO);
+            self.sched.at(at, Event::Beacon(id));
+        }
+        // Start the workload.
+        self.with_driver(SimTime::ZERO, |d, api| d.start(api));
+
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        while let Some(at) = self.sched.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (now, ev) = self.sched.step().expect("peeked event vanished");
+            self.dispatch(now, ev);
+        }
+
+        let end = self.sched.now();
+        let mut driver = self.driver.take().expect("driver present");
+        let report = driver.report(end);
+        RunOutcome {
+            report,
+            anchor_switches: self.anchor_switches,
+            salvaged: self.salvaged,
+            unroutable_down: self.unroutable_down,
+            events: self.sched.dispatched(),
+            frames_tx: self.medium.tx_count,
+            log: self.log,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Beacon(node) => self.on_beacon_due(node, now),
+            Event::TxDone(node, handle) => self.on_tx_done(node, handle, now),
+            Event::Wakeup(node) => {
+                self.wakeup_tokens.remove(&node);
+                let acts = self
+                    .endpoints
+                    .get_mut(&node)
+                    .expect("endpoint")
+                    .on_wakeup(now);
+                self.handle_actions(node, acts, now);
+                self.pump(node, now);
+            }
+            Event::BackplaneArrive { from, to, msg } => {
+                if let BackplaneMsg::RelayData(d) = &msg {
+                    // An upstream relay reaching the anchor's process
+                    // counts as having reached the destination.
+                    self.log.on_relay(d.id, from, true, true);
+                }
+                if let BackplaneMsg::SalvageData { packets, .. } = &msg {
+                    self.salvaged += packets.len() as u64;
+                }
+                let acts = match self.endpoints.get_mut(&to) {
+                    Some(ep) => ep.on_backplane(from, &msg, now),
+                    None => Vec::new(),
+                };
+                self.handle_actions(to, acts, now);
+                self.pump(to, now);
+            }
+            Event::WiredDownArrive(payload) => {
+                let anchor = self
+                    .endpoints
+                    .get(&self.vehicle)
+                    .expect("vehicle endpoint")
+                    .anchor();
+                match anchor {
+                    Some(a) => {
+                        let vehicle = self.vehicle;
+                        self.endpoints
+                            .get_mut(&a)
+                            .expect("anchor endpoint")
+                            .send_app(payload, Some(vehicle), now);
+                        self.pump(a, now);
+                    }
+                    None => {
+                        self.unroutable_down += 1;
+                    }
+                }
+            }
+            Event::WiredUpArrive {
+                payload,
+                radio_exit,
+            } => {
+                self.with_driver(now, |d, api| d.on_internet_rx(&payload, radio_exit, api));
+            }
+            Event::AppTick(chan) => {
+                self.with_driver(now, |d, api| d.on_tick(chan, api));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Beacons and the interface
+    // ------------------------------------------------------------------
+
+    fn on_beacon_due(&mut self, node: NodeId, now: SimTime) {
+        let (payload, bytes, acts) = self
+            .endpoints
+            .get_mut(&node)
+            .expect("endpoint")
+            .make_beacon(now);
+        self.handle_actions(node, acts, now);
+        if node == self.vehicle {
+            if let VifiPayload::Beacon(b) = &payload {
+                if let Some(v) = &b.vehicle {
+                    // A1 counts auxiliaries while connected (the paper's
+                    // statistics come from packet logs, which only exist
+                    // when an anchor carries traffic).
+                    if v.anchor.is_some() {
+                        self.log.on_aux_sample(now.second_bin(), v.aux.len());
+                    }
+                }
+            }
+        }
+        if self.iface_busy[&node] {
+            // Replace any stale pending beacon with the fresh one.
+            self.pending_beacon.insert(node, (payload, bytes));
+        } else {
+            self.start_tx(node, payload, bytes, now);
+        }
+        let next = self.beacons.next_after(node, now);
+        self.sched.at(next, Event::Beacon(node));
+        self.pump(node, now);
+    }
+
+    fn start_tx(&mut self, node: NodeId, payload: VifiPayload, bytes: u32, now: SimTime) {
+        let frame = Frame::new(node, bytes, payload);
+        let (handle, _start, end) =
+            self.medium
+                .begin_tx(frame, now, self.link.as_ref(), &mut self.rng_mac);
+        self.iface_busy.insert(node, true);
+        self.sched.at(end, Event::TxDone(node, handle));
+    }
+
+    fn on_tx_done(&mut self, node: NodeId, handle: TxHandle, now: SimTime) {
+        let (frame, receptions) =
+            self.medium
+                .complete_tx(handle, now, self.link.as_mut(), &mut self.rng_mac);
+        let rx_ids: Vec<NodeId> = receptions.iter().map(|r| r.rx).collect();
+
+        // ---- instrumentation ----
+        match &frame.payload {
+            VifiPayload::Data(d) => {
+                let dir = self.dir_of_src(d.flow_src);
+                let ledger = match dir {
+                    Direction::Upstream => &mut self.log.ledger_up,
+                    Direction::Downstream => &mut self.log.ledger_down,
+                };
+                ledger.on_wireless_tx();
+                if d.relayed_by.is_none() {
+                    // Source transmission: snapshot the aux set and who
+                    // heard what.
+                    let aux_set = self
+                        .endpoints
+                        .get_mut(&self.vehicle)
+                        .expect("vehicle")
+                        .current_aux(now);
+                    let aux_heard: Vec<NodeId> = rx_ids
+                        .iter()
+                        .copied()
+                        .filter(|n| aux_set.contains(n))
+                        .collect();
+                    let dst_heard = rx_ids.contains(&d.flow_dst);
+                    self.log
+                        .on_source_tx(d.id, dir, now, aux_set, aux_heard, dst_heard);
+                } else {
+                    // A wireless (downstream) relay: its fate is whether
+                    // the destination received it.
+                    let reached = rx_ids.contains(&d.flow_dst);
+                    self.log
+                        .on_relay(d.id, d.relayed_by.unwrap(), false, reached);
+                }
+            }
+            VifiPayload::Ack(a) => {
+                self.log.on_ack_heard(a.id, &rx_ids);
+                let dir = self.dir_of_src(a.id.origin);
+                match dir {
+                    Direction::Upstream => self.log.ledger_up.on_ack_tx(),
+                    Direction::Downstream => self.log.ledger_down.on_ack_tx(),
+                }
+            }
+            VifiPayload::Beacon(_) => {}
+        }
+
+        // ---- delivery to receivers ----
+        for rx in rx_ids {
+            if let Some(ep) = self.endpoints.get_mut(&rx) {
+                let acts = ep.on_frame(&frame.payload, now);
+                self.handle_actions(rx, acts, now);
+                self.pump(rx, now);
+            }
+        }
+
+        // ---- sender interface is free again ----
+        self.iface_busy.insert(node, false);
+        if let Some((payload, bytes)) = self.pending_beacon.remove(&node) {
+            self.start_tx(node, payload, bytes, now);
+        }
+        self.pump(node, now);
+    }
+
+    /// Refresh a node's wakeup timer and start a transmission if its
+    /// interface is idle and it has frames queued.
+    fn pump(&mut self, node: NodeId, now: SimTime) {
+        // Wakeup timer maintenance.
+        let next = self.endpoints.get(&node).and_then(|ep| ep.next_wakeup());
+        if let Some(tok) = self.wakeup_tokens.remove(&node) {
+            self.sched.cancel(tok);
+        }
+        if let Some(at) = next {
+            let at = at.max(now);
+            let tok = self.sched.at(at, Event::Wakeup(node));
+            self.wakeup_tokens.insert(node, tok);
+        }
+        // Interface.
+        if !self.iface_busy[&node] {
+            if let Some(ep) = self.endpoints.get_mut(&node) {
+                if ep.has_tx() {
+                    if let Some((payload, bytes)) = ep.pull_frame(now) {
+                        self.start_tx(node, payload, bytes, now);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Endpoint actions and driver plumbing
+    // ------------------------------------------------------------------
+
+    fn handle_actions(&mut self, node: NodeId, acts: Vec<Action>, now: SimTime) {
+        for act in acts {
+            match act {
+                Action::Deliver { id, app, dir } => self.on_deliver(node, id, app, dir, now),
+                Action::Backplane { to, msg } => {
+                    let bytes = msg.wire_bytes();
+                    if let BackplaneMsg::RelayData(_) = &msg {
+                        self.log.ledger_up.on_backplane_tx();
+                    }
+                    match self.backplane.send(node, to, bytes, now) {
+                        Some(at) => {
+                            self.sched.at(
+                                at,
+                                Event::BackplaneArrive {
+                                    from: node,
+                                    to,
+                                    msg,
+                                },
+                            );
+                        }
+                        None => {
+                            self.log.backplane_drops += 1;
+                            if let BackplaneMsg::RelayData(d) = &msg {
+                                self.log.on_relay(d.id, node, true, false);
+                            }
+                        }
+                    }
+                }
+                Action::Stat(ev) => self.on_stat(node, ev),
+            }
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        node: NodeId,
+        id: PacketId,
+        app: Bytes,
+        dir: Direction,
+        now: SimTime,
+    ) {
+        match dir {
+            Direction::Downstream => {
+                // At the vehicle. Only the instrumented vehicle carries a
+                // workload.
+                self.log.on_delivered(id);
+                self.log.ledger_down.on_delivered();
+                if node == self.vehicle {
+                    self.with_driver(now, |d, api| d.on_vehicle_rx(&app, api));
+                }
+            }
+            Direction::Upstream => {
+                // At the anchor: forward over the wired hop.
+                self.log.on_delivered(id);
+                self.log.ledger_up.on_delivered();
+                self.sched.at(
+                    now + self.cfg.wired_delay,
+                    Event::WiredUpArrive {
+                        payload: app,
+                        radio_exit: now,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_stat(&mut self, node: NodeId, ev: StatEvent) {
+        match ev {
+            StatEvent::RelayDecision {
+                id,
+                dir: _,
+                prob,
+                relayed,
+            } => {
+                self.log.on_decision(id, node, prob, relayed);
+            }
+            StatEvent::AnchorSwitch { .. } => {
+                if node == self.vehicle {
+                    self.anchor_switches += 1;
+                }
+            }
+            StatEvent::Salvaged { .. } => {
+                // Counted at BackplaneArrive (covers the transfer itself).
+            }
+            StatEvent::RelaySuppressed { .. } | StatEvent::SourceDrop { .. } => {}
+        }
+    }
+
+    fn with_driver<F>(&mut self, now: SimTime, f: F)
+    where
+        F: FnOnce(&mut dyn Driver, &mut HostApi),
+    {
+        let mut driver = self.driver.take().expect("driver present");
+        let mut api = HostApi {
+            now,
+            rng: &mut self.rng_driver,
+            cmds: Vec::new(),
+        };
+        f(driver.as_mut(), &mut api);
+        let cmds = api.cmds;
+        self.driver = Some(driver);
+        for cmd in cmds {
+            match cmd {
+                HostCmd::SendUpstream(bytes) => {
+                    let vehicle = self.vehicle;
+                    self.endpoints
+                        .get_mut(&vehicle)
+                        .expect("vehicle endpoint")
+                        .send_app(bytes, None, now);
+                    self.pump(vehicle, now);
+                }
+                HostCmd::SendDownstream(bytes) => {
+                    self.sched
+                        .at(now + self.cfg.wired_delay, Event::WiredDownArrive(bytes));
+                }
+                HostCmd::ScheduleTick { chan, at } => {
+                    self.sched.at(at.max(now), Event::AppTick(chan));
+                }
+            }
+        }
+    }
+}
+
+/// Kind of a node in this simulation (diagnostic helper).
+pub fn node_kind_name(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Vehicle => "vehicle",
+        NodeKind::Basestation => "basestation",
+        NodeKind::Wired => "wired",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_sim::SimDuration;
+    use vifi_testbeds::{dieselnet_ch1, generate_beacon_trace, vanlan};
+
+    fn quick_cfg(workload: WorkloadSpec, secs: u64, seed: u64) -> RunConfig {
+        RunConfig {
+            workload,
+            duration: SimDuration::from_secs(secs),
+            seed,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn idle_run_beacons_flow() {
+        let s = vanlan(1);
+        let sim = Simulation::deployment(&s, quick_cfg(WorkloadSpec::Idle, 20, 1));
+        let out = sim.run();
+        assert!(out.events > 100, "events {}", out.events);
+        assert!(out.frames_tx > 100, "beacons on the air: {}", out.frames_tx);
+        assert!(matches!(out.report, WorkloadReport::Idle));
+    }
+
+    #[test]
+    fn cbr_run_delivers_probes() {
+        let s = vanlan(1);
+        let sim = Simulation::deployment(&s, quick_cfg(WorkloadSpec::paper_cbr(), 120, 2));
+        let out = sim.run();
+        let stats = match out.report {
+            WorkloadReport::Cbr(c) => c,
+            other => panic!("wrong report {other:?}"),
+        };
+        // 120 s at 10 Hz each way (the tick at exactly t = 120 s also
+        // fires, hence the +1).
+        assert!((1200..=1201).contains(&stats.up.len()), "{}", stats.up.len());
+        assert!((1200..=1201).contains(&stats.down.len()), "{}", stats.down.len());
+        // The van drives through campus in the first two minutes: a good
+        // chunk of probes must get through.
+        let delivered = stats.total_delivered();
+        assert!(delivered > 200, "delivered {delivered}");
+        assert!(delivered < 2400, "not everything is reachable");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let s = vanlan(1);
+        let run = |seed| {
+            let sim = Simulation::deployment(&s, quick_cfg(WorkloadSpec::paper_cbr(), 60, seed));
+            let out = sim.run();
+            match out.report {
+                WorkloadReport::Cbr(c) => (c.total_delivered(), out.events, out.frames_tx),
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(run(7), run(7), "same seed, same run");
+        assert_ne!(run(7), run(8), "different seed, different run");
+    }
+
+    #[test]
+    fn vifi_beats_brr_on_cbr_delivery() {
+        let s = vanlan(1);
+        let run = |vifi: VifiConfig| {
+            let cfg = RunConfig {
+                vifi,
+                ..quick_cfg(WorkloadSpec::paper_cbr(), 180, 3)
+            };
+            let out = Simulation::deployment(&s, cfg).run();
+            match out.report {
+                WorkloadReport::Cbr(c) => c.total_delivered(),
+                _ => unreachable!(),
+            }
+        };
+        let vifi = run(VifiConfig::default().without_retx());
+        let brr = run(VifiConfig::brr_baseline().without_retx());
+        assert!(
+            vifi > brr,
+            "diversity must deliver more: ViFi {vifi} vs BRR {brr}"
+        );
+    }
+
+    #[test]
+    fn relaying_happens_and_is_logged() {
+        let s = vanlan(1);
+        let out = Simulation::deployment(
+            &s,
+            quick_cfg(WorkloadSpec::paper_cbr(), 180, 4),
+        )
+        .run();
+        let relays: usize = out.log.records.iter().map(|r| r.relays.len()).sum();
+        assert!(relays > 0, "some packets must be relayed");
+        let decisions: usize = out.log.records.iter().map(|r| r.decisions.len()).sum();
+        assert!(decisions >= relays);
+        // Upstream relays ride the backplane, downstream ones the air.
+        let up_air = out
+            .log
+            .records
+            .iter()
+            .filter(|r| r.dir == Direction::Upstream)
+            .flat_map(|r| r.relays.iter())
+            .filter(|f| !f.via_backplane)
+            .count();
+        assert_eq!(up_air, 0, "upstream relays never use the air");
+    }
+
+    #[test]
+    fn anchor_switches_under_mobility() {
+        let s = vanlan(1);
+        let out = Simulation::deployment(&s, quick_cfg(WorkloadSpec::Idle, 200, 5)).run();
+        assert!(
+            out.anchor_switches >= 1,
+            "driving across campus must switch anchors"
+        );
+    }
+
+    #[test]
+    fn trace_driven_mode_runs() {
+        let s = dieselnet_ch1();
+        let veh = s.vehicle_ids()[0];
+        let trace =
+            generate_beacon_trace(&s, veh, SimDuration::from_secs(150), 10, &Rng::new(6));
+        let out = Simulation::trace_driven(&trace, quick_cfg(WorkloadSpec::paper_cbr(), 150, 6)).run();
+        let stats = match out.report {
+            WorkloadReport::Cbr(c) => c,
+            _ => unreachable!(),
+        };
+        assert!(stats.total_delivered() > 50, "{}", stats.total_delivered());
+    }
+
+    #[test]
+    fn tcp_workload_completes_transfers() {
+        let s = vanlan(1);
+        let out = Simulation::deployment(
+            &s,
+            quick_cfg(WorkloadSpec::paper_tcp(), 180, 7),
+        )
+        .run();
+        let stats = match out.report {
+            WorkloadReport::Tcp(t) => t,
+            _ => unreachable!(),
+        };
+        let total = stats.down.transfer_times.len() + stats.up.transfer_times.len();
+        assert!(total > 3, "completed transfers {total}");
+    }
+
+    #[test]
+    fn voip_workload_scores() {
+        let s = vanlan(1);
+        let cfg = RunConfig {
+            wired_delay: SimDuration::ZERO, // the scorer adds the fixed 40 ms
+            ..quick_cfg(WorkloadSpec::Voip, 120, 8)
+        };
+        let out = Simulation::deployment(&s, cfg).run();
+        let stats = match out.report {
+            WorkloadReport::Voip(v) => v,
+            _ => unreachable!(),
+        };
+        assert!(!stats.down.scores.is_empty());
+        // While on campus some windows must be decent.
+        assert!(
+            stats.down.scores.iter().any(|w| w.mos > 3.0),
+            "some good windows expected"
+        );
+    }
+
+    #[test]
+    fn efficiency_ledgers_populate() {
+        let s = vanlan(1);
+        let out = Simulation::deployment(
+            &s,
+            quick_cfg(WorkloadSpec::paper_cbr(), 120, 9),
+        )
+        .run();
+        assert!(out.log.ledger_up.wireless_tx > 0);
+        assert!(out.log.ledger_down.wireless_tx > 0);
+        let eff_up = out.log.ledger_up.efficiency();
+        let eff_down = out.log.ledger_down.efficiency();
+        assert!(eff_up > 0.0 && eff_up <= 1.0, "up {eff_up}");
+        assert!(eff_down > 0.0 && eff_down <= 1.0, "down {eff_down}");
+    }
+
+    #[test]
+    fn salvaging_counts_with_tcp() {
+        let s = vanlan(1);
+        // Long enough to cross anchor changes mid-transfer.
+        let out = Simulation::deployment(
+            &s,
+            quick_cfg(WorkloadSpec::paper_tcp(), 400, 10),
+        )
+        .run();
+        // Salvage may legitimately be zero on some seeds, but switches
+        // must happen; assert the machinery at least ran.
+        assert!(out.anchor_switches > 0);
+        let _ = out.salvaged; // smoke: field exists and is consistent
+    }
+}

@@ -1,0 +1,37 @@
+//! # vifi-sim — deterministic discrete-event simulation substrate
+//!
+//! This crate provides the foundation that every other crate in the ViFi
+//! reproduction builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-granularity virtual clock.
+//!   Nothing in the workspace ever consults the wall clock; all protocol state
+//!   machines take an explicit `now` parameter (smoltcp style), which makes
+//!   them unit-testable without a simulator at all.
+//! * [`Rng`] — a small, fast, deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256**) with *forkable substreams*. Each subsystem forks its own
+//!   stream, so adding instrumentation or reordering draws in one subsystem
+//!   never perturbs another. A whole simulation run is a pure function of
+//!   `(config, seed)`.
+//! * [`EventQueue`] — a stable binary heap of timestamped events with
+//!   deterministic FIFO tie-breaking and O(log n) cancellation via
+//!   [`TimerToken`]s.
+//! * [`Scheduler`] — clock + queue glued together; the main loop of
+//!   `vifi-runtime` drives one of these.
+//!
+//! The engine is intentionally synchronous and single-threaded: the paper's
+//! experiments are second-to-hour scale packet simulations where determinism
+//! and replayability matter far more than parallel speedup. Seed-level
+//! parallelism (running many independent trials) lives in `vifi-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod sched;
+pub mod time;
+
+pub use event::{EventQueue, TimerToken};
+pub use rng::Rng;
+pub use sched::Scheduler;
+pub use time::{SimDuration, SimTime};

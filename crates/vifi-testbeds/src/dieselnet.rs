@@ -1,0 +1,205 @@
+//! The synthetic DieselNet environment.
+//!
+//! §2.2: buses in Amherst, MA; one bus logged beacons from town BSes for
+//! three days per channel in December 2007. Analysis is limited to BSes in
+//! the town core visible on all three days: **10 BSes on Channel 1, 14 on
+//! Channel 6**, about half belonging to the town mesh (regularly spaced)
+//! and half to shops (clustered along the street).
+//!
+//! The synthetic layouts put mesh nodes at regular intervals along a main
+//! street and shop APs scattered just off it; the bus runs the street and
+//! then loops out of range through residential areas. Coverage is sparser
+//! and more linear than VanLAN — the property that shows up in the Fig. 5
+//! visibility CDFs.
+//!
+//! DieselNet is used **only** through its beacon traces (the paper could
+//! not modify those BSes), so the main consumer of these scenarios is
+//! [`crate::trace::generate_beacon_trace`] followed by the §5.1
+//! trace-driven pipeline.
+
+use vifi_phy::link::MobilitySource;
+use vifi_phy::{kmh_to_ms, NodeId, NodeKind, Point, RadioParams, Route};
+use vifi_sim::SimDuration;
+
+use crate::scenario::{NodeSpec, Scenario};
+
+/// Channel 1: 5 town-mesh BSes (regular) + 5 shop BSes (clustered) = 10.
+pub const CH1_POSITIONS: [(f64, f64); 10] = [
+    // Town mesh, ~300 m spacing along Main St (y ≈ 0).
+    (150.0, 25.0),
+    (450.0, -20.0),
+    (750.0, 25.0),
+    (1050.0, -20.0),
+    (1350.0, 25.0),
+    // Shops.
+    (250.0, -35.0),
+    (620.0, 30.0),
+    (820.0, -30.0),
+    (1120.0, 35.0),
+    (1260.0, -25.0),
+];
+
+/// Channel 6: 7 mesh + 7 shop BSes = 14.
+pub const CH6_POSITIONS: [(f64, f64); 14] = [
+    // Town mesh, ~200 m spacing.
+    (100.0, 25.0),
+    (300.0, -20.0),
+    (500.0, 25.0),
+    (700.0, -20.0),
+    (900.0, 25.0),
+    (1100.0, -20.0),
+    (1300.0, 25.0),
+    // Shops.
+    (200.0, -35.0),
+    (380.0, 30.0),
+    (560.0, -30.0),
+    (760.0, 35.0),
+    (980.0, -25.0),
+    (1180.0, 30.0),
+    (1420.0, -30.0),
+];
+
+/// The bus loop: the full main street, then an out-of-range residential
+/// loop back. Closed route.
+fn bus_waypoints() -> Vec<Point> {
+    [
+        (0.0, 0.0),
+        (1500.0, 0.0),
+        // Residential loop, beyond radio range of every street AP. The
+        // paper restricts its analysis to the town core (§2.2), so the
+        // out-of-town leg is kept short.
+        (1500.0, 560.0),
+        (-550.0, 560.0),
+        (-550.0, 0.0),
+    ]
+    .iter()
+    .map(|&(x, y)| Point::new(x, y))
+    .collect()
+}
+
+fn dieselnet(name: &str, positions: &[(f64, f64)]) -> Scenario {
+    let mut nodes = Vec::new();
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        nodes.push(NodeSpec {
+            id: NodeId(i as u32),
+            kind: NodeKind::Basestation,
+            mobility: MobilitySource::Fixed(Point::new(x, y)),
+            name: format!("AP-{i}"),
+        });
+    }
+    // Buses are slower than the VanLAN shuttles and their consumer APs are
+    // a little weaker than campus infrastructure.
+    let radio = RadioParams {
+        bs_tx_power_dbm: 20.0,
+        pl_exponent: 2.9,
+        shadow_sigma_db: 5.5,
+        ..RadioParams::default()
+    };
+    let route = Route::new(bus_waypoints(), kmh_to_ms(30.0), true);
+    let lap = SimDuration::from_secs_f64(route.lap_time_s());
+    nodes.push(NodeSpec {
+        id: NodeId(positions.len() as u32),
+        kind: NodeKind::Vehicle,
+        mobility: MobilitySource::Mobile(route),
+        name: "bus-0".into(),
+    });
+    Scenario {
+        name: name.into(),
+        nodes,
+        radio,
+        lap,
+        visits_per_day: 12,
+    }
+}
+
+/// DieselNet on Channel 1 (10 BSes).
+pub fn dieselnet_ch1() -> Scenario {
+    dieselnet("DieselNet-Ch1", &CH1_POSITIONS)
+}
+
+/// DieselNet on Channel 6 (14 BSes).
+pub fn dieselnet_ch6() -> Scenario {
+    dieselnet("DieselNet-Ch6", &CH6_POSITIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_sim::{Rng, SimTime};
+
+    #[test]
+    fn bs_counts_match_paper() {
+        assert_eq!(dieselnet_ch1().bs_ids().len(), 10);
+        assert_eq!(dieselnet_ch6().bs_ids().len(), 14);
+    }
+
+    #[test]
+    fn scenarios_validate() {
+        dieselnet_ch1().validate();
+        dieselnet_ch6().validate();
+    }
+
+    #[test]
+    fn ch6_is_denser_than_ch1() {
+        // Along the street, the ch6 bus should see at least as many BSes
+        // on average as the ch1 bus.
+        let count_visible = |s: &Scenario| {
+            let veh = s.vehicle_ids()[0];
+            let link = s.build_link_model(&Rng::new(5));
+            let mut total = 0usize;
+            let mut secs = 0usize;
+            for sec in 0..180 {
+                // First 180 s ≈ the street portion at 8.3 m/s.
+                let t = SimTime::from_secs(sec);
+                let v = s
+                    .bs_ids()
+                    .iter()
+                    .filter(|&&bs| link.slow_prob(bs, veh, t) > 0.1)
+                    .count();
+                total += v;
+                secs += 1;
+            }
+            total as f64 / secs as f64
+        };
+        let c1 = count_visible(&dieselnet_ch1());
+        let c6 = count_visible(&dieselnet_ch6());
+        assert!(c6 > c1, "ch6 {c6} vs ch1 {c1}");
+        assert!(c1 >= 1.0, "ch1 average visibility {c1}");
+    }
+
+    #[test]
+    fn bus_leaves_coverage_on_residential_loop() {
+        let s = dieselnet_ch1();
+        let veh = s.vehicle_ids()[0];
+        let link = s.build_link_model(&Rng::new(6));
+        // Sample the far side of the loop (roughly 60% around).
+        let t = SimTime::from_secs_f64(s.lap.as_secs_f64() * 0.6);
+        let visible = s
+            .bs_ids()
+            .iter()
+            .filter(|&&bs| link.slow_prob(bs, veh, t) > 0.0)
+            .count();
+        assert_eq!(visible, 0, "residential loop must be out of range");
+    }
+
+    #[test]
+    fn coverage_is_sparser_than_vanlan() {
+        // DieselNet's linear street yields fewer simultaneously visible
+        // BSes than VanLAN's clustered campus at its densest.
+        let s = dieselnet_ch1();
+        let veh = s.vehicle_ids()[0];
+        let link = s.build_link_model(&Rng::new(7));
+        let mut max_visible = 0usize;
+        for sec in 0..s.lap.as_secs() {
+            let t = SimTime::from_secs(sec);
+            let v = s
+                .bs_ids()
+                .iter()
+                .filter(|&&bs| link.slow_prob(bs, veh, t) > 0.1)
+                .count();
+            max_visible = max_visible.max(v);
+        }
+        assert!(max_visible <= 8, "ch1 max visible {max_visible}");
+        assert!(max_visible >= 2, "ch1 max visible {max_visible}");
+    }
+}

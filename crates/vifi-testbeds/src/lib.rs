@@ -1,0 +1,36 @@
+//! # vifi-testbeds — synthetic VanLAN and DieselNet
+//!
+//! The paper's evidence comes from two deployments we cannot access:
+//! VanLAN (11 BSes + shuttles on the Microsoft Redmond campus) and
+//! DieselNet (buses in Amherst logging beacons from town/shop APs). This
+//! crate builds their synthetic stand-ins:
+//!
+//! * [`scenario`] — the common description: nodes, mobility, radio
+//!   parameters, and construction of the physical link model;
+//! * [`vanlan()`](vanlan::vanlan) — 11 BSes on five buildings inside the 828 m × 559 m box of
+//!   Fig. 1, plus a shuttle loop that enters and leaves coverage (the
+//!   "about ten visits a day" pattern, time-compressed; see DESIGN.md);
+//! * [`dieselnet`] — the sparser college-town layouts for Channel 1
+//!   (10 BSes) and Channel 6 (14 BSes);
+//! * [`trace`] — the beacon-log schema the buses recorded, generation of
+//!   synthetic logs from a scenario, (de)serialization, and the §5.1
+//!   trace-to-simulation pipeline (per-second beacon loss ratios → link
+//!   loss rates; never-co-visible BS pairs unreachable; other inter-BS
+//!   loss uniform at random).
+//!
+//! Calibration: the `fig5` bench measures these models with the paper's own
+//! estimator (CDF of BSes heard per second) — the knob-turning lives here,
+//! the verification lives there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dieselnet;
+pub mod scenario;
+pub mod trace;
+pub mod vanlan;
+
+pub use dieselnet::{dieselnet_ch1, dieselnet_ch6};
+pub use scenario::{NodeSpec, Scenario};
+pub use trace::{generate_beacon_trace, BeaconRecord, BeaconTrace, TraceSimSetup};
+pub use vanlan::vanlan;

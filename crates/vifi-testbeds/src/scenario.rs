@@ -1,0 +1,213 @@
+//! Scenario description: the nodes, their motion, and the radio
+//! environment of one testbed.
+
+use vifi_phy::link::MobilitySource;
+use vifi_phy::{NodeId, NodeKind, PhysicalLinkModel, Point, RadioParams};
+use vifi_sim::{Rng, SimDuration, SimTime};
+
+/// One node in a scenario.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Identifier, unique within the scenario; ids are dense from 0.
+    pub id: NodeId,
+    /// Vehicle, basestation, or wired host.
+    pub kind: NodeKind,
+    /// How it moves.
+    pub mobility: MobilitySource,
+    /// Human-readable name for logs and figures ("BS-3", "van-1").
+    pub name: String,
+}
+
+/// A complete testbed description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Testbed name ("VanLAN", "DieselNet-Ch1", …).
+    pub name: String,
+    /// All nodes. Ids must be dense `0..nodes.len()`.
+    pub nodes: Vec<NodeSpec>,
+    /// Radio-chain parameters.
+    pub radio: RadioParams,
+    /// Time one "visit cycle" takes (one shuttle lap for VanLAN, one bus
+    /// loop for DieselNet) — experiments size their runs in laps so that
+    /// per-day numbers can be extrapolated honestly (see DESIGN.md on time
+    /// compression).
+    pub lap: SimDuration,
+    /// How many visit cycles the real testbed saw per day (VanLAN §2.1:
+    /// "each vehicle visits the region of the BSes about ten times a day").
+    pub visits_per_day: u32,
+}
+
+impl Scenario {
+    /// Validate invariants (dense ids, at least one vehicle and one BS).
+    pub fn validate(&self) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            assert_eq!(n.id.index(), i, "node ids must be dense and ordered");
+        }
+        assert!(
+            self.nodes.iter().any(|n| n.kind == NodeKind::Vehicle),
+            "scenario needs a vehicle"
+        );
+        assert!(
+            self.nodes.iter().any(|n| n.kind == NodeKind::Basestation),
+            "scenario needs a basestation"
+        );
+    }
+
+    /// Ids of all basestations, in id order.
+    pub fn bs_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Basestation)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all vehicles, in id order.
+    pub fn vehicle_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Vehicle)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The spec for a node id.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.index()]
+    }
+
+    /// Construct the physical link model for this scenario.
+    pub fn build_link_model(&self, rng: &Rng) -> PhysicalLinkModel {
+        self.validate();
+        let mut m = PhysicalLinkModel::new(self.radio.clone(), rng);
+        for n in &self.nodes {
+            m.add_node(n.id, n.kind, n.mobility.clone());
+        }
+        m
+    }
+
+    /// A copy of this scenario restricted to the given basestations (all
+    /// vehicles and wired nodes kept). Node ids are re-densified; the
+    /// mapping `old → new` is returned alongside. Used by the Fig. 2
+    /// BS-density sweep.
+    pub fn with_bs_subset(&self, keep: &[NodeId]) -> (Scenario, Vec<(NodeId, NodeId)>) {
+        let mut nodes = Vec::new();
+        let mut mapping = Vec::new();
+        for n in &self.nodes {
+            let kept = match n.kind {
+                NodeKind::Basestation => keep.contains(&n.id),
+                _ => true,
+            };
+            if kept {
+                let new_id = NodeId(nodes.len() as u32);
+                mapping.push((n.id, new_id));
+                nodes.push(NodeSpec {
+                    id: new_id,
+                    kind: n.kind,
+                    mobility: n.mobility.clone(),
+                    name: n.name.clone(),
+                });
+            }
+        }
+        (
+            Scenario {
+                name: format!("{}[{} BSes]", self.name, keep.len()),
+                nodes,
+                radio: self.radio.clone(),
+                lap: self.lap,
+                visits_per_day: self.visits_per_day,
+            },
+            mapping,
+        )
+    }
+
+    /// Position of a node at a given time (convenience for map rendering).
+    pub fn position(&self, id: NodeId, t: SimTime) -> Point {
+        self.node(id).mobility.position_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_phy::{LinkModel, Route};
+
+    fn tiny() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            nodes: vec![
+                NodeSpec {
+                    id: NodeId(0),
+                    kind: NodeKind::Basestation,
+                    mobility: MobilitySource::Fixed(Point::new(0.0, 0.0)),
+                    name: "BS-0".into(),
+                },
+                NodeSpec {
+                    id: NodeId(1),
+                    kind: NodeKind::Basestation,
+                    mobility: MobilitySource::Fixed(Point::new(100.0, 0.0)),
+                    name: "BS-1".into(),
+                },
+                NodeSpec {
+                    id: NodeId(2),
+                    kind: NodeKind::Vehicle,
+                    mobility: MobilitySource::Mobile(Route::new(
+                        vec![Point::new(0.0, 50.0), Point::new(100.0, 50.0)],
+                        10.0,
+                        true,
+                    )),
+                    name: "van-0".into(),
+                },
+            ],
+            radio: RadioParams::default(),
+            lap: SimDuration::from_secs(20),
+            visits_per_day: 10,
+        }
+    }
+
+    #[test]
+    fn id_queries() {
+        let s = tiny();
+        s.validate();
+        assert_eq!(s.bs_ids(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(s.vehicle_ids(), vec![NodeId(2)]);
+        assert_eq!(s.node(NodeId(0)).name, "BS-0");
+    }
+
+    #[test]
+    fn builds_link_model() {
+        let s = tiny();
+        let m = s.build_link_model(&Rng::new(1));
+        assert_eq!(m.nodes().len(), 3);
+        assert_eq!(m.kind(NodeId(2)), NodeKind::Vehicle);
+    }
+
+    #[test]
+    fn bs_subset_redensifies_ids() {
+        let s = tiny();
+        let (sub, mapping) = s.with_bs_subset(&[NodeId(1)]);
+        sub.validate();
+        assert_eq!(sub.nodes.len(), 2);
+        assert_eq!(sub.bs_ids(), vec![NodeId(0)]);
+        assert_eq!(sub.node(NodeId(0)).name, "BS-1");
+        assert_eq!(sub.vehicle_ids(), vec![NodeId(1)]);
+        assert!(mapping.contains(&(NodeId(1), NodeId(0))));
+        assert!(mapping.contains(&(NodeId(2), NodeId(1))));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a basestation")]
+    fn subset_with_no_bs_is_invalid() {
+        let s = tiny();
+        let (sub, _) = s.with_bs_subset(&[]);
+        sub.validate();
+    }
+
+    #[test]
+    fn vehicle_moves() {
+        let s = tiny();
+        let p0 = s.position(NodeId(2), SimTime::ZERO);
+        let p1 = s.position(NodeId(2), SimTime::from_secs(5));
+        assert!(p0.distance(p1) > 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The synthetic VanLAN testbed.
+//!
+//! §2.1: eleven basestations on five buildings of the Microsoft Redmond
+//! campus; the bounding box in which vehicles hear at least one packet
+//! measures 828 m × 559 m; two shuttle vans circle the area at up to
+//! 40 km/h, visiting the BS region about ten times a day; all radios share
+//! one channel.
+//!
+//! Our layout places the five buildings (A–E) inside the same box with
+//! 2–3 roof-mounted BSes each, and routes the shuttle loop through campus
+//! and then well outside radio range — so runs exhibit the paper's
+//! visit/absence rhythm. Wall-clock compression: the real shuttles idled
+//! for tens of minutes between visits; our outside leg is a few minutes.
+//! Per-day numbers extrapolate via [`Scenario::visits_per_day`], never by
+//! simulating dead air for hours.
+
+use vifi_phy::link::MobilitySource;
+use vifi_phy::{kmh_to_ms, NodeId, NodeKind, Point, RadioParams, Route};
+use vifi_sim::SimDuration;
+
+use crate::scenario::{NodeSpec, Scenario};
+
+/// The 11 BS rooftop positions (meters, inside the 828 × 559 box),
+/// grouped by building.
+pub const BS_POSITIONS: [(f64, f64); 11] = [
+    // Building A (north-west)
+    (120.0, 420.0),
+    (165.0, 445.0),
+    // Building B (north-center): the largest, 3 BSes
+    (330.0, 460.0),
+    (370.0, 485.0),
+    (400.0, 455.0),
+    // Building C (north-east)
+    (540.0, 390.0),
+    (590.0, 415.0),
+    // Building D (south-center)
+    (305.0, 210.0),
+    (360.0, 235.0),
+    // Building E (south-east)
+    (615.0, 150.0),
+    (665.0, 175.0),
+];
+
+/// The shuttle loop: a campus sweep past all five buildings, then an
+/// out-of-range return leg. Closed route.
+pub fn shuttle_waypoints() -> Vec<Point> {
+    [
+        // Campus sweep (inside coverage).
+        (0.0, 350.0),
+        (140.0, 390.0),
+        (350.0, 430.0),
+        (550.0, 370.0),
+        (660.0, 250.0),
+        (640.0, 170.0),
+        (480.0, 160.0),
+        (340.0, 200.0),
+        (150.0, 280.0),
+        (0.0, 320.0),
+        // Out-of-range loop back to the entrance.
+        (-520.0, 320.0),
+        (-520.0, -420.0),
+        (1350.0, -420.0),
+        (1350.0, 900.0),
+        (0.0, 900.0),
+    ]
+    .iter()
+    .map(|&(x, y)| Point::new(x, y))
+    .collect()
+}
+
+/// Build the VanLAN scenario: 11 BSes, `vehicles` shuttles spread evenly
+/// around the loop. The paper's testbed has two vans.
+pub fn vanlan(vehicles: u32) -> Scenario {
+    assert!(vehicles >= 1, "need at least one vehicle");
+    let mut nodes = Vec::new();
+    for (i, &(x, y)) in BS_POSITIONS.iter().enumerate() {
+        nodes.push(NodeSpec {
+            id: NodeId(i as u32),
+            kind: NodeKind::Basestation,
+            mobility: MobilitySource::Fixed(Point::new(x, y)),
+            name: format!("BS-{i}"),
+        });
+    }
+    let speed = kmh_to_ms(40.0);
+    let base_route = Route::new(shuttle_waypoints(), speed, true);
+    let lap_m = base_route.length();
+    for v in 0..vehicles {
+        let offset = lap_m * v as f64 / vehicles as f64;
+        nodes.push(NodeSpec {
+            id: NodeId((BS_POSITIONS.len() as u32) + v),
+            kind: NodeKind::Vehicle,
+            mobility: MobilitySource::Mobile(
+                Route::new(shuttle_waypoints(), speed, true).with_start_offset(offset),
+            ),
+            name: format!("van-{v}"),
+        });
+    }
+    let lap = SimDuration::from_secs_f64(base_route.lap_time_s());
+    Scenario {
+        name: "VanLAN".into(),
+        nodes,
+        radio: RadioParams::default(),
+        lap,
+        visits_per_day: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_sim::{Rng, SimTime};
+
+    #[test]
+    fn layout_is_inside_the_paper_box() {
+        for &(x, y) in BS_POSITIONS.iter() {
+            assert!((0.0..=828.0).contains(&x), "x={x}");
+            assert!((0.0..=559.0).contains(&y), "y={y}");
+        }
+        assert_eq!(BS_POSITIONS.len(), 11);
+    }
+
+    #[test]
+    fn scenario_shape() {
+        let s = vanlan(2);
+        s.validate();
+        assert_eq!(s.bs_ids().len(), 11);
+        assert_eq!(s.vehicle_ids().len(), 2);
+        assert_eq!(s.visits_per_day, 10);
+        assert!(s.lap > SimDuration::from_secs(300), "lap {:?}", s.lap);
+        assert!(s.lap < SimDuration::from_secs(1500), "lap {:?}", s.lap);
+    }
+
+    #[test]
+    fn vehicles_are_phase_offset() {
+        let s = vanlan(2);
+        let v: Vec<_> = s.vehicle_ids();
+        let p0 = s.position(v[0], SimTime::ZERO);
+        let p1 = s.position(v[1], SimTime::ZERO);
+        assert!(p0.distance(p1) > 500.0, "vans start far apart");
+    }
+
+    #[test]
+    fn shuttle_visits_and_leaves_coverage() {
+        let s = vanlan(1);
+        let veh = s.vehicle_ids()[0];
+        let link = s.build_link_model(&Rng::new(1));
+        let lap_s = s.lap.as_secs();
+        let mut covered = 0u64;
+        for sec in 0..lap_s {
+            let t = SimTime::from_secs(sec);
+            let visible = s
+                .bs_ids()
+                .iter()
+                .filter(|&&bs| link.slow_prob(bs, veh, t) > 0.1)
+                .count();
+            if visible > 0 {
+                covered += 1;
+            }
+        }
+        let frac = covered as f64 / lap_s as f64;
+        assert!(
+            (0.15..=0.70).contains(&frac),
+            "coverage fraction per lap = {frac}"
+        );
+    }
+
+    #[test]
+    fn campus_sweep_sees_multiple_bs() {
+        // While inside the campus, the van should often see 2+ BSes
+        // (the diversity premise, Fig. 5).
+        let s = vanlan(1);
+        let veh = s.vehicle_ids()[0];
+        let link = s.build_link_model(&Rng::new(2));
+        let mut multi = 0u64;
+        let mut any = 0u64;
+        for sec in 0..s.lap.as_secs() {
+            let t = SimTime::from_secs(sec);
+            let visible = s
+                .bs_ids()
+                .iter()
+                .filter(|&&bs| link.slow_prob(bs, veh, t) > 0.1)
+                .count();
+            if visible >= 1 {
+                any += 1;
+                if visible >= 2 {
+                    multi += 1;
+                }
+            }
+        }
+        assert!(any > 0);
+        let frac = multi as f64 / any as f64;
+        assert!(frac > 0.5, "multi-BS fraction of covered time = {frac}");
+    }
+
+    #[test]
+    fn bs_pairs_form_a_connected_backbone_over_the_air() {
+        // §4.1 assumes some BSes overhear each other; buildings are spaced
+        // so that at least neighbouring buildings are in radio range.
+        let s = vanlan(1);
+        let link = s.build_link_model(&Rng::new(3));
+        let bs = s.bs_ids();
+        let mut audible_pairs = 0;
+        for i in 0..bs.len() {
+            for j in i + 1..bs.len() {
+                if link.slow_prob(bs[i], bs[j], SimTime::ZERO) > 0.5 {
+                    audible_pairs += 1;
+                }
+            }
+        }
+        assert!(audible_pairs >= 8, "audible BS pairs = {audible_pairs}");
+    }
+}

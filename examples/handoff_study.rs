@@ -1,0 +1,45 @@
+//! The §3 measurement study in miniature: replay all six handoff policies
+//! over one probe log and compare aggregate delivery and session lengths.
+//!
+//! ```sh
+//! cargo run --release --example handoff_study
+//! ```
+
+use vifi::handoff::{evaluate, generate_probe_log, Policy};
+use vifi::metrics::{sessions_from_ratios, SessionDef};
+use vifi::sim::Rng;
+use vifi::testbeds::vanlan;
+
+fn main() {
+    let scenario = vanlan(1);
+    let veh = scenario.vehicle_ids()[0];
+    // Three laps of 500-byte probes at 10 Hz in both directions.
+    let log = generate_probe_log(&scenario, veh, scenario.lap * 3, &Rng::new(17));
+    println!(
+        "Probe log: {} BSes x {} s ({} slots)\n",
+        log.bs_count(),
+        log.seconds(),
+        log.slots()
+    );
+    println!(
+        "{:<9} {:>10} {:>16} {:>14}",
+        "policy", "delivered", "median session", "interruptions"
+    );
+    for p in Policy::all() {
+        let out = evaluate(&log, p);
+        let ratios = out.combined_ratios(log.slots_per_sec);
+        let sessions = sessions_from_ratios(&ratios, SessionDef::paper_default());
+        println!(
+            "{:<9} {:>10} {:>14.0} s {:>14}",
+            p.name(),
+            out.delivered(),
+            sessions.median_time_weighted().as_secs_f64(),
+            sessions.count().saturating_sub(1),
+        );
+    }
+    println!(
+        "\nAggregate delivery barely separates the policies (within ~25%), \
+         but sessions of uninterrupted connectivity differ wildly — that \
+         contrast is the paper's case for diversity."
+    );
+}

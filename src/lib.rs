@@ -1,0 +1,64 @@
+//! # ViFi — Interactive WiFi Connectivity for Moving Vehicles
+//!
+//! A from-scratch Rust reproduction of *Balasubramanian, Mahajan,
+//! Venkataramani, Levine, Zahorjan — "Interactive WiFi Connectivity For
+//! Moving Vehicles", SIGCOMM 2008*: the ViFi diversity protocol itself,
+//! every substrate it needs (deterministic discrete-event simulator,
+//! vehicular radio channel, 802.11-style broadcast MAC, synthetic VanLAN
+//! and DieselNet testbeds, mini-TCP and VoIP application models), the six
+//! handoff policies of the paper's measurement study, and a benchmark
+//! harness that regenerates every figure and table of the evaluation.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! ```
+//! use vifi::runtime::{RunConfig, Simulation, WorkloadSpec};
+//! use vifi::sim::SimDuration;
+//! use vifi::testbeds::vanlan;
+//!
+//! // Drive the synthetic VanLAN testbed for 60 simulated seconds of
+//! // bidirectional probe traffic over the full ViFi stack.
+//! let scenario = vanlan(1);
+//! let cfg = RunConfig {
+//!     workload: WorkloadSpec::paper_cbr(),
+//!     duration: SimDuration::from_secs(60),
+//!     seed: 42,
+//!     ..RunConfig::default()
+//! };
+//! let outcome = Simulation::deployment(&scenario, cfg).run();
+//! assert!(outcome.frames_tx > 0);
+//! ```
+//!
+//! Start with `examples/quickstart.rs`; see DESIGN.md for the system
+//! inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic discrete-event simulation substrate (clock, RNG, queue).
+pub use vifi_sim as sim;
+
+/// Radio propagation and channel models.
+pub use vifi_phy as phy;
+
+/// 802.11-like broadcast MAC, medium and inter-BS backplane.
+pub use vifi_mac as mac;
+
+/// Synthetic VanLAN / DieselNet testbeds and beacon traces.
+pub use vifi_testbeds as testbeds;
+
+/// Sessions, CDFs, burst estimators, efficiency accounting.
+pub use vifi_metrics as metrics;
+
+/// The six handoff policies and the §3 replay study.
+pub use vifi_handoff as handoff;
+
+/// Mini-TCP, VoIP scoring, CBR and cellular application models.
+pub use vifi_apps as apps;
+
+/// Full-stack simulation runtime and instrumentation.
+pub use vifi_runtime as runtime;
+
+/// The ViFi protocol itself (endpoints, relay probabilities, salvaging).
+pub mod core {
+    pub use vifi_core::*;
+}

@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: the full stack, both experimental
+//! modes, and the paper's headline orderings.
+
+use vifi::core::VifiConfig;
+use vifi::handoff::{evaluate, generate_probe_log, Policy};
+use vifi::metrics::{sessions_from_ratios, SessionDef};
+use vifi::runtime::{RunConfig, Simulation, WorkloadReport, WorkloadSpec};
+use vifi::sim::{Rng, SimDuration};
+use vifi::testbeds::{dieselnet_ch1, generate_beacon_trace, vanlan};
+
+fn run(vifi: VifiConfig, workload: WorkloadSpec, secs: u64, seed: u64) -> vifi::runtime::RunOutcome {
+    let s = vanlan(1);
+    let cfg = RunConfig {
+        vifi,
+        workload,
+        duration: SimDuration::from_secs(secs),
+        seed,
+        ..RunConfig::default()
+    };
+    Simulation::deployment(&s, cfg).run()
+}
+
+#[test]
+fn headline_vifi_beats_brr_on_delivery() {
+    let delivered = |vifi: VifiConfig| {
+        let out = run(vifi, WorkloadSpec::paper_cbr(), 240, 1);
+        match out.report {
+            WorkloadReport::Cbr(c) => c.total_delivered(),
+            _ => unreachable!(),
+        }
+    };
+    let vifi = delivered(VifiConfig::default().without_retx());
+    let brr = delivered(VifiConfig::brr_baseline().without_retx());
+    assert!(
+        vifi as f64 > brr as f64 * 1.05,
+        "ViFi {vifi} must clearly beat BRR {brr}"
+    );
+}
+
+#[test]
+fn headline_vifi_lengthens_sessions() {
+    let median = |vifi: VifiConfig| {
+        let duration = SimDuration::from_secs(400);
+        let out = run(vifi, WorkloadSpec::paper_cbr(), 400, 2);
+        let ratios = match &out.report {
+            WorkloadReport::Cbr(c) => c.combined_ratios(SimDuration::from_secs(1), duration),
+            _ => unreachable!(),
+        };
+        sessions_from_ratios(&ratios, SessionDef::paper_default())
+            .median_time_weighted()
+            .as_secs_f64()
+    };
+    let vifi = median(VifiConfig::default().without_retx());
+    let brr = median(VifiConfig::brr_baseline().without_retx());
+    assert!(
+        vifi > brr,
+        "ViFi sessions ({vifi:.0} s) must outlast BRR ({brr:.0} s)"
+    );
+}
+
+#[test]
+fn oracle_ordering_holds_in_replay() {
+    let s = vanlan(1);
+    let veh = s.vehicle_ids()[0];
+    let log = generate_probe_log(&s, veh, SimDuration::from_secs(400), &Rng::new(3));
+    let med = |p: Policy| {
+        let out = evaluate(&log, p);
+        sessions_from_ratios(
+            &out.combined_ratios(log.slots_per_sec),
+            SessionDef::paper_default(),
+        )
+        .median_time_weighted()
+        .as_secs_f64()
+    };
+    let all = med(Policy::AllBses);
+    let best = med(Policy::BestBs);
+    let brr = med(Policy::Brr);
+    let sticky = med(Policy::Sticky);
+    assert!(all >= best, "AllBSes {all} vs BestBS {best}");
+    assert!(best > brr, "BestBS {best} vs BRR {brr}");
+    assert!(brr >= sticky * 0.8, "BRR {brr} vs Sticky {sticky}");
+}
+
+#[test]
+fn trace_driven_mode_matches_deployment_shape() {
+    // Same environment, both §5.1 modes: ViFi must beat BRR in each.
+    let s = dieselnet_ch1();
+    let veh = s.vehicle_ids()[0];
+    let duration = SimDuration::from_secs(200);
+    let trace = generate_beacon_trace(&s, veh, duration, 10, &Rng::new(4));
+    let delivered = |vifi: VifiConfig| {
+        let cfg = RunConfig {
+            vifi,
+            workload: WorkloadSpec::paper_cbr(),
+            duration,
+            seed: 4,
+            ..RunConfig::default()
+        };
+        match Simulation::trace_driven(&trace, cfg).run().report {
+            WorkloadReport::Cbr(c) => c.total_delivered(),
+            _ => unreachable!(),
+        }
+    };
+    let vifi = delivered(VifiConfig::default());
+    let brr = delivered(VifiConfig::brr_baseline());
+    assert!(vifi > brr, "trace mode: ViFi {vifi} vs BRR {brr}");
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let go = || {
+        let out = run(VifiConfig::default(), WorkloadSpec::paper_tcp(), 150, 9);
+        let t = match out.report {
+            WorkloadReport::Tcp(t) => t,
+            _ => unreachable!(),
+        };
+        (
+            t.down.transfer_times.len(),
+            t.up.transfer_times.len(),
+            out.events,
+            out.frames_tx,
+            out.salvaged,
+        )
+    };
+    assert_eq!(go(), go(), "same seed must reproduce bit-identical runs");
+}
+
+#[test]
+fn salvaging_only_helps() {
+    // Full ViFi must not complete fewer TCP transfers than Only Diversity
+    // (allowing a small noise margin).
+    let completed = |vifi: VifiConfig| {
+        let out = run(vifi, WorkloadSpec::paper_tcp(), 500, 10);
+        match out.report {
+            WorkloadReport::Tcp(t) => {
+                (t.down.transfer_times.len() + t.up.transfer_times.len()) as f64
+            }
+            _ => unreachable!(),
+        }
+    };
+    let full = completed(VifiConfig::default());
+    let only_div = completed(VifiConfig::only_diversity());
+    assert!(
+        full >= only_div * 0.9,
+        "salvaging must not hurt: full {full} vs only-diversity {only_div}"
+    );
+}
+
+#[test]
+fn voip_scoring_end_to_end() {
+    let s = vanlan(1);
+    let cfg = RunConfig {
+        workload: WorkloadSpec::Voip,
+        duration: SimDuration::from_secs(200),
+        seed: 12,
+        wired_delay: SimDuration::ZERO,
+        ..RunConfig::default()
+    };
+    let out = Simulation::deployment(&s, cfg).run();
+    let v = match out.report {
+        WorkloadReport::Voip(v) => v,
+        _ => unreachable!(),
+    };
+    // Scores exist, are valid MoS values, and some windows are decent
+    // while the van is in coverage.
+    assert!(!v.down.scores.is_empty());
+    for w in v.down.scores.iter().chain(v.up.scores.iter()) {
+        assert!((1.0..=4.5).contains(&w.mos), "MoS {w:?}");
+        assert!((0.0..=1.0).contains(&w.loss));
+    }
+    assert!(v.down.scores.iter().any(|w| w.mos > 3.0));
+}
+
+#[test]
+fn efficiency_stays_comparable() {
+    // §5.4: ViFi must not burn the medium — efficiency within ~25% of BRR
+    // overall.
+    let eff = |vifi: VifiConfig| {
+        let out = run(vifi, WorkloadSpec::paper_tcp(), 400, 13);
+        let up = out.log.ledger_up;
+        let down = out.log.ledger_down;
+        (up.delivered + down.delivered) as f64 / (up.wireless_tx + down.wireless_tx).max(1) as f64
+    };
+    let vifi = eff(VifiConfig::default());
+    let brr = eff(VifiConfig::brr_baseline());
+    assert!(
+        vifi > brr * 0.75,
+        "ViFi efficiency {vifi:.2} vs BRR {brr:.2}"
+    );
+}
+
+#[test]
+fn backplane_capacity_limits_relaying() {
+    // Fault injection: an over-restricted backplane must hurt, not crash.
+    let s = vanlan(1);
+    let mut cfg = RunConfig {
+        workload: WorkloadSpec::paper_cbr(),
+        duration: SimDuration::from_secs(150),
+        seed: 14,
+        ..RunConfig::default()
+    };
+    cfg.backplane.capacity_bps = 20_000; // 20 kbps: starved
+    cfg.backplane.max_backlog_bytes = 4_096;
+    let out = Simulation::deployment(&s, cfg).run();
+    assert!(
+        out.log.backplane_drops > 0,
+        "a starved backplane must drop relays"
+    );
+}
