@@ -40,7 +40,9 @@ impl CbrSchedule {
         if end <= start {
             return 0;
         }
-        (end - start).as_micros().div_ceil(self.interval.as_micros())
+        (end - start)
+            .as_micros()
+            .div_ceil(self.interval.as_micros())
     }
 }
 

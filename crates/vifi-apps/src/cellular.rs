@@ -96,9 +96,8 @@ impl CellularLink {
                 if self.rng.chance(self.params.loss) {
                     continue;
                 }
-                let ser = SimDuration::from_micros(
-                    seg.wire_bytes() as u64 * 8 * 1_000_000 / data_rate,
-                );
+                let ser =
+                    SimDuration::from_micros(seg.wire_bytes() as u64 * 8 * 1_000_000 / data_rate);
                 data_free = data_free.max(now) + ser;
                 in_flight.push((data_free + self.params.one_way, true, seg));
             }

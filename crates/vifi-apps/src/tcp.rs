@@ -113,7 +113,9 @@ impl TcpSegment {
                 if buf.len() < 8 {
                     return None;
                 }
-                Some(TcpSegment::Ack { cum: buf.get_u64_le() })
+                Some(TcpSegment::Ack {
+                    cum: buf.get_u64_le(),
+                })
             }
             _ => None,
         }
@@ -258,10 +260,7 @@ impl TcpSender {
                     && self.snd_nxt - self.snd_una + self.cfg.mss as u64
                         <= window_bytes.max(self.cfg.mss as u64)
                 {
-                    let len = self
-                        .cfg
-                        .mss
-                        .min((self.file_size - self.snd_nxt) as u32);
+                    let len = self.cfg.mss.min((self.file_size - self.snd_nxt) as u32);
                     out.push(TcpSegment::Data {
                         seq: self.snd_nxt,
                         len,
@@ -495,7 +494,10 @@ mod tests {
         for seg in [
             TcpSegment::Syn,
             TcpSegment::SynAck,
-            TcpSegment::Data { seq: 12345, len: 1400 },
+            TcpSegment::Data {
+                seq: 12345,
+                len: 1400,
+            },
             TcpSegment::Ack { cum: 99999 },
         ] {
             let enc = seg.encode();
@@ -642,7 +644,10 @@ mod tests {
             let (snd, rcv) = run_lossy(10_000, 0.2, seed);
             assert!(snd.is_complete(), "seed {seed}");
             assert_eq!(rcv.bytes_received(), 10_000, "seed {seed}");
-            assert!(snd.retransmissions() > 0 || seed > 100, "losses should force retx");
+            assert!(
+                snd.retransmissions() > 0 || seed > 100,
+                "losses should force retx"
+            );
         }
     }
 
@@ -689,7 +694,13 @@ mod tests {
     fn receiver_reassembles_out_of_order() {
         let mut rcv = TcpReceiver::new();
         rcv.on_segment(TcpSegment::Syn, t(0));
-        let a1 = rcv.on_segment(TcpSegment::Data { seq: 1400, len: 1400 }, t(1));
+        let a1 = rcv.on_segment(
+            TcpSegment::Data {
+                seq: 1400,
+                len: 1400,
+            },
+            t(1),
+        );
         assert_eq!(a1, vec![TcpSegment::Ack { cum: 0 }], "hole → dup ack");
         let a2 = rcv.on_segment(TcpSegment::Data { seq: 0, len: 1400 }, t(2));
         assert_eq!(a2, vec![TcpSegment::Ack { cum: 2800 }], "hole filled");
@@ -735,6 +746,9 @@ mod tests {
         assert_eq!(snd.retransmissions(), 1, "fast retransmit fired");
         // poll_tx resends from the hole.
         let resend = snd.poll_tx(t(25));
-        assert!(matches!(resend.first(), Some(TcpSegment::Data { seq: 0, .. })));
+        assert!(matches!(
+            resend.first(),
+            Some(TcpSegment::Data { seq: 0, .. })
+        ));
     }
 }

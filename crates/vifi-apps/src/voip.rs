@@ -260,9 +260,8 @@ impl VoipReport {
     /// Median session length (time-weighted, like the link-layer session
     /// metric — half the talk time lies in sessions at least this long).
     pub fn median_session(&self) -> SimDuration {
-        let mut cdf = vifi_metrics::Cdf::self_weighted(
-            self.sessions.iter().map(|s| s.as_secs_f64()),
-        );
+        let mut cdf =
+            vifi_metrics::Cdf::self_weighted(self.sessions.iter().map(|s| s.as_secs_f64()));
         SimDuration::from_secs_f64(cdf.median())
     }
 }
@@ -397,7 +396,11 @@ mod tests {
         }
         let rep = sc.report();
         assert_eq!(rep.sessions.len(), 1, "5% loss should not interrupt");
-        assert!(rep.mean_mos > 3.0 && rep.mean_mos < 4.2, "MoS {}", rep.mean_mos);
+        assert!(
+            rep.mean_mos > 3.0 && rep.mean_mos < 4.2,
+            "MoS {}",
+            rep.mean_mos
+        );
     }
 
     #[test]

@@ -8,7 +8,13 @@ use vifi_sim::{Rng, SimDuration, SimTime};
 /// Drive a transfer over a pipe with i.i.d. loss and (optionally
 /// jittered, hence reordering) delay.
 /// Returns (completed, bytes_received, retransmissions).
-fn run_transfer(file: u64, loss: f64, seed: u64, max_steps: usize, jitter: bool) -> (bool, u64, u64) {
+fn run_transfer(
+    file: u64,
+    loss: f64,
+    seed: u64,
+    max_steps: usize,
+    jitter: bool,
+) -> (bool, u64, u64) {
     let mut rng = Rng::new(seed);
     let mut snd = TcpSender::new(TcpConfig::default(), file, SimTime::ZERO);
     let mut rcv = TcpReceiver::new();
@@ -20,8 +26,7 @@ fn run_transfer(file: u64, loss: f64, seed: u64, max_steps: usize, jitter: bool)
         }
         for seg in snd.poll_tx(now) {
             if !rng.chance(loss) {
-                let delay =
-                    SimDuration::from_millis(if jitter { 5 + rng.below(30) } else { 15 });
+                let delay = SimDuration::from_millis(if jitter { 5 + rng.below(30) } else { 15 });
                 in_flight.push((now + delay, true, seg));
             }
         }
@@ -53,7 +58,11 @@ fn run_transfer(file: u64, loss: f64, seed: u64, max_steps: usize, jitter: bool)
         }
         in_flight = rest;
     }
-    (snd.is_complete(), rcv.bytes_received(), snd.retransmissions())
+    (
+        snd.is_complete(),
+        rcv.bytes_received(),
+        snd.retransmissions(),
+    )
 }
 
 proptest! {

@@ -131,7 +131,13 @@ fn limits_ablation(_scale: &Scale) {
     }
     print_table(
         "§5.5.2 — symmetric auxiliaries: relay-count dispersion",
-        &["#aux", "per-aux r", "E[#relays]", "P(0 relays)", "P(≥3 relays)"],
+        &[
+            "#aux",
+            "per-aux r",
+            "E[#relays]",
+            "P(0 relays)",
+            "P(≥3 relays)",
+        ],
         &rows,
     );
     println!(

@@ -7,8 +7,21 @@ use std::process::Command;
 fn main() {
     let extra: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "table1", "table2", "ablations",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table1",
+        "table2",
+        "ablations",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -2,7 +2,9 @@
 //! (deployment mode) and DieselNet Channels 1/6 (trace-driven), BRR vs
 //! ViFi. Also reports the mean 3-second MoS (§5.3.2 quotes 3.4 vs 3.0).
 
-use vifi_bench::{banner, fmt_ci, print_table, save_json, sweep_deployment, sweep_trace, Scale, VifiConfig};
+use vifi_bench::{
+    banner, fmt_ci, print_table, save_json, sweep_deployment, sweep_trace, Scale, VifiConfig,
+};
 use vifi_runtime::{WorkloadReport, WorkloadSpec};
 use vifi_sim::Rng;
 use vifi_testbeds::{dieselnet_ch1, dieselnet_ch6, generate_beacon_trace, vanlan};
@@ -28,14 +30,8 @@ fn main() {
             ("BRR", VifiConfig::brr_baseline()),
             ("ViFi", VifiConfig::default()),
         ] {
-            let stats: Vec<(f64, f64)> = sweep_deployment(
-                &s,
-                cfg,
-                WorkloadSpec::Voip,
-                duration,
-                scale.seeds,
-                extract,
-            );
+            let stats: Vec<(f64, f64)> =
+                sweep_deployment(&s, cfg, WorkloadSpec::Voip, duration, scale.seeds, extract);
             let sessions: Vec<f64> = stats.iter().map(|(s, _)| *s).collect();
             let mos: Vec<f64> = stats.iter().map(|(_, m)| *m).collect();
             rows.push(vec![
@@ -61,8 +57,14 @@ fn main() {
             ("BRR", VifiConfig::brr_baseline()),
             ("ViFi", VifiConfig::default()),
         ] {
-            let stats: Vec<(f64, f64)> =
-                sweep_trace(&trace, cfg, WorkloadSpec::Voip, duration, scale.seeds, extract);
+            let stats: Vec<(f64, f64)> = sweep_trace(
+                &trace,
+                cfg,
+                WorkloadSpec::Voip,
+                duration,
+                scale.seeds,
+                extract,
+            );
             let sessions: Vec<f64> = stats.iter().map(|(s, _)| *s).collect();
             let mos: Vec<f64> = stats.iter().map(|(_, m)| *m).collect();
             rows.push(vec![

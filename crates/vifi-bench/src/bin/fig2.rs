@@ -68,9 +68,8 @@ fn main() {
                     _ => evaluate(&eval_log, *p),
                 };
                 // Delivered per lap × visits/day → per-day packets.
-                let per_day = out.delivered() as f64 / laps as f64
-                    * base.visits_per_day as f64
-                    / 1000.0;
+                let per_day =
+                    out.delivered() as f64 / laps as f64 * base.visits_per_day as f64 / 1000.0;
                 samples.push(per_day);
             }
         }

@@ -12,7 +12,10 @@ use vifi_testbeds::vanlan;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Figure 3: example-trip connectivity + session-length CDF", &scale);
+    banner(
+        "Figure 3: example-trip connectivity + session-length CDF",
+        &scale,
+    );
     let s = vanlan(1);
     let veh = s.vehicle_ids()[0];
 
@@ -75,7 +78,11 @@ fn main() {
         .iter()
         .map(|(n, m)| vec![n.to_string(), format!("{m:.0} s")])
         .collect();
-    print_table("median session length (time-weighted)", &["policy", "median"], &med_rows);
+    print_table(
+        "median session length (time-weighted)",
+        &["policy", "median"],
+        &med_rows,
+    );
     println!(
         "\nExpected shape: AllBSes median ≳2x BestBS and ≫ BRR; Sticky worst \
          (paper: AllBSes ≈ 2x BestBS, ≈ 7x BRR)."

@@ -15,14 +15,23 @@ fn median_at(
     min_ratio: f64,
 ) -> f64 {
     let ratios = out.combined_ratios_interval(slots_per_sec, interval);
-    sessions_from_ratios(&ratios, SessionDef { interval, min_ratio })
-        .median_time_weighted()
-        .as_secs_f64()
+    sessions_from_ratios(
+        &ratios,
+        SessionDef {
+            interval,
+            min_ratio,
+        },
+    )
+    .median_time_weighted()
+    .as_secs_f64()
 }
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Figure 4: median session length vs definition of adequate", &scale);
+    banner(
+        "Figure 4: median session length vs definition of adequate",
+        &scale,
+    );
     let s = vanlan(1);
     let veh = s.vehicle_ids()[0];
     let policies = [Policy::AllBses, Policy::BestBs, Policy::Brr, Policy::Sticky];
@@ -35,10 +44,8 @@ fn main() {
     let ratio_pts: Vec<f64> = vec![0.1, 0.3, 0.5, 0.7, 0.9];
 
     // Collect per-seed samples for CIs.
-    let mut a_samples: Vec<Vec<Vec<f64>>> =
-        vec![vec![Vec::new(); intervals.len()]; policies.len()];
-    let mut b_samples: Vec<Vec<Vec<f64>>> =
-        vec![vec![Vec::new(); ratio_pts.len()]; policies.len()];
+    let mut a_samples: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); intervals.len()]; policies.len()];
+    let mut b_samples: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); ratio_pts.len()]; policies.len()];
     for seed in 0..scale.seeds {
         let log = generate_probe_log(&s, veh, s.lap * laps, &Rng::new(30 + seed));
         for (pi, &p) in policies.iter().enumerate() {
@@ -67,7 +74,11 @@ fn main() {
         })
         .collect();
     let headers_a: Vec<String> = std::iter::once("policy".into())
-        .chain(intervals.iter().map(|iv| format!("{:.1}s", iv.as_secs_f64())))
+        .chain(
+            intervals
+                .iter()
+                .map(|iv| format!("{:.1}s", iv.as_secs_f64())),
+        )
         .collect();
     print_table(
         "(a) median session length vs averaging interval (ratio = 50%)",

@@ -14,8 +14,7 @@ fn visibility_cdf(s: &Scenario, laps: u64, min_ratio: f64, seed: u64) -> (Cdf, f
     let veh = s.vehicle_ids()[0];
     let trace = generate_beacon_trace(s, veh, s.lap * laps, 10, &Rng::new(seed));
     let counts = trace.visible_per_second(min_ratio);
-    let mean =
-        counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len().max(1) as f64;
+    let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len().max(1) as f64;
     (Cdf::from_values(counts.iter().map(|&c| c as f64)), mean)
 }
 
@@ -26,8 +25,10 @@ fn main() {
     let testbeds = [vanlan(1), dieselnet_ch1(), dieselnet_ch6()];
     let xs: Vec<f64> = (0..=10).map(|x| x as f64).collect();
 
-    for (panel, min_ratio) in [("(a) at least one beacon", 0.0), ("(b) at least 50% of beacons", 0.5)]
-    {
+    for (panel, min_ratio) in [
+        ("(a) at least one beacon", 0.0),
+        ("(b) at least 50% of beacons", 0.5),
+    ] {
         let mut rows = Vec::new();
         let mut json_rows = Vec::new();
         for s in &testbeds {

@@ -16,7 +16,10 @@ use vifi_testbeds::vanlan;
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Figure 6: burstiness and cross-BS independence of losses", &scale);
+    banner(
+        "Figure 6: burstiness and cross-BS independence of losses",
+        &scale,
+    );
     let s = vanlan(1);
     let veh = s.vehicle_ids()[0];
     let laps = (scale.laps * 3).max(3) as u64;
@@ -100,7 +103,11 @@ fn main() {
             }
         }
     }
-    assert!(a_seq.len() > 100, "need co-coverage samples: {}", a_seq.len());
+    assert!(
+        a_seq.len() > 100,
+        "need co-coverage samples: {}",
+        a_seq.len()
+    );
     let t6b = reception_conditionals(&a_seq, &b_seq);
     let fmt = |x: f64| {
         if x.is_nan() {

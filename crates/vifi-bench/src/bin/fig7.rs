@@ -22,9 +22,15 @@ fn median_from_1s(ratios_1s: &[f64], interval: SimDuration, min_ratio: f64) -> f
         .chunks(k)
         .map(|c| c.iter().sum::<f64>() / c.len() as f64)
         .collect();
-    sessions_from_ratios(&agg, SessionDef { interval, min_ratio })
-        .median_time_weighted()
-        .as_secs_f64()
+    sessions_from_ratios(
+        &agg,
+        SessionDef {
+            interval,
+            min_ratio,
+        },
+    )
+    .median_time_weighted()
+    .as_secs_f64()
 }
 
 fn main() {
@@ -108,7 +114,11 @@ fn main() {
     }
 
     let headers_a: Vec<String> = std::iter::once("protocol".into())
-        .chain(intervals.iter().map(|iv| format!("{:.0}s", iv.as_secs_f64())))
+        .chain(
+            intervals
+                .iter()
+                .map(|iv| format!("{:.0}s", iv.as_secs_f64())),
+        )
         .collect();
     print_table(
         "(a) median session length vs averaging interval (ratio = 50%)",

@@ -1,8 +1,8 @@
 //! Figure 8: the behaviour of BRR and ViFi along a path segment —
 //! connectivity strips from full deployment simulations.
 
-use vifi_bench::{banner, interruptions, run_deployment, save_json, strip, Scale, VifiConfig};
 use vifi_bench::cbr_ratios_1s;
+use vifi_bench::{banner, interruptions, run_deployment, save_json, strip, Scale, VifiConfig};
 use vifi_runtime::WorkloadSpec;
 use vifi_testbeds::vanlan;
 
@@ -23,7 +23,12 @@ fn main() {
         let last = ratios.iter().rposition(|&r| r > 0.0).unwrap_or(0);
         let window = &ratios[first.saturating_sub(2)..(last + 3).min(ratios.len())];
         let n = interruptions(window, 0.5);
-        println!("\n  {:<5} interruptions: {:2}\n  {}", name, n, strip(window, 0.5));
+        println!(
+            "\n  {:<5} interruptions: {:2}\n  {}",
+            name,
+            n,
+            strip(window, 0.5)
+        );
         json.push(serde_json::json!({
             "protocol": name,
             "interruptions": n,

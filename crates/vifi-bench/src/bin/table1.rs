@@ -22,16 +22,56 @@ fn main() {
     let pct = |x: f64| format!("{:.0}%", x * 100.0);
     let num = |x: f64| format!("{x:.1}");
     let rows = vec![
-        vec!["A1 median number of auxiliary BSes".to_string(), num(t.up.a1_median_aux), num(t.down.a1_median_aux)],
-        vec!["A2 avg auxiliaries hearing a source tx".to_string(), num(t.up.a2_aux_hear_tx), num(t.down.a2_aux_hear_tx)],
-        vec!["A3 avg auxiliaries hearing tx but not ACK".to_string(), num(t.up.a3_aux_hear_tx_not_ack), num(t.down.a3_aux_hear_tx_not_ack)],
-        vec!["B1 source tx that reach the destination".to_string(), pct(t.up.b1_src_reach), pct(t.down.b1_src_reach)],
-        vec!["B2 relays of successful source tx (false pos.)".to_string(), pct(t.up.b2_false_positive), pct(t.down.b2_false_positive)],
-        vec!["B3 avg relayers when a false positive occurs".to_string(), num(t.up.b3_relayers_on_fp), num(t.down.b3_relayers_on_fp)],
-        vec!["C1 source tx that do not reach the destination".to_string(), pct(t.up.c1_src_fail), pct(t.down.c1_src_fail)],
-        vec!["C2 failed source tx overheard by ≥1 auxiliary".to_string(), pct(t.up.c2_overheard), pct(t.down.c2_overheard)],
-        vec!["C3 failed source tx with zero relays (false neg.)".to_string(), pct(t.up.c3_false_negative), pct(t.down.c3_false_negative)],
-        vec!["C4 relayed packets that reach the destination".to_string(), pct(t.up.c4_relay_reach), pct(t.down.c4_relay_reach)],
+        vec![
+            "A1 median number of auxiliary BSes".to_string(),
+            num(t.up.a1_median_aux),
+            num(t.down.a1_median_aux),
+        ],
+        vec![
+            "A2 avg auxiliaries hearing a source tx".to_string(),
+            num(t.up.a2_aux_hear_tx),
+            num(t.down.a2_aux_hear_tx),
+        ],
+        vec![
+            "A3 avg auxiliaries hearing tx but not ACK".to_string(),
+            num(t.up.a3_aux_hear_tx_not_ack),
+            num(t.down.a3_aux_hear_tx_not_ack),
+        ],
+        vec![
+            "B1 source tx that reach the destination".to_string(),
+            pct(t.up.b1_src_reach),
+            pct(t.down.b1_src_reach),
+        ],
+        vec![
+            "B2 relays of successful source tx (false pos.)".to_string(),
+            pct(t.up.b2_false_positive),
+            pct(t.down.b2_false_positive),
+        ],
+        vec![
+            "B3 avg relayers when a false positive occurs".to_string(),
+            num(t.up.b3_relayers_on_fp),
+            num(t.down.b3_relayers_on_fp),
+        ],
+        vec![
+            "C1 source tx that do not reach the destination".to_string(),
+            pct(t.up.c1_src_fail),
+            pct(t.down.c1_src_fail),
+        ],
+        vec![
+            "C2 failed source tx overheard by ≥1 auxiliary".to_string(),
+            pct(t.up.c2_overheard),
+            pct(t.down.c2_overheard),
+        ],
+        vec![
+            "C3 failed source tx with zero relays (false neg.)".to_string(),
+            pct(t.up.c3_false_negative),
+            pct(t.down.c3_false_negative),
+        ],
+        vec![
+            "C4 relayed packets that reach the destination".to_string(),
+            pct(t.up.c4_relay_reach),
+            pct(t.down.c4_relay_reach),
+        ],
     ];
     print_table(
         "Table 1 (paper values for reference: A1 5/5, A2 1.7/3.6, A3 0.6/2.5, B1 67%/74%, B2 25%/33%, B3 1.5/1.5, C1 33%/26%, C2 66%/98%, C3 10%/34%, C4 100%/50%)",

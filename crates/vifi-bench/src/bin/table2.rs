@@ -11,7 +11,10 @@ use vifi_testbeds::{dieselnet_ch1, generate_beacon_trace};
 
 fn main() {
     let scale = Scale::from_args();
-    banner("Table 2: coordination-mechanism comparison (DieselNet Ch. 1)", &scale);
+    banner(
+        "Table 2: coordination-mechanism comparison (DieselNet Ch. 1)",
+        &scale,
+    );
     let s = dieselnet_ch1();
     let veh = s.vehicle_ids()[0];
     let duration = s.lap * (scale.laps.max(1) as u64);

@@ -8,7 +8,7 @@
 //! release mode.
 //!
 //! The shared pieces here: run scaling, deployment/trace run helpers with
-//! parallel seed sweeps (crossbeam scoped threads — each thread builds
+//! parallel seed sweeps (std scoped threads — each thread builds
 //! and runs its own `Simulation`), session analysis plumbing, ASCII table
 //! and connectivity-strip rendering, and JSON result persistence.
 
@@ -130,21 +130,20 @@ where
     F: Fn(RunOutcome) -> T + Sync,
     T: Send,
 {
-    let mut out: Vec<(u64, T)> = crossbeam::thread::scope(|s| {
+    let mut out: Vec<(u64, T)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..seeds)
             .map(|seed| {
                 let vifi = vifi.clone();
                 let workload = workload.clone();
                 let extract = &extract;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let o = run_deployment(scenario, vifi, workload, duration, 1000 + seed);
                     (seed, extract(o))
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("sweep threads");
+    });
     out.sort_by_key(|(s, _)| *s);
     out.into_iter().map(|(_, t)| t).collect()
 }
@@ -162,21 +161,20 @@ where
     F: Fn(RunOutcome) -> T + Sync,
     T: Send,
 {
-    let mut out: Vec<(u64, T)> = crossbeam::thread::scope(|s| {
+    let mut out: Vec<(u64, T)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..seeds)
             .map(|seed| {
                 let vifi = vifi.clone();
                 let workload = workload.clone();
                 let extract = &extract;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let o = run_trace(trace, vifi, workload, duration, 2000 + seed);
                     (seed, extract(o))
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("sweep threads");
+    });
     out.sort_by_key(|(s, _)| *s);
     out.into_iter().map(|(_, t)| t).collect()
 }
@@ -245,7 +243,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -357,8 +358,16 @@ mod tests {
     #[test]
     fn interruption_counting() {
         assert_eq!(interruptions(&[0.9, 0.1, 0.9], 0.5), 1);
-        assert_eq!(interruptions(&[0.1, 0.9, 0.9], 0.5), 0, "leading gap isn't one");
-        assert_eq!(interruptions(&[0.9, 0.1, 0.1, 0.9, 0.1], 0.5), 1, "trailing gap isn't one");
+        assert_eq!(
+            interruptions(&[0.1, 0.9, 0.9], 0.5),
+            0,
+            "leading gap isn't one"
+        );
+        assert_eq!(
+            interruptions(&[0.9, 0.1, 0.1, 0.9, 0.1], 0.5),
+            1,
+            "trailing gap isn't one"
+        );
         assert_eq!(interruptions(&[], 0.5), 0);
     }
 

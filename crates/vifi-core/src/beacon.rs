@@ -427,7 +427,7 @@ mod tests {
                 node: NodeId(1),
                 incoming: vec![],
                 outgoing: vec![(me, 0.123)], // p(peer → me) — my own job
-            vehicle: None,
+                vehicle: None,
             },
             t(0),
         );

@@ -165,7 +165,7 @@ mod tests {
         let mut b = RxBitmap::new();
         b.record(10);
         b.record(13); // jump of 3
-        // highest 13; old 10 is 3 below → bit 2.
+                      // highest 13; old 10 is 3 below → bit 2.
         assert_eq!(b.wire(), Some((13, 0b100)));
         assert!(b.contains(10));
         assert!(!b.contains(11));

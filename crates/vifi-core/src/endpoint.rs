@@ -407,11 +407,13 @@ impl Endpoint {
         let waiting = self
             .tx_queue
             .iter()
-            .filter(|f| matches!(f, OutFrame::Data { seq } if self
+            .filter(|f| {
+                matches!(f, OutFrame::Data { seq } if self
                 .pending
                 .get(seq)
                 .map(|p| p.tx_count == 0)
-                .unwrap_or(false)))
+                .unwrap_or(false))
+            })
             .count();
         if waiting <= self.cfg.max_data_queue {
             return;
@@ -508,10 +510,7 @@ impl Endpoint {
         p.tx_count += 1;
         p.last_tx = Some(now);
         self.data_tx += 1;
-        let bitmap = self
-            .rx_bitmaps
-            .get(&reverse_peer)
-            .and_then(|b| b.wire());
+        let bitmap = self.rx_bitmaps.get(&reverse_peer).and_then(|b| b.wire());
         let app = p.app.clone();
         let frame = DataFrame {
             id: PacketId {
@@ -652,20 +651,21 @@ impl Endpoint {
                 );
                 // Salvage trigger (§4.5): I just became this vehicle's
                 // anchor and there is a previous anchor to pull from.
-                if self.cfg.salvaging
-                    && info.anchor == Some(self.me)
-                    && info.prev_anchor.is_some()
-                    && info.prev_anchor != Some(self.me)
-                    && self.salvaged_epochs.get(&vehicle) != Some(&info.epoch)
-                {
-                    self.salvaged_epochs.insert(vehicle, info.epoch);
-                    actions.push(Action::Backplane {
-                        to: info.prev_anchor.unwrap(),
-                        msg: BackplaneMsg::SalvageRequest {
-                            new_anchor: self.me,
-                            vehicle,
-                        },
-                    });
+                if let Some(prev_anchor) = info.prev_anchor {
+                    if self.cfg.salvaging
+                        && info.anchor == Some(self.me)
+                        && prev_anchor != self.me
+                        && self.salvaged_epochs.get(&vehicle) != Some(&info.epoch)
+                    {
+                        self.salvaged_epochs.insert(vehicle, info.epoch);
+                        actions.push(Action::Backplane {
+                            to: prev_anchor,
+                            msg: BackplaneMsg::SalvageRequest {
+                                new_anchor: self.me,
+                                vehicle,
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -730,10 +730,7 @@ impl Endpoint {
         let mut actions = Vec::new();
         let origin = d.id.origin;
         // Track for the reverse-direction piggyback bitmap.
-        self.rx_bitmaps
-            .entry(origin)
-            .or_default()
-            .record(d.id.seq);
+        self.rx_bitmaps.entry(origin).or_default().record(d.id.seq);
         let fresh = {
             let set = self.delivered.entry(origin).or_default();
             let fresh = set.insert(d.id.seq);
@@ -882,11 +879,7 @@ impl Endpoint {
 
     /// The next instant this endpoint needs a wake-up, if any.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        let retx = self
-            .pending
-            .values()
-            .filter_map(|p| p.deadline)
-            .min();
+        let retx = self.pending.values().filter_map(|p| p.deadline).min();
         let relay = self.next_relay_check();
         match (retx, relay) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -1069,10 +1062,8 @@ mod tests {
     fn converge(nodes: &mut [&mut Endpoint], secs: u64) {
         for tick in 0..(secs * 10) {
             let now = SimTime::from_millis(tick * 100);
-            let beacons: Vec<VifiPayload> = nodes
-                .iter_mut()
-                .map(|n| n.make_beacon(now).0)
-                .collect();
+            let beacons: Vec<VifiPayload> =
+                nodes.iter_mut().map(|n| n.make_beacon(now).0).collect();
             for (i, b) in beacons.iter().enumerate() {
                 for (j, n) in nodes.iter_mut().enumerate() {
                     if i != j {
@@ -1105,7 +1096,10 @@ mod tests {
         let mut veh = vehicle(VifiConfig::default());
         veh.send_app(Bytes::from_static(b"hello"), None, t(0));
         assert!(veh.has_tx());
-        assert!(veh.pull_frame(t(0)).is_none(), "no anchor: nothing sendable");
+        assert!(
+            veh.pull_frame(t(0)).is_none(),
+            "no anchor: nothing sendable"
+        );
         assert_eq!(veh.pending_count(), 1, "packet still pending");
     }
 
@@ -1131,7 +1125,9 @@ mod tests {
             ac,
             Action::Deliver { id: did, dir: Direction::Upstream, .. } if *did == id
         )));
-        let (ack, _) = a.pull_frame(now + SimDuration::from_millis(5)).expect("ack queued");
+        let (ack, _) = a
+            .pull_frame(now + SimDuration::from_millis(5))
+            .expect("ack queued");
         assert!(matches!(&ack, VifiPayload::Ack(f) if f.id == id && f.from == BS_A));
         // Vehicle hears the ACK: pending cleared, no retransmission later.
         veh.on_frame(&ack, now + SimDuration::from_millis(8));
@@ -1251,7 +1247,10 @@ mod tests {
             matches!(ac, Action::Stat(StatEvent::RelayDecision { id: did, prob, .. })
                 if *did == id && *prob > 0.0)
         });
-        assert!(decided, "relay decision with positive probability: {acts:?}");
+        assert!(
+            decided,
+            "relay decision with positive probability: {acts:?}"
+        );
         // With one aux and converged (≈1.0) probabilities, the ViFi rule
         // gives r = min(p/(c·p), 1) = 1 for the lone contender.
         let relayed = acts.iter().find_map(|ac| match ac {
@@ -1436,7 +1435,11 @@ mod tests {
         assert_eq!(veh.pending_count(), 1);
         // Later the anchor sends downstream data; its piggybacked bitmap
         // covers the vehicle's seq 0.
-        a.send_app(Bytes::from_static(b"reply"), Some(VEH), now + SimDuration::from_millis(30));
+        a.send_app(
+            Bytes::from_static(b"reply"),
+            Some(VEH),
+            now + SimDuration::from_millis(30),
+        );
         let (down, _) = a.pull_frame(now + SimDuration::from_millis(30)).unwrap();
         match &down {
             VifiPayload::Data(d) => assert!(d.bitmap.is_some(), "bitmap rides on data"),
@@ -1478,7 +1481,11 @@ mod tests {
         converge(&mut [&mut veh, &mut a], 2);
         let now = t(2100);
         for i in 0..5 {
-            veh.send_app(Bytes::from_static(b"c"), None, now + SimDuration::from_millis(i));
+            veh.send_app(
+                Bytes::from_static(b"c"),
+                None,
+                now + SimDuration::from_millis(i),
+            );
         }
         let mut sent = 0;
         while let Some((f, _)) = veh.pull_frame(now + SimDuration::from_millis(10)) {

@@ -50,9 +50,18 @@ mod tests {
 
     #[test]
     fn identity_semantics() {
-        let a = PacketId { origin: NodeId(1), seq: 5 };
-        let b = PacketId { origin: NodeId(1), seq: 5 };
-        let c = PacketId { origin: NodeId(2), seq: 5 };
+        let a = PacketId {
+            origin: NodeId(1),
+            seq: 5,
+        };
+        let b = PacketId {
+            origin: NodeId(1),
+            seq: 5,
+        };
+        let c = PacketId {
+            origin: NodeId(2),
+            seq: 5,
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(format!("{a}"), "n1#5");

@@ -279,11 +279,11 @@ mod tests {
         assert!((r1 - 0.125).abs() < 1e-9, "r1 = {r1}"); // (1−0.9)/0.8
         assert_eq!(r2, 0.0);
         // Expected *deliveries* = Σ r·p·c = 0.9 + 0.125·0.8 = 1.
-        let deliveries: f64 = (0..3).map(|i| {
-            ctx.contention(i)
-                * relay_probability(&ctx, i, Coordination::NotG3)
-                * ctx.p_b_d[i]
-        }).sum();
+        let deliveries: f64 = (0..3)
+            .map(|i| {
+                ctx.contention(i) * relay_probability(&ctx, i, Coordination::NotG3) * ctx.p_b_d[i]
+            })
+            .sum();
         assert!((deliveries - 1.0).abs() < 1e-9);
         // And expected *relays* exceed 1 — ¬G3's false-positive problem.
         let e = expected_relays(&ctx, Coordination::NotG3);

@@ -27,12 +27,7 @@ pub struct RetxTimer {
 
 impl RetxTimer {
     /// Create a timer tracking up to `capacity` recent delay samples.
-    pub fn new(
-        capacity: usize,
-        percentile: f64,
-        floor: SimDuration,
-        ceiling: SimDuration,
-    ) -> Self {
+    pub fn new(capacity: usize, percentile: f64, floor: SimDuration, ceiling: SimDuration) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         assert!((50.0..=100.0).contains(&percentile));
         assert!(floor <= ceiling);
@@ -113,7 +108,10 @@ mod tests {
     fn empty_uses_floor() {
         let mut t = timer();
         assert_eq!(t.timeout(), ms(5));
-        assert_eq!(t.deadline(SimTime::from_secs(1)), SimTime::from_secs(1) + ms(5));
+        assert_eq!(
+            t.deadline(SimTime::from_secs(1)),
+            SimTime::from_secs(1) + ms(5)
+        );
     }
 
     #[test]

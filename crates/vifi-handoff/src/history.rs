@@ -58,10 +58,10 @@ impl HistoryDb {
                 .cells
                 .entry(cell)
                 .or_insert_with(|| vec![(0.0, 0); self.bs_count]);
-            for b in 0..self.bs_count {
+            for (b, slot) in entry.iter_mut().enumerate() {
                 let perf = log.down_ratio(b, sec) + log.up_ratio(b, sec);
-                entry[b].0 += perf;
-                entry[b].1 += 1;
+                slot.0 += perf;
+                slot.1 += 1;
             }
         }
     }
@@ -124,12 +124,8 @@ mod tests {
     fn trains_on_real_log_and_predicts() {
         let s = vanlan(1);
         let veh = s.vehicle_ids()[0];
-        let log = crate::replay::generate_probe_log(
-            &s,
-            veh,
-            SimDuration::from_secs(200),
-            &Rng::new(17),
-        );
+        let log =
+            crate::replay::generate_probe_log(&s, veh, SimDuration::from_secs(200), &Rng::new(17));
         let db = HistoryDb::trained_on(&log, 25.0);
         assert!(db.cell_count() > 20, "cells {}", db.cell_count());
         // At a second where some BS was heard well, the DB should point to

@@ -220,11 +220,7 @@ impl PolicyState {
 mod tests {
     use super::*;
 
-    fn obs(
-        sec: usize,
-        down: Vec<f64>,
-        rssi: Vec<Option<f64>>,
-    ) -> SecondObs {
+    fn obs(sec: usize, down: Vec<f64>, rssi: Vec<Option<f64>>) -> SecondObs {
         let n = down.len();
         SecondObs {
             sec,
@@ -259,11 +255,7 @@ mod tests {
         let mut st = PolicyState::new(Policy::Brr, 2);
         // BS 0: loud but lossy (30%); BS 1: quiet but reliable (90%).
         for s in 0..6 {
-            st.observe(&obs(
-                s,
-                vec![0.3, 0.9],
-                vec![Some(-50.0), Some(-80.0)],
-            ));
+            st.observe(&obs(s, vec![0.3, 0.9], vec![Some(-50.0), Some(-80.0)]));
         }
         assert_eq!(st.current(), Some(1));
     }

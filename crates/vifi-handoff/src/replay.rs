@@ -91,9 +91,15 @@ impl ProbeLog {
     pub fn second_obs(&self, sec: usize) -> SecondObs {
         SecondObs {
             sec,
-            down_ratio: (0..self.bs_count()).map(|b| self.down_ratio(b, sec)).collect(),
-            up_ratio: (0..self.bs_count()).map(|b| self.up_ratio(b, sec)).collect(),
-            mean_rssi: (0..self.bs_count()).map(|b| self.mean_rssi(b, sec)).collect(),
+            down_ratio: (0..self.bs_count())
+                .map(|b| self.down_ratio(b, sec))
+                .collect(),
+            up_ratio: (0..self.bs_count())
+                .map(|b| self.up_ratio(b, sec))
+                .collect(),
+            mean_rssi: (0..self.bs_count())
+                .map(|b| self.mean_rssi(b, sec))
+                .collect(),
             pos: self.pos[(sec * self.slots_per_sec).min(self.pos.len() - 1)],
         }
     }
@@ -152,8 +158,8 @@ pub struct EvalOutcome {
 impl EvalOutcome {
     /// Total packets delivered (both directions).
     pub fn delivered(&self) -> u64 {
-        (self.down_ok.iter().filter(|&&x| x).count()
-            + self.up_ok.iter().filter(|&&x| x).count()) as u64
+        (self.down_ok.iter().filter(|&&x| x).count() + self.up_ok.iter().filter(|&&x| x).count())
+            as u64
     }
 
     /// Combined per-second reception ratios (down + up over 2×slots/sec),
@@ -178,8 +184,7 @@ impl EvalOutcome {
         slots_per_sec: usize,
         interval: SimDuration,
     ) -> Vec<f64> {
-        let slots_per_interval =
-            (interval.as_millis() as usize * slots_per_sec / 1000).max(1);
+        let slots_per_interval = (interval.as_millis() as usize * slots_per_sec / 1000).max(1);
         let n = self.down_ok.len() / slots_per_interval;
         (0..n)
             .map(|s| {
@@ -319,10 +324,7 @@ mod tests {
         let log = small_log();
         for b in 0..log.bs_count() {
             for sec in 0..log.seconds() {
-                let manual = (0..10)
-                    .filter(|i| log.down[b][sec * 10 + i])
-                    .count() as f64
-                    / 10.0;
+                let manual = (0..10).filter(|i| log.down[b][sec * 10 + i]).count() as f64 / 10.0;
                 assert_eq!(log.down_ratio(b, sec), manual);
             }
         }
@@ -397,7 +399,13 @@ mod tests {
             rssi: vec![vec![f32::NAN; 100]; 3],
             pos: vec![Point::new(0.0, 0.0); 100],
         };
-        for p in [Policy::Rssi, Policy::Brr, Policy::Sticky, Policy::BestBs, Policy::AllBses] {
+        for p in [
+            Policy::Rssi,
+            Policy::Brr,
+            Policy::Sticky,
+            Policy::BestBs,
+            Policy::AllBses,
+        ] {
             assert_eq!(evaluate(&log, p).delivered(), 0, "{p:?}");
         }
     }

@@ -55,7 +55,10 @@ pub struct Backplane {
 impl Backplane {
     /// New idle backplane.
     pub fn new(params: BackplaneParams) -> Self {
-        assert!(params.capacity_bps > 0, "backplane capacity must be positive");
+        assert!(
+            params.capacity_bps > 0,
+            "backplane capacity must be positive"
+        );
         Backplane {
             params,
             busy_until: SimTime::ZERO,
@@ -139,7 +142,11 @@ mod tests {
         let a1 = b.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).unwrap();
         let a2 = b.send(NodeId(2), NodeId(3), 1250, SimTime::ZERO).unwrap();
         assert_eq!(a1, SimTime::from_millis(20));
-        assert_eq!(a2, SimTime::from_millis(30), "second serializes after first");
+        assert_eq!(
+            a2,
+            SimTime::from_millis(30),
+            "second serializes after first"
+        );
     }
 
     #[test]
@@ -147,7 +154,9 @@ mod tests {
         let mut b = bp(1_000_000);
         let _ = b.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).unwrap();
         // Much later, the serializer is idle again.
-        let a = b.send(NodeId(0), NodeId(1), 1250, SimTime::from_secs(5)).unwrap();
+        let a = b
+            .send(NodeId(0), NodeId(1), 1250, SimTime::from_secs(5))
+            .unwrap();
         assert_eq!(a, SimTime::from_secs(5) + SimDuration::from_millis(20));
     }
 
@@ -177,7 +186,9 @@ mod tests {
     #[test]
     fn capacity_scales_serialization() {
         let mut fast = bp(10_000_000);
-        let a = fast.send(NodeId(0), NodeId(1), 1250, SimTime::ZERO).unwrap();
+        let a = fast
+            .send(NodeId(0), NodeId(1), 1250, SimTime::ZERO)
+            .unwrap();
         assert_eq!(a, SimTime::from_millis(11)); // 1 ms serialize + 10 ms
     }
 

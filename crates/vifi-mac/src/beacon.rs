@@ -91,9 +91,11 @@ mod tests {
     fn phases_differ_between_nodes() {
         let s = sched();
         let phases: Vec<_> = (0..10).map(|i| s.phase(NodeId(i))).collect();
-        let distinct: std::collections::HashSet<_> =
-            phases.iter().map(|p| p.as_micros()).collect();
-        assert!(distinct.len() >= 8, "phases should spread out: {distinct:?}");
+        let distinct: std::collections::HashSet<_> = phases.iter().map(|p| p.as_micros()).collect();
+        assert!(
+            distinct.len() >= 8,
+            "phases should spread out: {distinct:?}"
+        );
     }
 
     #[test]
@@ -101,7 +103,11 @@ mod tests {
         let s = sched();
         assert_eq!(s.phase(NodeId(5)), s.phase(NodeId(5)));
         let s2 = BeaconSchedule::new(SimDuration::from_millis(100), &Rng::new(42));
-        assert_eq!(s.phase(NodeId(5)), s2.phase(NodeId(5)), "same seed, same phase");
+        assert_eq!(
+            s.phase(NodeId(5)),
+            s2.phase(NodeId(5)),
+            "same seed, same phase"
+        );
     }
 
     #[test]

@@ -158,9 +158,9 @@ impl<P: Clone> Medium<P> {
             }
             // Hidden-terminal collision: an overlapping foreign signal the
             // receiver can hear destroys the frame.
-            let collided = overlapping.iter().any(|(n, _, _)| {
-                link.quality_hint(*n, rx, now) > self.params.sense_threshold
-            });
+            let collided = overlapping
+                .iter()
+                .any(|(n, _, _)| link.quality_hint(*n, rx, now) > self.params.sense_threshold);
             if collided {
                 continue;
             }
@@ -215,13 +215,19 @@ mod tests {
     /// — lets tests isolate MAC behaviour from channel randomness.
     fn perfect_link(n: u32, secs: usize) -> TraceLinkModel {
         let rng = Rng::new(1);
-        let mut m = TraceLinkModel::new(&rng)
-            .with_ge_params(vifi_phy::gilbert::GeParams {
-                fade_depth_db: 0.0,
-                ..Default::default()
-            });
+        let mut m = TraceLinkModel::new(&rng).with_ge_params(vifi_phy::gilbert::GeParams {
+            fade_depth_db: 0.0,
+            ..Default::default()
+        });
         for i in 0..n {
-            m.add_node(NodeId(i), if i == 0 { NodeKind::Vehicle } else { NodeKind::Basestation });
+            m.add_node(
+                NodeId(i),
+                if i == 0 {
+                    NodeKind::Vehicle
+                } else {
+                    NodeKind::Basestation
+                },
+            );
         }
         for a in 0..n {
             for b in 0..n {
@@ -259,27 +265,32 @@ mod tests {
 
     #[test]
     fn carrier_sense_defers_second_sender() {
-        let mut link = perfect_link(3, 10);
+        let link = perfect_link(3, 10);
         let mut med: Medium<u32> = Medium::new(deaf_params());
         let mut rng = Rng::new(3);
-        let (_h1, s1, e1) = med.begin_tx(Frame::new(NodeId(0), 500, 1), SimTime::ZERO, &link, &mut rng);
+        let (_h1, s1, e1) = med.begin_tx(
+            Frame::new(NodeId(0), 500, 1),
+            SimTime::ZERO,
+            &link,
+            &mut rng,
+        );
         // Node 1 hears node 0 (perfect link), so its transmission must not
         // overlap [s1, e1).
-        let (_h2, s2, _e2) =
-            med.begin_tx(Frame::new(NodeId(1), 500, 2), s1, &link, &mut rng);
-        assert!(s2 >= e1, "second tx {s2:?} must defer past first end {e1:?}");
-        let _ = link;
+        let (_h2, s2, _e2) = med.begin_tx(Frame::new(NodeId(1), 500, 2), s1, &link, &mut rng);
+        assert!(
+            s2 >= e1,
+            "second tx {s2:?} must defer past first end {e1:?}"
+        );
     }
 
     #[test]
     fn hidden_terminal_collides_at_receiver() {
         // Topology: 0 and 2 cannot hear each other; both can reach 1.
         let rng = Rng::new(1);
-        let mut link = TraceLinkModel::new(&rng)
-            .with_ge_params(vifi_phy::gilbert::GeParams {
-                fade_depth_db: 0.0,
-                ..Default::default()
-            });
+        let mut link = TraceLinkModel::new(&rng).with_ge_params(vifi_phy::gilbert::GeParams {
+            fade_depth_db: 0.0,
+            ..Default::default()
+        });
         for i in 0..3 {
             link.add_node(NodeId(i), NodeKind::Basestation);
         }
@@ -288,8 +299,18 @@ mod tests {
         // 0↔2: no series = deaf to each other.
         let mut med: Medium<u32> = Medium::new(deaf_params());
         let mut rng = Rng::new(5);
-        let (h1, _s1, e1) = med.begin_tx(Frame::new(NodeId(0), 500, 1), SimTime::ZERO, &link, &mut rng);
-        let (h2, _s2, e2) = med.begin_tx(Frame::new(NodeId(2), 500, 2), SimTime::ZERO, &link, &mut rng);
+        let (h1, _s1, e1) = med.begin_tx(
+            Frame::new(NodeId(0), 500, 1),
+            SimTime::ZERO,
+            &link,
+            &mut rng,
+        );
+        let (h2, _s2, e2) = med.begin_tx(
+            Frame::new(NodeId(2), 500, 2),
+            SimTime::ZERO,
+            &link,
+            &mut rng,
+        );
         // Windows overlap (neither deferred: they can't hear each other).
         let rx1 = med.complete_tx(h1, e1, &mut link, &mut rng).1;
         let rx2 = med.complete_tx(h2, e2, &mut link, &mut rng).1;
@@ -310,11 +331,10 @@ mod tests {
         // node 0, deaf to it (no 1→0 series), transmits overlapping.
         // Node 1, being mid-transmission, must not receive 0's frame.
         let rng = Rng::new(1);
-        let mut link = TraceLinkModel::new(&rng)
-            .with_ge_params(vifi_phy::gilbert::GeParams {
-                fade_depth_db: 0.0,
-                ..Default::default()
-            });
+        let mut link = TraceLinkModel::new(&rng).with_ge_params(vifi_phy::gilbert::GeParams {
+            fade_depth_db: 0.0,
+            ..Default::default()
+        });
         link.add_node(NodeId(0), NodeKind::Basestation);
         link.add_node(NodeId(1), NodeKind::Vehicle);
         link.set_series(NodeId(0), NodeId(1), LossSeries::new(vec![1.0; 10]));
@@ -324,8 +344,12 @@ mod tests {
         };
         let mut med: Medium<u32> = Medium::new(params);
         let mut rng = Rng::new(2);
-        let (_h1, s1, e1) =
-            med.begin_tx(Frame::new(NodeId(1), 1400, 1), SimTime::ZERO, &link, &mut rng);
+        let (_h1, s1, e1) = med.begin_tx(
+            Frame::new(NodeId(1), 1400, 1),
+            SimTime::ZERO,
+            &link,
+            &mut rng,
+        );
         // Node 0 begins while node 1 is on the air and cannot sense it.
         let mid = s1 + (e1 - s1) / 4;
         let (h2, s2, e2) = med.begin_tx(Frame::new(NodeId(0), 100, 2), mid, &link, &mut rng);
@@ -362,7 +386,12 @@ mod tests {
         let mut link = perfect_link(2, 10);
         let mut med: Medium<u32> = Medium::new(deaf_params());
         let mut rng = Rng::new(4);
-        let (h, _s, e) = med.begin_tx(Frame::new(NodeId(0), 100, 0), SimTime::ZERO, &link, &mut rng);
+        let (h, _s, e) = med.begin_tx(
+            Frame::new(NodeId(0), 100, 0),
+            SimTime::ZERO,
+            &link,
+            &mut rng,
+        );
         let _ = med.complete_tx(h, e, &mut link, &mut rng);
         // The completed transmission is pruned immediately (nothing else in
         // flight), so a second completion is rejected.
@@ -372,11 +401,10 @@ mod tests {
     #[test]
     fn lossy_channel_delivers_proportionally() {
         let rng = Rng::new(1);
-        let mut link = TraceLinkModel::new(&rng)
-            .with_ge_params(vifi_phy::gilbert::GeParams {
-                fade_depth_db: 0.0,
-                ..Default::default()
-            });
+        let mut link = TraceLinkModel::new(&rng).with_ge_params(vifi_phy::gilbert::GeParams {
+            fade_depth_db: 0.0,
+            ..Default::default()
+        });
         link.add_node(NodeId(0), NodeKind::Basestation);
         link.add_node(NodeId(1), NodeKind::Vehicle);
         link.set_series(NodeId(0), NodeId(1), LossSeries::new(vec![0.6; 4000]));

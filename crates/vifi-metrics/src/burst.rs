@@ -145,7 +145,10 @@ mod tests {
         let p200 = curve[1].1.unwrap();
         let overall = loss_rate(&seq);
         assert!(p1 > 0.9, "P(loss|loss) at lag 1 = {p1}");
-        assert!(p1 > 2.0 * overall, "lag-1 must exceed unconditional {overall}");
+        assert!(
+            p1 > 2.0 * overall,
+            "lag-1 must exceed unconditional {overall}"
+        );
         assert!(p200 < p1, "curve must decay: {p200} vs {p1}");
     }
 

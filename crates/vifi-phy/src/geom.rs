@@ -85,7 +85,11 @@ impl Route {
     /// Set the starting offset along the route, meters (wrapped to length).
     pub fn with_start_offset(mut self, offset_m: f64) -> Self {
         let len = self.length();
-        self.start_offset_m = if len > 0.0 { offset_m.rem_euclid(len) } else { 0.0 };
+        self.start_offset_m = if len > 0.0 {
+            offset_m.rem_euclid(len)
+        } else {
+            0.0
+        };
         self
     }
 
@@ -134,7 +138,11 @@ impl Route {
         }
         let i = lo.min(seg_count - 1);
         let seg_len = self.cum[i + 1] - self.cum[i];
-        let t = if seg_len > 0.0 { (d - self.cum[i]) / seg_len } else { 0.0 };
+        let t = if seg_len > 0.0 {
+            (d - self.cum[i]) / seg_len
+        } else {
+            0.0
+        };
         let a = self.waypoints[i];
         let b = self.waypoints[(i + 1) % self.waypoints.len()];
         a.lerp(b, t)
@@ -255,7 +263,11 @@ mod tests {
     #[test]
     fn zero_length_segments_tolerated() {
         let r = Route::new(
-            vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
             1.0,
             false,
         );

@@ -110,7 +110,7 @@ impl GilbertElliott {
                 GeState::Bad => GeState::Good,
             };
             let sojourn = self.draw_sojourn(self.state);
-            self.until = self.until + sojourn;
+            self.until += sojourn;
         }
         self.state
     }

@@ -92,7 +92,7 @@ impl GrayProcess {
         while now >= self.until {
             self.gray = !self.gray;
             let sojourn = self.draw_sojourn(self.gray);
-            self.until = self.until + sojourn;
+            self.until += sojourn;
         }
         self.gray
     }
@@ -156,7 +156,11 @@ mod tests {
             }
             t += step;
         }
-        assert!(lens.len() > 50, "need enough gray periods, got {}", lens.len());
+        assert!(
+            lens.len() > 50,
+            "need enough gray periods, got {}",
+            lens.len()
+        );
         let mean = lens.iter().sum::<f64>() / lens.len() as f64;
         // "Short-lived": seconds, not tens of seconds.
         assert!(mean < 6.0, "mean gray period {mean}s");
@@ -204,7 +208,11 @@ mod tests {
             pab += (ga && gb) as u64;
             t += step;
         }
-        let (pa, pb, pab) = (pa as f64 / n as f64, pb as f64 / n as f64, pab as f64 / n as f64);
+        let (pa, pb, pab) = (
+            pa as f64 / n as f64,
+            pb as f64 / n as f64,
+            pab as f64 / n as f64,
+        );
         assert!((pab - pa * pb).abs() < 0.005, "joint {pab} vs {}", pa * pb);
     }
 

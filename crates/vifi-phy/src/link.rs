@@ -140,10 +140,7 @@ impl PhysicalLinkModel {
 
     /// Register a node. Panics on duplicate ids.
     pub fn add_node(&mut self, id: NodeId, kind: NodeKind, mobility: MobilitySource) {
-        assert!(
-            !self.mobility.contains_key(&id),
-            "duplicate node {id:?}"
-        );
+        assert!(!self.mobility.contains_key(&id), "duplicate node {id:?}");
         self.nodes.push((id, kind));
         self.mobility.insert(id, mobility);
     }
@@ -348,9 +345,10 @@ impl TraceLinkModel {
         }
         let master = &self.master;
         let params = self.ge_params;
-        let ge = self.fades.entry((tx, rx)).or_insert_with(|| {
-            GilbertElliott::new(params, master.fork(link_label(tx, rx)))
-        });
+        let ge = self
+            .fades
+            .entry((tx, rx))
+            .or_insert_with(|| GilbertElliott::new(params, master.fork(link_label(tx, rx))));
         let atten = ge.attenuation_db_at(now);
         if atten == 0.0 {
             return p;
@@ -434,8 +432,16 @@ mod tests {
         let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng);
         let bs = NodeId(0);
         let veh = NodeId(1);
-        m.add_node(bs, NodeKind::Basestation, MobilitySource::Fixed(Point::new(0.0, 0.0)));
-        m.add_node(veh, NodeKind::Vehicle, MobilitySource::Fixed(Point::new(d, 0.0)));
+        m.add_node(
+            bs,
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
+        m.add_node(
+            veh,
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(d, 0.0)),
+        );
         (m, bs, veh)
     }
 
@@ -465,9 +471,21 @@ mod tests {
     fn candidates_filter_far_nodes() {
         let rng = Rng::new(1);
         let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng);
-        m.add_node(NodeId(0), NodeKind::Basestation, MobilitySource::Fixed(Point::new(0.0, 0.0)));
-        m.add_node(NodeId(1), NodeKind::Vehicle, MobilitySource::Fixed(Point::new(100.0, 0.0)));
-        m.add_node(NodeId(2), NodeKind::Basestation, MobilitySource::Fixed(Point::new(10_000.0, 0.0)));
+        m.add_node(
+            NodeId(0),
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
+        m.add_node(
+            NodeId(1),
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(100.0, 0.0)),
+        );
+        m.add_node(
+            NodeId(2),
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(10_000.0, 0.0)),
+        );
         let c = m.candidates(NodeId(0), SimTime::ZERO);
         assert!(c.contains(&NodeId(1)));
         assert!(!c.contains(&NodeId(2)));
@@ -478,8 +496,16 @@ mod tests {
     fn wired_nodes_have_no_radio() {
         let rng = Rng::new(1);
         let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng);
-        m.add_node(NodeId(0), NodeKind::Wired, MobilitySource::Fixed(Point::new(0.0, 0.0)));
-        m.add_node(NodeId(1), NodeKind::Vehicle, MobilitySource::Fixed(Point::new(1.0, 0.0)));
+        m.add_node(
+            NodeId(0),
+            NodeKind::Wired,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
+        m.add_node(
+            NodeId(1),
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(1.0, 0.0)),
+        );
         assert_eq!(m.delivery_prob(NodeId(0), NodeId(1), SimTime::ZERO), 0.0);
         assert_eq!(m.delivery_prob(NodeId(1), NodeId(0), SimTime::ZERO), 0.0);
     }
@@ -537,9 +563,21 @@ mod tests {
         let a = NodeId(0);
         let b = NodeId(1);
         let v = NodeId(2);
-        m.add_node(a, NodeKind::Basestation, MobilitySource::Fixed(Point::new(-d, 0.0)));
-        m.add_node(b, NodeKind::Basestation, MobilitySource::Fixed(Point::new(d, 0.0)));
-        m.add_node(v, NodeKind::Vehicle, MobilitySource::Fixed(Point::new(0.0, 0.0)));
+        m.add_node(
+            a,
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(-d, 0.0)),
+        );
+        m.add_node(
+            b,
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(d, 0.0)),
+        );
+        m.add_node(
+            v,
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
         let mut t = SimTime::ZERO;
         let n = 100_000u64;
         let (mut la, mut lb, mut lab) = (0u64, 0u64, 0u64);
@@ -551,7 +589,11 @@ mod tests {
             lab += (fa && fb) as u64;
             t += SimDuration::from_millis(20);
         }
-        let (pa, pb, pab) = (la as f64 / n as f64, lb as f64 / n as f64, lab as f64 / n as f64);
+        let (pa, pb, pab) = (
+            la as f64 / n as f64,
+            lb as f64 / n as f64,
+            lab as f64 / n as f64,
+        );
         // Not exactly independent (shared geometry), but joint loss must be
         // close to the product — far from perfectly correlated.
         assert!(
@@ -589,7 +631,10 @@ mod tests {
     fn trace_model_follows_series() {
         let rng = Rng::new(3);
         // Exactness test: fading layer off.
-        let mut m = TraceLinkModel::new(&rng).with_ge_params(GeParams { fade_depth_db: 0.0, ..GeParams::default() });
+        let mut m = TraceLinkModel::new(&rng).with_ge_params(GeParams {
+            fade_depth_db: 0.0,
+            ..GeParams::default()
+        });
         let a = NodeId(0);
         let b = NodeId(1);
         m.add_node(a, NodeKind::Basestation);
@@ -608,7 +653,10 @@ mod tests {
     #[test]
     fn trace_sampling_matches_rate() {
         let rng = Rng::new(5);
-        let mut m = TraceLinkModel::new(&rng).with_ge_params(GeParams { fade_depth_db: 0.0, ..GeParams::default() });
+        let mut m = TraceLinkModel::new(&rng).with_ge_params(GeParams {
+            fade_depth_db: 0.0,
+            ..GeParams::default()
+        });
         let a = NodeId(0);
         let b = NodeId(1);
         m.add_node(a, NodeKind::Basestation);
@@ -628,7 +676,10 @@ mod tests {
     #[test]
     fn trace_rssi_synthesized_monotone_in_prob() {
         let rng = Rng::new(5);
-        let mut m = TraceLinkModel::new(&rng).with_ge_params(GeParams { fade_depth_db: 0.0, ..GeParams::default() });
+        let mut m = TraceLinkModel::new(&rng).with_ge_params(GeParams {
+            fade_depth_db: 0.0,
+            ..GeParams::default()
+        });
         let a = NodeId(0);
         let b = NodeId(1);
         m.add_node(a, NodeKind::Basestation);
@@ -658,7 +709,10 @@ mod tests {
             t += SimDuration::from_millis(10);
         }
         let overall = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
-        assert!(overall > 0.2 && overall < 0.5, "mean loss with fades {overall}");
+        assert!(
+            overall > 0.2 && overall < 0.5,
+            "mean loss with fades {overall}"
+        );
         let mut after = 0u64;
         let mut losses = 0u64;
         for w in outcomes.windows(2) {
@@ -676,8 +730,16 @@ mod tests {
     fn duplicate_node_panics() {
         let rng = Rng::new(1);
         let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng);
-        m.add_node(NodeId(0), NodeKind::Vehicle, MobilitySource::Fixed(Point::new(0.0, 0.0)));
-        m.add_node(NodeId(0), NodeKind::Vehicle, MobilitySource::Fixed(Point::new(0.0, 0.0)));
+        m.add_node(
+            NodeId(0),
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
+        m.add_node(
+            NodeId(0),
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
     }
 
     #[test]
@@ -692,7 +754,11 @@ mod tests {
         let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng);
         let bs = NodeId(0);
         let veh = NodeId(1);
-        m.add_node(bs, NodeKind::Basestation, MobilitySource::Fixed(Point::new(0.0, 0.0)));
+        m.add_node(
+            bs,
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
         let route = Route::new(
             vec![Point::new(0.0, 10.0), Point::new(2000.0, 10.0)],
             10.0,

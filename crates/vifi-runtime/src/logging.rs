@@ -234,11 +234,7 @@ impl Table1 {
         }
         // A1: median aux-set size over per-second samples (same for both
         // directions; the set belongs to the vehicle).
-        let mut sizes: Vec<f64> = log
-            .aux_sizes
-            .iter()
-            .map(|&(_, s)| s as f64)
-            .collect();
+        let mut sizes: Vec<f64> = log.aux_sizes.iter().map(|&(_, s)| s as f64).collect();
         sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         col.a1_median_aux = vifi_metrics::median(&sizes);
 
@@ -406,9 +402,30 @@ mod tests {
     #[test]
     fn attempts_count_per_id() {
         let mut log = RunLog::new();
-        log.on_source_tx(id(1), Direction::Upstream, SimTime::ZERO, aux(3), vec![], false);
-        log.on_source_tx(id(1), Direction::Upstream, SimTime::from_millis(30), aux(3), vec![], true);
-        log.on_source_tx(id(2), Direction::Upstream, SimTime::from_millis(60), aux(3), vec![], true);
+        log.on_source_tx(
+            id(1),
+            Direction::Upstream,
+            SimTime::ZERO,
+            aux(3),
+            vec![],
+            false,
+        );
+        log.on_source_tx(
+            id(1),
+            Direction::Upstream,
+            SimTime::from_millis(30),
+            aux(3),
+            vec![],
+            true,
+        );
+        log.on_source_tx(
+            id(2),
+            Direction::Upstream,
+            SimTime::from_millis(60),
+            aux(3),
+            vec![],
+            true,
+        );
         assert_eq!(log.records[0].attempt, 0);
         assert_eq!(log.records[1].attempt, 1);
         assert_eq!(log.records[2].attempt, 0);
@@ -427,7 +444,11 @@ mod tests {
                 Direction::Upstream,
                 SimTime::from_millis(i * 10),
                 aux(5),
-                if dst { vec![NodeId(10)] } else { vec![NodeId(10), NodeId(11)] },
+                if dst {
+                    vec![NodeId(10)]
+                } else {
+                    vec![NodeId(10), NodeId(11)]
+                },
                 dst,
             );
             if dst {
@@ -503,9 +524,30 @@ mod tests {
     fn perfect_relay_upstream_counts_any_bs() {
         let mut log = RunLog::new();
         // tx0: dst heard. tx1: only aux heard. tx2: nobody heard.
-        log.on_source_tx(id(0), Direction::Upstream, SimTime::ZERO, aux(2), vec![], true);
-        log.on_source_tx(id(1), Direction::Upstream, SimTime::ZERO, aux(2), vec![NodeId(10)], false);
-        log.on_source_tx(id(2), Direction::Upstream, SimTime::ZERO, aux(2), vec![], false);
+        log.on_source_tx(
+            id(0),
+            Direction::Upstream,
+            SimTime::ZERO,
+            aux(2),
+            vec![],
+            true,
+        );
+        log.on_source_tx(
+            id(1),
+            Direction::Upstream,
+            SimTime::ZERO,
+            aux(2),
+            vec![NodeId(10)],
+            false,
+        );
+        log.on_source_tx(
+            id(2),
+            Direction::Upstream,
+            SimTime::ZERO,
+            aux(2),
+            vec![],
+            false,
+        );
         let p = PerfectRelayOutcome::from_log(&log);
         assert!((p.efficiency_up - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -514,13 +556,34 @@ mod tests {
     fn perfect_relay_downstream_spends_one_relay() {
         let mut log = RunLog::new();
         // tx0: dst heard (1 tx, delivered).
-        log.on_source_tx(id(0), Direction::Downstream, SimTime::ZERO, aux(2), vec![], true);
+        log.on_source_tx(
+            id(0),
+            Direction::Downstream,
+            SimTime::ZERO,
+            aux(2),
+            vec![],
+            true,
+        );
         // tx1: dst missed, aux heard, ViFi did not relay → assumed success,
         // 2 tx.
-        log.on_source_tx(id(1), Direction::Downstream, SimTime::ZERO, aux(2), vec![NodeId(10)], false);
+        log.on_source_tx(
+            id(1),
+            Direction::Downstream,
+            SimTime::ZERO,
+            aux(2),
+            vec![NodeId(10)],
+            false,
+        );
         // tx2: dst missed, aux heard, ViFi relayed and failed → failure,
         // 2 tx.
-        log.on_source_tx(id(2), Direction::Downstream, SimTime::ZERO, aux(2), vec![NodeId(10)], false);
+        log.on_source_tx(
+            id(2),
+            Direction::Downstream,
+            SimTime::ZERO,
+            aux(2),
+            vec![NodeId(10)],
+            false,
+        );
         log.on_relay(id(2), NodeId(10), false, false);
         let p = PerfectRelayOutcome::from_log(&log);
         // Delivered: id0, id1 → 2; tx: 1 + 2 + 2 = 5.

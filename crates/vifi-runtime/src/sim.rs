@@ -377,7 +377,12 @@ impl Simulation {
                     Direction::Downstream => &mut self.log.ledger_down,
                 };
                 ledger.on_wireless_tx();
-                if d.relayed_by.is_none() {
+                if let Some(relayer) = d.relayed_by {
+                    // A wireless (downstream) relay: its fate is whether
+                    // the destination received it.
+                    let reached = rx_ids.contains(&d.flow_dst);
+                    self.log.on_relay(d.id, relayer, false, reached);
+                } else {
                     // Source transmission: snapshot the aux set and who
                     // heard what.
                     let aux_set = self
@@ -393,12 +398,6 @@ impl Simulation {
                     let dst_heard = rx_ids.contains(&d.flow_dst);
                     self.log
                         .on_source_tx(d.id, dir, now, aux_set, aux_heard, dst_heard);
-                } else {
-                    // A wireless (downstream) relay: its fate is whether
-                    // the destination received it.
-                    let reached = rx_ids.contains(&d.flow_dst);
-                    self.log
-                        .on_relay(d.id, d.relayed_by.unwrap(), false, reached);
                 }
             }
             VifiPayload::Ack(a) => {
@@ -491,14 +490,7 @@ impl Simulation {
         }
     }
 
-    fn on_deliver(
-        &mut self,
-        node: NodeId,
-        id: PacketId,
-        app: Bytes,
-        dir: Direction,
-        now: SimTime,
-    ) {
+    fn on_deliver(&mut self, node: NodeId, id: PacketId, app: Bytes, dir: Direction, now: SimTime) {
         match dir {
             Direction::Downstream => {
                 // At the vehicle. Only the instrumented vehicle carries a
@@ -626,8 +618,16 @@ mod tests {
         };
         // 120 s at 10 Hz each way (the tick at exactly t = 120 s also
         // fires, hence the +1).
-        assert!((1200..=1201).contains(&stats.up.len()), "{}", stats.up.len());
-        assert!((1200..=1201).contains(&stats.down.len()), "{}", stats.down.len());
+        assert!(
+            (1200..=1201).contains(&stats.up.len()),
+            "{}",
+            stats.up.len()
+        );
+        assert!(
+            (1200..=1201).contains(&stats.down.len()),
+            "{}",
+            stats.down.len()
+        );
         // The van drives through campus in the first two minutes: a good
         // chunk of probes must get through.
         let delivered = stats.total_delivered();
@@ -675,11 +675,7 @@ mod tests {
     #[test]
     fn relaying_happens_and_is_logged() {
         let s = vanlan(1);
-        let out = Simulation::deployment(
-            &s,
-            quick_cfg(WorkloadSpec::paper_cbr(), 180, 4),
-        )
-        .run();
+        let out = Simulation::deployment(&s, quick_cfg(WorkloadSpec::paper_cbr(), 180, 4)).run();
         let relays: usize = out.log.records.iter().map(|r| r.relays.len()).sum();
         assert!(relays > 0, "some packets must be relayed");
         let decisions: usize = out.log.records.iter().map(|r| r.decisions.len()).sum();
@@ -710,9 +706,9 @@ mod tests {
     fn trace_driven_mode_runs() {
         let s = dieselnet_ch1();
         let veh = s.vehicle_ids()[0];
-        let trace =
-            generate_beacon_trace(&s, veh, SimDuration::from_secs(150), 10, &Rng::new(6));
-        let out = Simulation::trace_driven(&trace, quick_cfg(WorkloadSpec::paper_cbr(), 150, 6)).run();
+        let trace = generate_beacon_trace(&s, veh, SimDuration::from_secs(150), 10, &Rng::new(6));
+        let out =
+            Simulation::trace_driven(&trace, quick_cfg(WorkloadSpec::paper_cbr(), 150, 6)).run();
         let stats = match out.report {
             WorkloadReport::Cbr(c) => c,
             _ => unreachable!(),
@@ -723,11 +719,7 @@ mod tests {
     #[test]
     fn tcp_workload_completes_transfers() {
         let s = vanlan(1);
-        let out = Simulation::deployment(
-            &s,
-            quick_cfg(WorkloadSpec::paper_tcp(), 180, 7),
-        )
-        .run();
+        let out = Simulation::deployment(&s, quick_cfg(WorkloadSpec::paper_tcp(), 180, 7)).run();
         let stats = match out.report {
             WorkloadReport::Tcp(t) => t,
             _ => unreachable!(),
@@ -759,11 +751,7 @@ mod tests {
     #[test]
     fn efficiency_ledgers_populate() {
         let s = vanlan(1);
-        let out = Simulation::deployment(
-            &s,
-            quick_cfg(WorkloadSpec::paper_cbr(), 120, 9),
-        )
-        .run();
+        let out = Simulation::deployment(&s, quick_cfg(WorkloadSpec::paper_cbr(), 120, 9)).run();
         assert!(out.log.ledger_up.wireless_tx > 0);
         assert!(out.log.ledger_down.wireless_tx > 0);
         let eff_up = out.log.ledger_up.efficiency();
@@ -776,11 +764,7 @@ mod tests {
     fn salvaging_counts_with_tcp() {
         let s = vanlan(1);
         // Long enough to cross anchor changes mid-transfer.
-        let out = Simulation::deployment(
-            &s,
-            quick_cfg(WorkloadSpec::paper_tcp(), 400, 10),
-        )
-        .run();
+        let out = Simulation::deployment(&s, quick_cfg(WorkloadSpec::paper_tcp(), 400, 10)).run();
         // Salvage may legitimately be zero on some seeds, but switches
         // must happen; assert the machinery at least ran.
         assert!(out.anchor_switches > 0);

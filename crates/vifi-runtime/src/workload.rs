@@ -168,7 +168,11 @@ impl CbrStats {
 
     /// Total probes delivered (both directions).
     pub fn total_delivered(&self) -> u64 {
-        self.up.iter().chain(self.down.iter()).filter(|&&(_, ok)| ok).count() as u64
+        self.up
+            .iter()
+            .chain(self.down.iter())
+            .filter(|&&(_, ok)| ok)
+            .count() as u64
     }
 }
 
@@ -423,8 +427,7 @@ impl TransferLoop {
     }
 
     fn next_deadline(&self, now: SimTime) -> SimTime {
-        let abort_at =
-            self.sender.last_progress().max(self.started) + TCP_ABORT;
+        let abort_at = self.sender.last_progress().max(self.started) + TCP_ABORT;
         match self.sender.next_timer() {
             Some(t) => t.min(abort_at),
             None => abort_at,
@@ -537,7 +540,11 @@ impl Driver for TcpDriver {
 
     fn report(&mut self, end: SimTime) -> WorkloadReport {
         WorkloadReport::Tcp(TcpStats {
-            down: self.down.as_mut().map(|l| l.finish(end)).unwrap_or_default(),
+            down: self
+                .down
+                .as_mut()
+                .map(|l| l.finish(end))
+                .unwrap_or_default(),
             up: self.up.as_mut().map(|l| l.finish(end)).unwrap_or_default(),
         })
     }
@@ -795,9 +802,7 @@ mod tests {
                 let mut a = api(now, &mut rng2);
                 match cmd {
                     HostCmd::SendDownstream(b) => d.on_vehicle_rx(&b, &mut a),
-                    HostCmd::SendUpstream(b) => {
-                        d.on_internet_rx(&b, a.now, &mut a)
-                    }
+                    HostCmd::SendUpstream(b) => d.on_internet_rx(&b, a.now, &mut a),
                     HostCmd::ScheduleTick { .. } => {
                         // Fire ticks immediately in this toy harness.
                         d.on_tick(TCP_CHAN, &mut a);

@@ -126,8 +126,11 @@ impl BeaconTrace {
 
     /// Write as CSV (`sec,bs,heard,expected,mean_rssi_dbm`).
     pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        writeln!(w, "# name={} bs_count={} seconds={} beacons_per_sec={}",
-            self.name, self.bs_count, self.seconds, self.beacons_per_sec)?;
+        writeln!(
+            w,
+            "# name={} bs_count={} seconds={} beacons_per_sec={}",
+            self.name, self.bs_count, self.seconds, self.beacons_per_sec
+        )?;
         writeln!(w, "sec,bs,heard,expected,mean_rssi_dbm")?;
         for r in &self.records {
             writeln!(
@@ -154,7 +157,9 @@ impl BeaconTrace {
             }
             if let Some(meta) = line.strip_prefix('#') {
                 for kv in meta.split_whitespace() {
-                    let Some((k, v)) = kv.split_once('=') else { continue };
+                    let Some((k, v)) = kv.split_once('=') else {
+                        continue;
+                    };
                     match k {
                         "name" => name = v.to_string(),
                         "bs_count" => bs_count = v.parse().map_err(|e| format!("{e}"))?,
@@ -403,8 +408,20 @@ mod tests {
             seconds: 10,
             beacons_per_sec: 10,
             records: vec![
-                BeaconRecord { sec: 1, bs: 0, heard: 5, expected: 10, mean_rssi_dbm: -70.0 },
-                BeaconRecord { sec: 5, bs: 1, heard: 5, expected: 10, mean_rssi_dbm: -70.0 },
+                BeaconRecord {
+                    sec: 1,
+                    bs: 0,
+                    heard: 5,
+                    expected: 10,
+                    mean_rssi_dbm: -70.0,
+                },
+                BeaconRecord {
+                    sec: 5,
+                    bs: 1,
+                    heard: 5,
+                    expected: 10,
+                    mean_rssi_dbm: -70.0,
+                },
             ],
         };
         assert!(!trace.co_visible(0, 1));
@@ -426,8 +443,20 @@ mod tests {
             seconds: 10,
             beacons_per_sec: 10,
             records: vec![
-                BeaconRecord { sec: 2, bs: 0, heard: 5, expected: 10, mean_rssi_dbm: -70.0 },
-                BeaconRecord { sec: 2, bs: 1, heard: 3, expected: 10, mean_rssi_dbm: -75.0 },
+                BeaconRecord {
+                    sec: 2,
+                    bs: 0,
+                    heard: 5,
+                    expected: 10,
+                    mean_rssi_dbm: -70.0,
+                },
+                BeaconRecord {
+                    sec: 2,
+                    bs: 1,
+                    heard: 3,
+                    expected: 10,
+                    mean_rssi_dbm: -75.0,
+                },
             ],
         };
         assert!(trace.co_visible(0, 1));

@@ -13,7 +13,10 @@ use vifi::testbeds::vanlan;
 fn main() {
     let scenario = vanlan(1);
     let duration = scenario.lap; // one drive-by of the campus
-    println!("Calling from the van for one lap ({:.0} s)…\n", duration.as_secs_f64());
+    println!(
+        "Calling from the van for one lap ({:.0} s)…\n",
+        duration.as_secs_f64()
+    );
     for (name, vifi) in [
         ("BRR ", VifiConfig::brr_baseline()),
         ("ViFi", VifiConfig::default()),

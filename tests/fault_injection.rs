@@ -48,10 +48,17 @@ fn gray_period_knobs_change_the_channel() {
 
     let count = |gray: GrayParams| -> u32 {
         let rng = Rng::new(42);
-        let mut m =
-            PhysicalLinkModel::new(RadioParams::default(), &rng).with_gray_params(gray);
-        m.add_node(NodeId(0), NodeKind::Basestation, MobilitySource::Fixed(Point::new(0.0, 0.0)));
-        m.add_node(NodeId(1), NodeKind::Vehicle, MobilitySource::Fixed(Point::new(150.0, 0.0)));
+        let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng).with_gray_params(gray);
+        m.add_node(
+            NodeId(0),
+            NodeKind::Basestation,
+            MobilitySource::Fixed(Point::new(0.0, 0.0)),
+        );
+        m.add_node(
+            NodeId(1),
+            NodeKind::Vehicle,
+            MobilitySource::Fixed(Point::new(150.0, 0.0)),
+        );
         let mut ok = 0;
         let mut t = SimTime::ZERO;
         for _ in 0..20_000 {
@@ -151,8 +158,10 @@ fn backplane_latency_delays_but_does_not_lose_relays() {
 fn queue_bound_sheds_backlog_out_of_coverage() {
     // A tiny interface queue must still leave the protocol functional.
     let s = vanlan(1);
-    let mut vifi = VifiConfig::default();
-    vifi.max_data_queue = 2;
+    let vifi = VifiConfig {
+        max_data_queue: 2,
+        ..VifiConfig::default()
+    };
     let cfg = RunConfig {
         vifi,
         workload: WorkloadSpec::paper_cbr(),
@@ -165,5 +174,8 @@ fn queue_bound_sheds_backlog_out_of_coverage() {
         WorkloadReport::Cbr(c) => c.total_delivered(),
         _ => unreachable!(),
     };
-    assert!(delivered > 100, "still functional with a 2-packet queue: {delivered}");
+    assert!(
+        delivered > 100,
+        "still functional with a 2-packet queue: {delivered}"
+    );
 }

@@ -8,7 +8,12 @@ use vifi::runtime::{RunConfig, Simulation, WorkloadReport, WorkloadSpec};
 use vifi::sim::{Rng, SimDuration};
 use vifi::testbeds::{dieselnet_ch1, generate_beacon_trace, vanlan};
 
-fn run(vifi: VifiConfig, workload: WorkloadSpec, secs: u64, seed: u64) -> vifi::runtime::RunOutcome {
+fn run(
+    vifi: VifiConfig,
+    workload: WorkloadSpec,
+    secs: u64,
+    seed: u64,
+) -> vifi::runtime::RunOutcome {
     let s = vanlan(1);
     let cfg = RunConfig {
         vifi,

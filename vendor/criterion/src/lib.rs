@@ -1,0 +1,186 @@
+//! Vendored minimal benchmark harness exposing the subset of the
+//! [`criterion`] API this workspace's benches use.
+//!
+//! Offline substitute: `criterion_group!`/`criterion_main!` (both the
+//! positional and the `name/config/targets` forms), `Criterion`
+//! with `sample_size`, and `Bencher::{iter, iter_batched}`. Each
+//! benchmark runs a short warmup then `sample_size` timed samples and
+//! prints min/mean per-iteration wall time. There is no statistical
+//! analysis, outlier rejection, or HTML report — the point is that
+//! `cargo bench` and `--all-targets` builds work offline and give a
+//! rough number; swap the root manifest back to upstream criterion for
+//! real measurements.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; all variants behave identically
+/// in this substitute (setup is always excluded from timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per timed iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall times of the most recent `iter*` call.
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, one sample per call, `samples` times (plus one
+    /// untimed warmup call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warmup
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warmup
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark registry/configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark and print its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        let (min, mean) = summarize(&b.timings);
+        println!(
+            "{name:<40} min {:>12} mean {:>12}",
+            fmt_ns(min),
+            fmt_ns(mean)
+        );
+        self
+    }
+}
+
+fn summarize(timings: &[Duration]) -> (f64, f64) {
+    if timings.is_empty() {
+        return (0.0, 0.0);
+    }
+    let ns: Vec<f64> = timings.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    (min, mean)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Group benchmark functions; supports both upstream forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the
+//! workspace's offline `serde` substitute.
+//!
+//! Supports structs with named fields only — exactly what the ViFi
+//! sources derive on. The macro parses the token stream directly (no
+//! `syn`/`quote`, which are unavailable offline) and expands to impls
+//! of the vendored `serde::Serialize`/`serde::Deserialize` traits,
+//! mapping each field through the owned `serde::Value` tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` for a struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error expansion is valid Rust")
+        }
+    };
+    let body = match mode {
+        Mode::Serialize => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("derive expansion is valid Rust")
+}
+
+/// Extract the struct name and its named-field identifiers.
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut trees = input.into_iter().peekable();
+    // Skip attributes and visibility ahead of `struct`.
+    let name = loop {
+        match trees.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match trees.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                _ => return Err("expected struct name".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("this vendored serde derive supports structs only".into())
+            }
+            Some(_) => continue,
+            None => return Err("expected `struct`".into()),
+        }
+    };
+    // The field block is the next brace group (no generics in scope for
+    // the supported subset; anything between the name and the braces is
+    // rejected so generic structs fail loudly rather than misparse).
+    let body = loop {
+        match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("this vendored serde derive does not support generics".into())
+            }
+            Some(TokenTree::Group(_))
+            | Some(TokenTree::Punct(_))
+            | Some(TokenTree::Ident(_))
+            | Some(TokenTree::Literal(_)) => continue,
+            None => return Err("expected a braced struct body (named fields)".into()),
+        }
+    };
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    'fields: loop {
+        // Skip per-field attributes (`#[...]`, incl. expanded doc comments).
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next(); // the bracket group
+                }
+                _ => break,
+            }
+        }
+        // Optional visibility.
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+        }
+        // Field name.
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break 'fields,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".into()),
+        }
+        // Skip the type: consume until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => continue 'fields,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    Ok((name, fields))
+}

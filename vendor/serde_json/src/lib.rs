@@ -1,0 +1,493 @@
+//! Vendored minimal stand-in for the [`serde_json`] crate: JSON text
+//! rendering/parsing over the vendored `serde::Value` tree, plus a
+//! `json!` construction macro.
+//!
+//! Provided surface: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`Value`], [`Error`], and [`json!`]. Numbers render via Rust's
+//! shortest-roundtrip float formatting, so `f64` values survive a
+//! serialize/parse cycle exactly. Object key order is preserved.
+//!
+//! [`serde_json`]: https://docs.rs/serde_json
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize any [`Serialize`] type to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize any [`Serialize`] type to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    T::from_value(&value)
+}
+
+/// Convert any [`Serialize`] value into a [`Value`] tree (the `json!`
+/// macro routes non-literal expressions through this).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax.
+///
+/// Supported forms: `json!(null)`, `json!(expr)` for any
+/// `serde::Serialize` expression, `json!([ ... ])` arrays, and
+/// `json!({ "key": value, ... })` objects whose values are nested
+/// `{...}`/`[...]` literals or arbitrary expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($inner:tt)+ }) => {{
+        // The muncher builds incrementally; silence the style lint its
+        // expansion would otherwise trip at every call site.
+        #[allow(clippy::vec_init_then_push)]
+        let entries = {
+            let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_internal!(@object entries $($inner)+);
+            entries
+        };
+        $crate::Value::Object(entries)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($inner:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let elems = {
+            let mut elems: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_internal!(@array elems $($inner)+);
+            elems
+        };
+        $crate::Value::Array(elems)
+    }};
+    ($other:expr) => { $crate::to_value(&($other)) };
+}
+
+/// Implementation detail of [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- objects: `"key": value` entries ----
+    // Nested object value.
+    (@object $obj:ident $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : { $($inner:tt)* }) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    // Nested array value.
+    (@object $obj:ident $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : [ $($inner:tt)* ]) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    // General expression value: munch tokens up to the next top-level comma.
+    (@object $obj:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_internal!(@objvalue $obj ($key) () $($rest)+);
+    };
+    (@object $obj:ident) => {};
+    (@objvalue $obj:ident ($key:literal) ($($val:tt)+) , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)+)));
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@objvalue $obj:ident ($key:literal) ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@objvalue $obj ($key) ($($val)* $next) $($rest)*);
+    };
+    (@objvalue $obj:ident ($key:literal) ($($val:tt)+)) => {
+        $obj.push(($key.to_string(), $crate::json!($($val)+)));
+    };
+    // ---- arrays: comma-separated elements ----
+    (@array $arr:ident { $($inner:tt)* } , $($rest:tt)*) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@array $arr $($rest)*);
+    };
+    (@array $arr:ident { $($inner:tt)* }) => {
+        $arr.push($crate::json!({ $($inner)* }));
+    };
+    (@array $arr:ident [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@array $arr $($rest)*);
+    };
+    (@array $arr:ident [ $($inner:tt)* ]) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+    };
+    (@array $arr:ident $($rest:tt)+) => {
+        $crate::json_internal!(@arrvalue $arr () $($rest)+);
+    };
+    (@array $arr:ident) => {};
+    (@arrvalue $arr:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $arr.push($crate::json!($($val)+));
+        $crate::json_internal!(@array $arr $($rest)*);
+    };
+    (@arrvalue $arr:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@arrvalue $arr ($($val)* $next) $($rest)*);
+    };
+    (@arrvalue $arr:ident ($($val:tt)+)) => {
+        $arr.push($crate::json!($($val)+));
+    };
+}
+
+/// Render `v` into `out`. `indent = None` is compact; `Some(n)` is
+/// pretty with `n`-space steps at nesting `depth`.
+fn render(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's shortest-roundtrip Display: parses back exactly.
+                out.push_str(&f.to_string());
+            } else {
+                // JSON has no inf/NaN; match serde_json's lossy `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            render_seq(out, indent, depth, items.len(), '[', ']', |out, i, d| {
+                render(&items[i], out, indent, d);
+            })
+        }
+        Value::Object(entries) => {
+            render_seq(out, indent, depth, entries.len(), '{', '}', |out, i, d| {
+                render_string(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(&entries[i].1, out, indent, d);
+            })
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Recursive-descent JSON parser producing a [`Value`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for this
+                            // substitute; lone surrogates map to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-walk UTF-8: step back and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = json!({
+            "name": "trace",
+            "count": 3u32,
+            "ratio": 0.12345678901234567,
+            "nested": { "ok": true },
+            "list": [1, 2, 3],
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn float_roundtrips_exactly() {
+        for f in [-70.33333333333333, 1.0, 0.1 + 0.2, f64::MAX, 5e-324] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn json_macro_expression_values() {
+        let xs = vec![1.0f64, 2.0];
+        let name = String::from("vanlan");
+        let v = json!({ "series": xs, "testbed": name, "sum": 1.0 + 2.0 });
+        assert_eq!(v.get("sum").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("testbed").and_then(Value::as_str), Some("vanlan"));
+        assert_eq!(v.get("series").and_then(Value::as_array).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = json!({ "a": 1 });
+        v["b"] = json!(2.5);
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = json!({ "s": "a\"b\\c\nd\te" });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
