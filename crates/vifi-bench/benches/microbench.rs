@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vifi_core::config::Coordination;
-use vifi_core::prob::{relay_probability, RelayContext};
+use vifi_core::prob::{relay_probability, RelayInputs};
 use vifi_metrics::{sessions_from_ratios, SessionDef};
 use vifi_phy::gilbert::GeParams;
 use vifi_phy::pathloss::ShadowField;
@@ -14,12 +14,13 @@ use vifi_phy::{GilbertElliott, Point};
 use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
 
 fn bench_relay_probability(c: &mut Criterion) {
-    let ctx = RelayContext {
+    let inputs = RelayInputs {
         p_s_b: vec![0.7, 0.5, 0.9, 0.3, 0.6],
         p_s_d: 0.65,
         p_d_b: vec![0.5, 0.6, 0.4, 0.7, 0.5],
         p_b_d: vec![0.8, 0.4, 0.6, 0.5, 0.7],
     };
+    let ctx = inputs.ctx();
     c.bench_function("relay_probability_vifi_5aux", |b| {
         b.iter(|| relay_probability(black_box(&ctx), black_box(2), Coordination::Vifi))
     });

@@ -13,7 +13,7 @@
 
 use vifi_bench::{banner, print_table, run_deployment, run_trace, save_json, Scale, VifiConfig};
 use vifi_core::config::Coordination;
-use vifi_core::prob::{expected_relays, relay_probability, RelayContext};
+use vifi_core::prob::{expected_relays, relay_probability, RelayInputs};
 use vifi_handoff::{evaluate, generate_probe_log, Policy};
 use vifi_metrics::sessions_from_ratios;
 use vifi_metrics::SessionDef;
@@ -94,12 +94,13 @@ fn limits_ablation(_scale: &Scale) {
     let mut json = Vec::new();
     for n in [2usize, 5, 10, 15, 20, 30] {
         // Symmetric auxiliaries: identical probabilities everywhere.
-        let ctx = RelayContext {
+        let inputs = RelayInputs {
             p_s_b: vec![0.7; n],
             p_s_d: 0.5,
             p_d_b: vec![0.5; n],
             p_b_d: vec![0.6; n],
         };
+        let ctx = inputs.ctx();
         let r = relay_probability(&ctx, 0, Coordination::Vifi);
         let e = expected_relays(&ctx, Coordination::Vifi);
         // Per-packet relay count is Binomial(contenders, r): compute the

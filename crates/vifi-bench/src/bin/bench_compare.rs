@@ -1,0 +1,189 @@
+//! Compare two `bench_json` snapshots and fail loudly on regression.
+//!
+//! ```text
+//! cargo run --release -p vifi-bench --bin bench_compare -- \
+//!     BENCH_baseline.json BENCH_current.json [--threshold 25] [--no-normalize]
+//! ```
+//!
+//! Exit code 0 if every benchmark present in the baseline is within the
+//! regression threshold in the current snapshot; 1 otherwise (including
+//! benchmarks that vanished — a renamed bench must come with a refreshed
+//! baseline, not silently drop out of the gate).
+//!
+//! Because the checked-in baseline and a CI runner are different machines,
+//! the comparison is normalized by default: each snapshot carries a
+//! `_calibration_spin` figure (a fixed integer spin loop), and per-bench
+//! ratios are divided by the calibration ratio. `--no-normalize` compares
+//! raw ns/iter — use it when both snapshots come from the same host.
+//!
+//! The normalization tracks scalar integer throughput only; a host whose
+//! *memory* profile differs from the baseline host's can shift the
+//! µs-scale cache-bound benches without moving the calibration figure. If
+//! the gate misfires that way, refresh `BENCH_baseline.json` from the
+//! `vifi-bench-*` CI artifact (the runner's own snapshot) rather than
+//! chasing the dev-host numbers.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use vifi_bench::harness::{fmt_ns, CALIBRATION_BENCH, SNAPSHOT_SCHEMA};
+
+struct Snapshot {
+    results: BTreeMap<String, f64>,
+    calibration: Option<f64>,
+    mode: String,
+}
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read snapshot {path}: {e}"));
+    let v: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    assert_eq!(
+        v["schema"].as_str(),
+        Some(SNAPSHOT_SCHEMA),
+        "{path}: unknown snapshot schema"
+    );
+    let mut results = BTreeMap::new();
+    let entries = v["results"].as_object().expect("results object");
+    for (k, val) in entries {
+        let ns = val.as_f64().expect("ns/iter number");
+        assert!(ns.is_finite() && ns > 0.0, "{path}: bad timing for {k}");
+        results.insert(k.clone(), ns);
+    }
+    let calibration = results.remove(CALIBRATION_BENCH);
+    let mode = v["mode"].as_str().unwrap_or("unknown").to_string();
+    Snapshot {
+        results,
+        calibration,
+        mode,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut normalize = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().map(|v| (v, v.parse::<f64>())) {
+                Some((_, Ok(v))) if v.is_finite() && v > 0.0 => threshold_pct = v,
+                other => {
+                    eprintln!(
+                        "bad --threshold value {:?}: expected a positive percentage",
+                        other.map(|(raw, _)| raw.as_str()).unwrap_or("<missing>")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-normalize" => normalize = false,
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <current.json> [--threshold PCT] [--no-normalize]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let baseline = load(positional[0]);
+    let current = load(positional[1]);
+
+    // Machine-speed correction: >1 means the current host is slower. A
+    // snapshot without the canary cannot be normalized — fail rather than
+    // silently compare raw cross-host numbers under a normalizing banner.
+    let speed = if normalize {
+        match (current.calibration, baseline.calibration) {
+            (Some(c), Some(b)) => c / b,
+            _ => {
+                eprintln!(
+                    "FAIL: missing {CALIBRATION_BENCH} entry in a snapshot; \
+                     regenerate with bench_json, or pass --no-normalize for a \
+                     raw same-host comparison"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        1.0
+    };
+    if normalize {
+        println!("calibration ratio (current/baseline): {speed:.3}");
+    }
+    if baseline.mode != current.mode {
+        println!(
+            "note: comparing {} baseline against {} current — per-iteration \
+             figures are mode-independent, but noise floors differ",
+            baseline.mode, current.mode
+        );
+    }
+
+    let limit = 1.0 + threshold_pct / 100.0;
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    println!(
+        "{:<36} {:>12} {:>12} {:>8}  verdict",
+        "bench", "baseline", "current", "ratio"
+    );
+    for (name, &base_ns) in &baseline.results {
+        let Some(&cur_ns) = current.results.get(name) else {
+            missing.push(name.clone());
+            println!(
+                "{name:<36} {:>12} {:>12} {:>8}  MISSING",
+                fmt_ns(base_ns),
+                "-",
+                "-"
+            );
+            continue;
+        };
+        let ratio = (cur_ns / speed) / base_ns;
+        let verdict = if ratio > limit {
+            regressions.push(name.clone());
+            "REGRESSION"
+        } else if ratio < 1.0 / limit {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<36} {:>12} {:>12} {ratio:>7.2}x  {verdict}",
+            fmt_ns(base_ns),
+            fmt_ns(cur_ns),
+        );
+    }
+    for name in current.results.keys() {
+        if !baseline.results.contains_key(name) {
+            println!(
+                "{name:<36} {:>12} {:>12} {:>8}  new (refresh baseline)",
+                "-", "-", "-"
+            );
+        }
+    }
+
+    if regressions.is_empty() && missing.is_empty() {
+        println!(
+            "\nOK: no regression beyond {threshold_pct:.0}% across {} benches",
+            baseline.results.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        if !regressions.is_empty() {
+            eprintln!(
+                "\nFAIL: {} benchmark(s) regressed more than {threshold_pct:.0}%: {}",
+                regressions.len(),
+                regressions.join(", ")
+            );
+        }
+        if !missing.is_empty() {
+            eprintln!(
+                "FAIL: {} baseline benchmark(s) missing from current snapshot: {} (refresh BENCH_baseline.json)",
+                missing.len(),
+                missing.join(", ")
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

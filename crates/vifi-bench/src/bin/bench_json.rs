@@ -1,0 +1,193 @@
+//! Hot-path micro-benchmark snapshot: measures every path named by the
+//! ROADMAP (relay probability, Gilbert–Elliott fades, shadow-field
+//! sampling, event-queue churn, session aggregation) with the
+//! statistics-bearing harness and writes a `BENCH_<name>.json` snapshot
+//! (`{bench → ns/iter}`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p vifi-bench --bin bench_json            # BENCH_current.json
+//! cargo run --release -p vifi-bench --bin bench_json -- --name baseline --runs 5
+//! cargo run --release -p vifi-bench --bin bench_json -- --short --runs 3  # CI fidelity
+//! ```
+//!
+//! `--runs N` measures the whole suite N times and keeps each bench's
+//! minimum — repeats are separated by the rest of the suite, so a
+//! contention burst on a shared host (CI runners included) has to recur
+//! in every pass to pollute a number.
+//!
+//! Compare two snapshots with the `bench_compare` bin; CI gates every PR
+//! on `bench_compare BENCH_baseline.json BENCH_current.json`.
+
+use vifi_bench::harness::{BenchConfig, Harness};
+use vifi_core::config::Coordination;
+use vifi_core::prob::{expected_relays, relay_probability, RelayInputs};
+use vifi_metrics::{sessions_from_ratios, SessionDef, SlotSeries};
+use vifi_phy::gilbert::GeParams;
+use vifi_phy::pathloss::{ShadowField, ShadowSampler};
+use vifi_phy::{GilbertElliott, Point};
+use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = BenchConfig::from_env(&args);
+    let name = args
+        .iter()
+        .position(|a| a == "--name")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_string());
+    let runs: u32 = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+
+    println!(
+        "vifi-bench snapshot ({} mode, {runs} run{})",
+        if cfg.is_short() { "short" } else { "full" },
+        if runs == 1 { "" } else { "s" }
+    );
+    let mut h = Harness::new(cfg);
+    for pass in 0..runs {
+        if runs > 1 {
+            println!("-- pass {}/{runs} --", pass + 1);
+        }
+        h.bench_calibration();
+        register(&mut h);
+    }
+
+    let path = format!("BENCH_{name}.json");
+    let json = serde_json::to_string_pretty(&h.to_json()).expect("serialize snapshot");
+    std::fs::write(&path, json + "\n").expect("write snapshot");
+    println!("[saved {path}]");
+}
+
+/// The hot-path suite. Names are the compare keys — keep them stable.
+fn register(h: &mut Harness) {
+    bench_relay(h);
+    bench_gilbert(h);
+    bench_shadow(h);
+    bench_event_queue(h);
+    bench_sessions(h);
+}
+
+fn bench_relay(h: &mut Harness) {
+    let inputs = RelayInputs {
+        p_s_b: vec![0.7, 0.5, 0.9, 0.3, 0.6],
+        p_s_d: 0.65,
+        p_d_b: vec![0.5, 0.6, 0.4, 0.7, 0.5],
+        p_b_d: vec![0.8, 0.4, 0.6, 0.5, 0.7],
+    };
+    {
+        let ctx = inputs.ctx();
+        h.bench("relay_probability_vifi_5aux", || {
+            relay_probability(std::hint::black_box(&ctx), 2, Coordination::Vifi)
+        });
+        h.bench("relay_probability_notg3_5aux", || {
+            relay_probability(std::hint::black_box(&ctx), 2, Coordination::NotG3)
+        });
+    }
+    // The Table 2 / ablation access pattern: every auxiliary of a dense
+    // cell queried against one shared context.
+    let mut rng = Rng::new(9);
+    let wide = RelayInputs {
+        p_s_b: (0..16).map(|_| rng.next_f64()).collect(),
+        p_s_d: 0.4,
+        p_d_b: (0..16).map(|_| rng.next_f64()).collect(),
+        p_b_d: (0..16).map(|_| rng.next_f64()).collect(),
+    };
+    let ctx = wide.ctx();
+    h.bench("relay_expected_relays_16aux", || {
+        expected_relays(std::hint::black_box(&ctx), Coordination::Vifi)
+    });
+}
+
+fn bench_gilbert(h: &mut Harness) {
+    // Dense queries: every 10 ms, the per-frame pattern of a busy link.
+    let mut ge = GilbertElliott::new(GeParams::default(), Rng::new(7));
+    let mut t = SimTime::ZERO;
+    h.bench("ge_advance_dense_10ms", || {
+        t += SimDuration::from_millis(10);
+        ge.attenuation_db_at(t)
+    });
+    // Sparse queries: a link revisited every 10 s (vehicle re-entering a
+    // cell) — the jump-ahead case, ~25 sojourns per query for the
+    // per-step reference walk.
+    let mut ge = GilbertElliott::new(GeParams::default(), Rng::new(8));
+    let mut t = SimTime::ZERO;
+    h.bench("ge_advance_sparse_10s", || {
+        t += SimDuration::from_secs(10);
+        ge.attenuation_db_at(t)
+    });
+}
+
+fn bench_shadow(h: &mut Harness) {
+    // A vehicle driving through the field: 1.7 m steps, VanLAN-box wrap.
+    // The path is precomputed so the bench isolates sampling cost.
+    let path: Vec<Point> = (1..=4096u64)
+        .map(|i| {
+            let x = i as f64 * 1.7;
+            Point::new(x % 800.0, (x * 0.37) % 550.0)
+        })
+        .collect();
+    let field = ShadowField::new(42, 5.0, 45.0);
+    let mut i = 0usize;
+    h.bench("shadow_sample_path_uncached", || {
+        i = (i + 1) & 4095;
+        field.sample_db(path[i])
+    });
+    let mut sampler = ShadowSampler::new(ShadowField::new(42, 5.0, 45.0));
+    let mut i = 0usize;
+    h.bench("shadow_sample_path", || {
+        i = (i + 1) & 4095;
+        sampler.sample_db(path[i])
+    });
+}
+
+fn bench_event_queue(h: &mut Harness) {
+    // The protocol churn pattern: schedule a burst of timers, cancel a
+    // third of them (ACKed retransmissions), drain the rest.
+    h.bench("event_queue_churn_1k", || {
+        let mut rng = Rng::new(3);
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::with_capacity(1000);
+        for i in 0..1000u32 {
+            tokens.push(q.schedule(SimTime::from_micros(rng.below(1_000_000)), i));
+        }
+        for (i, tok) in tokens.iter().enumerate() {
+            if i % 3 == 0 {
+                q.cancel(*tok);
+            }
+        }
+        let mut n = 0u32;
+        while let Some(e) = q.pop() {
+            std::hint::black_box(e);
+            n += 1;
+        }
+        n
+    });
+}
+
+fn bench_sessions(h: &mut Harness) {
+    let mut rng = Rng::new(11);
+    let ratios: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+    let def = SessionDef::paper_default();
+    h.bench("sessions_from_10k_ratios", || {
+        sessions_from_ratios(std::hint::black_box(&ratios), def)
+    });
+    // The full streaming path: slot-level counts → interval ratios →
+    // sessions, as the figure bins consume it. 60 000 slots ≈ 100 min of
+    // 100 ms probes.
+    let mut ss = SlotSeries::new(SimDuration::from_millis(100));
+    let mut rng = Rng::new(12);
+    for i in 0..60_000u64 {
+        ss.record(SimTime::from_millis(i * 100), rng.below(3) as u32, 2);
+    }
+    h.bench("slot_series_sessions_60k", || {
+        ss.sessions(std::hint::black_box(def))
+    });
+}

@@ -8,11 +8,15 @@
 //! release mode.
 //!
 //! The shared pieces here: run scaling, deployment/trace run helpers with
-//! parallel seed sweeps (std scoped threads — each thread builds
-//! and runs its own `Simulation`), session analysis plumbing, ASCII table
-//! and connectivity-strip rendering, and JSON result persistence.
+//! parallel seed sweeps (a bounded scoped-thread worker pool, at most one
+//! worker per core, each building and running its own `Simulation`),
+//! session analysis plumbing, ASCII table and connectivity-strip
+//! rendering, JSON result persistence, and the [`harness`] micro-benchmark
+//! machinery behind `bench_json`/`bench_compare` and the CI perf gate.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -117,7 +121,59 @@ pub fn run_trace(
     Simulation::trace_driven(trace, cfg).run()
 }
 
-/// Run `seeds` deployment simulations in parallel, one thread per seed.
+/// Run `f(seed)` for every seed in `0..seeds` across a bounded worker
+/// pool and return the results in seed order.
+///
+/// Workers are capped at `available_parallelism`, with seeds assigned
+/// round-robin (seed *i* goes to worker `i % workers`), so a 200-seed
+/// sweep spins up at most one thread per core instead of 200 — the old
+/// thread-per-seed layout oversubscribed the host and made wall-clock
+/// scale with scheduler thrash rather than work. Striding (rather than
+/// contiguous blocks) keeps the load balanced when later seeds are
+/// systematically heavier.
+pub fn parallel_map_seeds<F, T>(seeds: u64, f: F) -> Vec<T>
+where
+    F: Fn(u64) -> T + Sync,
+    T: Send,
+{
+    let n = usize::try_from(seeds).expect("seed count fits usize");
+    if n <= 1 {
+        return (0..seeds).map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut seed = w as u64;
+                    while seed < seeds {
+                        local.push((seed, f(seed)));
+                        seed += workers as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (seed, t) in h.join().expect("sweep worker panicked") {
+                out[seed as usize] = Some(t);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every seed assigned to exactly one worker"))
+        .collect()
+}
+
+/// Run `seeds` deployment simulations across the worker pool (one core
+/// each, seeds chunked round-robin — see [`parallel_map_seeds`]).
 pub fn sweep_deployment<F, T>(
     scenario: &Scenario,
     vifi: VifiConfig,
@@ -130,25 +186,19 @@ where
     F: Fn(RunOutcome) -> T + Sync,
     T: Send,
 {
-    let mut out: Vec<(u64, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..seeds)
-            .map(|seed| {
-                let vifi = vifi.clone();
-                let workload = workload.clone();
-                let extract = &extract;
-                s.spawn(move || {
-                    let o = run_deployment(scenario, vifi, workload, duration, 1000 + seed);
-                    (seed, extract(o))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    out.sort_by_key(|(s, _)| *s);
-    out.into_iter().map(|(_, t)| t).collect()
+    parallel_map_seeds(seeds, |seed| {
+        let o = run_deployment(
+            scenario,
+            vifi.clone(),
+            workload.clone(),
+            duration,
+            1000 + seed,
+        );
+        extract(o)
+    })
 }
 
-/// Run `seeds` trace-driven simulations in parallel.
+/// Run `seeds` trace-driven simulations across the worker pool.
 pub fn sweep_trace<F, T>(
     trace: &BeaconTrace,
     vifi: VifiConfig,
@@ -161,22 +211,10 @@ where
     F: Fn(RunOutcome) -> T + Sync,
     T: Send,
 {
-    let mut out: Vec<(u64, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..seeds)
-            .map(|seed| {
-                let vifi = vifi.clone();
-                let workload = workload.clone();
-                let extract = &extract;
-                s.spawn(move || {
-                    let o = run_trace(trace, vifi, workload, duration, 2000 + seed);
-                    (seed, extract(o))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    out.sort_by_key(|(s, _)| *s);
-    out.into_iter().map(|(_, t)| t).collect()
+    parallel_map_seeds(seeds, |seed| {
+        let o = run_trace(trace, vifi.clone(), workload.clone(), duration, 2000 + seed);
+        extract(o)
+    })
 }
 
 /// Median session length (time-weighted, seconds) of a per-second
@@ -380,6 +418,18 @@ mod tests {
         // With a 2 s interval the bad second hides (avg 0.5 ≥ 0.5).
         let m2 = median_session_secs(&r, SimDuration::from_secs(2), 0.5);
         assert!(m2 >= 6.0, "{m2}");
+    }
+
+    #[test]
+    fn parallel_map_covers_all_seeds_in_order() {
+        let got = parallel_map_seeds(200, |seed| seed * 3);
+        assert_eq!(got.len(), 200);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+        // Degenerate sizes run inline.
+        assert_eq!(parallel_map_seeds(0, |s| s), Vec::<u64>::new());
+        assert_eq!(parallel_map_seeds(1, |s| s + 9), vec![9]);
     }
 
     #[test]

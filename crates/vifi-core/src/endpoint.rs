@@ -25,7 +25,7 @@ use crate::beacon::{BeaconPayload, ProbView, VehicleInfo};
 use crate::bitmap::{RxBitmap, WireBitmap};
 use crate::config::VifiConfig;
 use crate::ids::{Direction, PacketId};
-use crate::prob::{relay_probability, RelayContext};
+use crate::prob::{relay_probability, RelayInputs};
 use crate::retx::RetxTimer;
 
 /// Whether this endpoint is a vehicle or a basestation.
@@ -259,6 +259,10 @@ pub struct Endpoint {
     salvaged_epochs: HashMap<NodeId, u64>,
     relay_phase: SimDuration,
 
+    /// Reusable relay-math buffers: one allocation for the lifetime of the
+    /// endpoint instead of three `Vec`s per relay decision.
+    relay_scratch: RelayInputs,
+
     // ---- interface ----
     tx_queue: VecDeque<OutFrame>,
 
@@ -311,6 +315,7 @@ impl Endpoint {
             internet_buf: VecDeque::new(),
             salvaged_epochs: HashMap::new(),
             relay_phase,
+            relay_scratch: RelayInputs::default(),
             tx_queue: VecDeque::new(),
             data_tx: 0,
             relays_tx: 0,
@@ -964,8 +969,12 @@ impl Endpoint {
                 continue;
             };
             let (s, d) = (c.frame.flow_src, c.frame.flow_dst);
-            let ctx = self.build_relay_context(&aux, s, d, now);
-            let prob = relay_probability(&ctx, me_idx, self.cfg.coordination);
+            // Take the scratch buffers out so filling them can borrow
+            // `self` for the beacon-view lookups; put them back after.
+            let mut scratch = std::mem::take(&mut self.relay_scratch);
+            self.fill_relay_inputs(&mut scratch, &aux, s, d, now);
+            let prob = relay_probability(&scratch.ctx(), me_idx, self.cfg.coordination);
+            self.relay_scratch = scratch;
             let relayed = self.rng.chance(prob);
             actions.push(Action::Stat(StatEvent::RelayDecision {
                 id: c.frame.id,
@@ -995,30 +1004,31 @@ impl Endpoint {
         actions
     }
 
-    /// Assemble the Eq. 1–3 inputs from the beacon-learned view. Unknown
+    /// Assemble the Eq. 1–3 inputs from the beacon-learned view into the
+    /// caller-provided buffers (no allocation in steady state). Unknown
     /// probabilities are 0 — a neighbor we have no estimate for cannot be
     /// counted on (and a zero own-exit keeps us from relaying blind).
-    fn build_relay_context(
+    fn fill_relay_inputs(
         &mut self,
+        inputs: &mut RelayInputs,
         aux: &[NodeId],
         s: NodeId,
         d: NodeId,
         now: SimTime,
-    ) -> RelayContext {
-        let mut p_s_b = Vec::with_capacity(aux.len());
-        let mut p_d_b = Vec::with_capacity(aux.len());
-        let mut p_b_d = Vec::with_capacity(aux.len());
+    ) {
+        inputs.clear();
+        inputs.p_s_b.reserve(aux.len());
+        inputs.p_d_b.reserve(aux.len());
+        inputs.p_b_d.reserve(aux.len());
         for &b in aux {
-            p_s_b.push(self.link_prob_local(s, b, now));
-            p_d_b.push(self.link_prob_local(d, b, now));
-            p_b_d.push(self.link_prob_local(b, d, now));
+            let p_s_b = self.link_prob_local(s, b, now);
+            let p_d_b = self.link_prob_local(d, b, now);
+            let p_b_d = self.link_prob_local(b, d, now);
+            inputs.p_s_b.push(p_s_b);
+            inputs.p_d_b.push(p_d_b);
+            inputs.p_b_d.push(p_b_d);
         }
-        RelayContext {
-            p_s_b,
-            p_s_d: self.link_prob_local(s, d, now),
-            p_d_b,
-            p_b_d,
-        }
+        inputs.p_s_d = self.link_prob_local(s, d, now);
     }
 
     /// p(a → b) as known here: own measurement when `b == me`, gossip

@@ -21,36 +21,57 @@
 //!
 //! The three ablations of §5.5.1 (¬G1, ¬G2, ¬G3) are implemented alongside
 //! and dissected in Table 2.
+//!
+//! # Performance shape
+//!
+//! This runs once per overheard packet per auxiliary — the hottest protocol
+//! path in the simulator — so the math is allocation-free end to end:
+//!
+//! * [`RelayContext`] *borrows* its probability slices; callers keep
+//!   reusable buffers instead of building `Vec`s per decision (the
+//!   [`RelayInputs`] owning variant exists for tests and tools).
+//! * Range validation runs only under `debug_assertions`; release builds
+//!   trust the learned-probability plumbing it guards.
+//! * The ¬G3 greedy is evaluated in O(n) without sorting or scratch: the
+//!   accumulated delivery mass of the auxiliaries ranked ahead of `me` is a
+//!   plain prefix sum (see [`not_g3`]).
+//! * Sweeping every auxiliary against one context (Table 2, the ablation
+//!   bins, `expected_relays`) goes through [`PreparedRelay`], which
+//!   computes each formulation's contention-weighted denominator once and
+//!   answers per-auxiliary queries in O(1).
 
 use crate::config::Coordination;
 
 /// The probability inputs an auxiliary needs, all learned from beacons
-/// (§4.6). Index `i` ranges over the current auxiliary set; `me` is the
-/// deciding auxiliary's own index.
-#[derive(Clone, Debug)]
-pub struct RelayContext {
+/// (§4.6), borrowed from caller-owned storage. Index `i` ranges over the
+/// current auxiliary set; `me` is the deciding auxiliary's own index.
+#[derive(Clone, Copy, Debug)]
+pub struct RelayContext<'a> {
     /// `p_sB[i]`: source → auxiliary i delivery probability.
-    pub p_s_b: Vec<f64>,
+    pub p_s_b: &'a [f64],
     /// `p_sd`: source → destination.
     pub p_s_d: f64,
     /// `p_dB[i]`: destination → auxiliary i (governs ACK overhearing).
-    pub p_d_b: Vec<f64>,
+    pub p_d_b: &'a [f64],
     /// `p_Bd[i]`: auxiliary i → destination.
-    pub p_b_d: Vec<f64>,
+    pub p_b_d: &'a [f64],
 }
 
-impl RelayContext {
+impl<'a> RelayContext<'a> {
     /// Number of auxiliaries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.p_s_b.len()
     }
 
     /// True if there are no auxiliaries.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.p_s_b.is_empty()
     }
 
-    /// Validate shape and ranges.
+    /// Validate shape and ranges. Called automatically in debug builds on
+    /// every relay computation; release builds skip it (hot path).
     pub fn validate(&self) {
         let n = self.p_s_b.len();
         assert_eq!(self.p_d_b.len(), n, "p_d_b length");
@@ -69,30 +90,82 @@ impl RelayContext {
     /// it heard the source transmission but not the destination's ACK.
     /// (The ACK exists only if the destination got the packet, hence the
     /// `p_sd·p_dBi` product; the two events are treated as independent.)
+    #[inline]
     pub fn contention(&self, i: usize) -> f64 {
         self.p_s_b[i] * (1.0 - self.p_s_d * self.p_d_b[i])
+    }
+
+    /// ViFi's Eq. 1 denominator `Σ c_i·p_Bid`: the expected delivery mass
+    /// if every contending auxiliary relayed unconditionally.
+    #[inline]
+    pub fn vifi_denominator(&self) -> f64 {
+        (0..self.len())
+            .map(|i| self.contention(i) * self.p_b_d[i])
+            .sum()
+    }
+
+    /// Total contention mass `Σ c_i` (the ¬G2 denominator).
+    #[inline]
+    pub fn total_contention(&self) -> f64 {
+        (0..self.len()).map(|i| self.contention(i)).sum()
+    }
+}
+
+/// Owning variant of [`RelayContext`] for tests, benches, and tools where
+/// a caller-managed buffer would be ceremony. Borrow with
+/// [`RelayInputs::ctx`].
+#[derive(Clone, Debug, Default)]
+pub struct RelayInputs {
+    /// `p_sB[i]`: source → auxiliary i.
+    pub p_s_b: Vec<f64>,
+    /// `p_sd`: source → destination.
+    pub p_s_d: f64,
+    /// `p_dB[i]`: destination → auxiliary i.
+    pub p_d_b: Vec<f64>,
+    /// `p_Bd[i]`: auxiliary i → destination.
+    pub p_b_d: Vec<f64>,
+}
+
+impl RelayInputs {
+    /// Borrow as the slice-based hot-path context.
+    pub fn ctx(&self) -> RelayContext<'_> {
+        RelayContext {
+            p_s_b: &self.p_s_b,
+            p_s_d: self.p_s_d,
+            p_d_b: &self.p_d_b,
+            p_b_d: &self.p_b_d,
+        }
+    }
+
+    /// Clear all per-decision state, keeping the allocations. Endpoints
+    /// reuse one `RelayInputs` as scratch across relay decisions.
+    pub fn clear(&mut self) {
+        self.p_s_b.clear();
+        self.p_d_b.clear();
+        self.p_b_d.clear();
+        self.p_s_d = 0.0;
     }
 }
 
 /// Relay probability for auxiliary `me` under the chosen coordination
-/// formulation. Always in `[0, 1]`.
+/// formulation. Always in `[0, 1]`. Allocation-free for every formulation.
+#[inline]
 pub fn relay_probability(ctx: &RelayContext, me: usize, coord: Coordination) -> f64 {
+    #[cfg(debug_assertions)]
     ctx.validate();
     assert!(me < ctx.len(), "auxiliary index out of range");
     let r = match coord {
-        Coordination::Vifi => vifi_rule(ctx, me),
+        Coordination::Vifi => vifi_from_denominator(ctx, me, ctx.vifi_denominator()),
         Coordination::NotG1 => ctx.p_b_d[me],
-        Coordination::NotG2 => not_g2(ctx),
+        Coordination::NotG2 => not_g2_from_total(ctx, me, ctx.total_contention()),
         Coordination::NotG3 => not_g3(ctx, me),
     };
     r.clamp(0.0, 1.0)
 }
 
 /// ViFi: `r_x = min(r·p_Bxd, 1)` with `r` solving Σ c_i·r·p_Bid = 1.
-fn vifi_rule(ctx: &RelayContext, me: usize) -> f64 {
-    let denom: f64 = (0..ctx.len())
-        .map(|i| ctx.contention(i) * ctx.p_b_d[i])
-        .sum();
+#[inline]
+fn vifi_from_denominator(ctx: &RelayContext, me: usize, denom: f64) -> f64 {
     if denom <= f64::EPSILON {
         // No auxiliary (including us) is believed able to help; relaying
         // is free upside if we have any path at all.
@@ -102,8 +175,8 @@ fn vifi_rule(ctx: &RelayContext, me: usize) -> f64 {
 }
 
 /// ¬G2: ignore destination connectivity; `r = 1/Σ c_i`.
-fn not_g2(ctx: &RelayContext) -> f64 {
-    let total: f64 = (0..ctx.len()).map(|i| ctx.contention(i)).sum();
+#[inline]
+fn not_g2_from_total(_ctx: &RelayContext, _me: usize, total: f64) -> f64 {
     if total <= f64::EPSILON {
         1.0
     } else {
@@ -113,47 +186,128 @@ fn not_g2(ctx: &RelayContext) -> f64 {
 
 /// ¬G3: minimize relays subject to E[#relays *delivered*] ≥ 1 (§5.5.1).
 ///
-/// Greedy optimum: walk auxiliaries in decreasing `p_Bid`; give each
-/// `r = 1` until the accumulated `Σ r·p·c` reaches 1; the marginal one
-/// gets the fractional remainder; the rest get 0.
+/// Greedy optimum: walk auxiliaries in decreasing `p_Bid` (ties by index);
+/// give each `r = 1` until the accumulated `Σ r·p·c` reaches 1; the
+/// marginal one gets the fractional remainder; the rest get 0.
+///
+/// Evaluated without sorting: because each greedy step contributes
+/// `min(gain_i, 1 − acc)`, the accumulator after any prefix is just
+/// `min(1, Σ prefix gains)` — so `r_me` depends only on the *sum* of the
+/// gains ranked ahead of `me`, which one unordered O(n) pass computes.
+#[inline]
 fn not_g3(ctx: &RelayContext, me: usize) -> f64 {
-    // Rank by p_b_d descending, ties broken by index for determinism.
-    let mut order: Vec<usize> = (0..ctx.len()).collect();
-    order.sort_by(|&a, &b| {
-        ctx.p_b_d[b]
-            .partial_cmp(&ctx.p_b_d[a])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
-    let mut acc = 0.0;
-    for &i in &order {
-        let gain = ctx.p_b_d[i] * ctx.contention(i);
-        let r_i = if acc >= 1.0 || gain <= f64::EPSILON {
-            0.0
-        } else if acc + gain <= 1.0 {
-            1.0
-        } else {
-            (1.0 - acc) / gain
-        };
-        if i == me {
-            return r_i;
-        }
-        acc += r_i * gain;
+    let p_me = ctx.p_b_d[me];
+    let gain_me = p_me * ctx.contention(me);
+    if gain_me <= f64::EPSILON {
+        return 0.0;
     }
-    // Constraint unreachable even with everyone at r = 1: relay anyway if
-    // we have a path (mirrors the ViFi degenerate case).
-    if ctx.p_b_d[me] > 0.0 {
+    let mut ahead = 0.0f64;
+    for j in 0..ctx.len() {
+        // Rank by p_b_d descending, ties broken by index for determinism.
+        let p_j = ctx.p_b_d[j];
+        if p_j > p_me || (p_j == p_me && j < me) {
+            let gain = p_j * ctx.contention(j);
+            if gain > f64::EPSILON {
+                ahead += gain;
+                if ahead >= 1.0 {
+                    return 0.0;
+                }
+            }
+        }
+    }
+    if ahead + gain_me <= 1.0 {
         1.0
     } else {
-        0.0
+        (1.0 - ahead) / gain_me
+    }
+}
+
+/// A relay context with its formulation-specific denominator precomputed,
+/// answering per-auxiliary probability queries in O(1) (prepare is O(n),
+/// or O(n log n) for ¬G3's ranked greedy). Use this when sweeping all
+/// auxiliaries of one packet — `expected_relays`, Table 2, the ablation
+/// bins.
+#[derive(Clone, Debug)]
+pub struct PreparedRelay<'a> {
+    ctx: RelayContext<'a>,
+    coord: Coordination,
+    /// Vifi: `Σ c_i·p_Bid`; ¬G2: `Σ c_i`; unused otherwise.
+    denom: f64,
+    /// ¬G3 only: fully materialized per-auxiliary probabilities.
+    not_g3: Vec<f64>,
+}
+
+impl<'a> PreparedRelay<'a> {
+    /// Precompute the shared denominator for `coord` over `ctx`.
+    pub fn new(ctx: RelayContext<'a>, coord: Coordination) -> Self {
+        #[cfg(debug_assertions)]
+        ctx.validate();
+        let mut denom = 0.0;
+        let mut not_g3_probs = Vec::new();
+        match coord {
+            Coordination::Vifi => denom = ctx.vifi_denominator(),
+            Coordination::NotG2 => denom = ctx.total_contention(),
+            Coordination::NotG1 => {}
+            Coordination::NotG3 => {
+                // One sorted greedy pass materializes every r_i.
+                let n = ctx.len();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    ctx.p_b_d[b]
+                        .partial_cmp(&ctx.p_b_d[a])
+                        .expect("validated probabilities are comparable")
+                        .then(a.cmp(&b))
+                });
+                not_g3_probs = vec![0.0; n];
+                let mut acc = 0.0;
+                for &i in &order {
+                    let gain = ctx.p_b_d[i] * ctx.contention(i);
+                    let r_i = if acc >= 1.0 || gain <= f64::EPSILON {
+                        0.0
+                    } else if acc + gain <= 1.0 {
+                        1.0
+                    } else {
+                        (1.0 - acc) / gain
+                    };
+                    not_g3_probs[i] = r_i;
+                    acc += r_i * gain;
+                }
+            }
+        }
+        PreparedRelay {
+            ctx,
+            coord,
+            denom,
+            not_g3: not_g3_probs,
+        }
+    }
+
+    /// The underlying context.
+    pub fn ctx(&self) -> &RelayContext<'a> {
+        &self.ctx
+    }
+
+    /// Relay probability for auxiliary `me`; identical to
+    /// [`relay_probability`] on the same inputs.
+    #[inline]
+    pub fn probability(&self, me: usize) -> f64 {
+        let r = match self.coord {
+            Coordination::Vifi => vifi_from_denominator(&self.ctx, me, self.denom),
+            Coordination::NotG1 => self.ctx.p_b_d[me],
+            Coordination::NotG2 => not_g2_from_total(&self.ctx, me, self.denom),
+            Coordination::NotG3 => self.not_g3[me],
+        };
+        r.clamp(0.0, 1.0)
     }
 }
 
 /// Expected number of relayed transmissions if every auxiliary applies
 /// `coord` — the quantity G3 pins to 1 (used by tests and Table 2).
+/// O(n) via [`PreparedRelay`].
 pub fn expected_relays(ctx: &RelayContext, coord: Coordination) -> f64 {
+    let prepared = PreparedRelay::new(*ctx, coord);
     (0..ctx.len())
-        .map(|i| ctx.contention(i) * relay_probability(ctx, i, coord))
+        .map(|i| ctx.contention(i) * prepared.probability(i))
         .sum()
 }
 
@@ -161,8 +315,8 @@ pub fn expected_relays(ctx: &RelayContext, coord: Coordination) -> f64 {
 mod tests {
     use super::*;
 
-    fn symmetric(n: usize, p_sb: f64, p_sd: f64, p_db: f64, p_bd: f64) -> RelayContext {
-        RelayContext {
+    fn symmetric(n: usize, p_sb: f64, p_sd: f64, p_db: f64, p_bd: f64) -> RelayInputs {
+        RelayInputs {
             p_s_b: vec![p_sb; n],
             p_s_d: p_sd,
             p_d_b: vec![p_db; n],
@@ -172,16 +326,16 @@ mod tests {
 
     #[test]
     fn contention_formula() {
-        let ctx = symmetric(1, 0.8, 0.5, 0.9, 0.7);
+        let inp = symmetric(1, 0.8, 0.5, 0.9, 0.7);
         // c = 0.8 · (1 − 0.5·0.9) = 0.8 · 0.55 = 0.44
-        assert!((ctx.contention(0) - 0.44).abs() < 1e-12);
+        assert!((inp.ctx().contention(0) - 0.44).abs() < 1e-12);
     }
 
     #[test]
     fn expected_relays_is_one_when_feasible() {
         // Symmetric case with enough contention mass.
-        let ctx = symmetric(4, 0.9, 0.3, 0.5, 0.8);
-        let e = expected_relays(&ctx, Coordination::Vifi);
+        let inp = symmetric(4, 0.9, 0.3, 0.5, 0.8);
+        let e = expected_relays(&inp.ctx(), Coordination::Vifi);
         assert!((e - 1.0).abs() < 1e-9, "E[#relays] = {e}");
     }
 
@@ -189,7 +343,8 @@ mod tests {
     fn saturation_caps_expected_relays() {
         // One lonely auxiliary with weak contention: r clamps at 1 and the
         // expectation falls short of 1 — the best it can do.
-        let ctx = symmetric(1, 0.3, 0.9, 0.9, 0.5);
+        let inp = symmetric(1, 0.3, 0.9, 0.9, 0.5);
+        let ctx = inp.ctx();
         let r = relay_probability(&ctx, 0, Coordination::Vifi);
         assert_eq!(r, 1.0);
         let e = expected_relays(&ctx, Coordination::Vifi);
@@ -200,12 +355,13 @@ mod tests {
     #[test]
     fn better_connected_aux_relays_more() {
         // Eq. 2: r_i/r_j = p_Bid/p_Bjd.
-        let ctx = RelayContext {
+        let inp = RelayInputs {
             p_s_b: vec![0.8, 0.8],
             p_s_d: 0.4,
             p_d_b: vec![0.6, 0.6],
             p_b_d: vec![0.9, 0.3],
         };
+        let ctx = inp.ctx();
         let r0 = relay_probability(&ctx, 0, Coordination::Vifi);
         let r1 = relay_probability(&ctx, 1, Coordination::Vifi);
         assert!(r0 > r1);
@@ -216,12 +372,13 @@ mod tests {
 
     #[test]
     fn disconnected_aux_never_relays() {
-        let ctx = RelayContext {
+        let inp = RelayInputs {
             p_s_b: vec![0.8, 0.8],
             p_s_d: 0.4,
             p_d_b: vec![0.6, 0.6],
             p_b_d: vec![0.0, 0.9],
         };
+        let ctx = inp.ctx();
         assert_eq!(relay_probability(&ctx, 0, Coordination::Vifi), 0.0);
         for coord in [Coordination::NotG1, Coordination::NotG3] {
             assert_eq!(relay_probability(&ctx, 0, coord), 0.0, "{coord:?}");
@@ -230,8 +387,8 @@ mod tests {
 
     #[test]
     fn lone_aux_with_no_paths_anywhere() {
-        let ctx = symmetric(2, 0.0, 0.5, 0.5, 0.0);
-        assert_eq!(relay_probability(&ctx, 0, Coordination::Vifi), 0.0);
+        let inp = symmetric(2, 0.0, 0.5, 0.5, 0.0);
+        assert_eq!(relay_probability(&inp.ctx(), 0, Coordination::Vifi), 0.0);
     }
 
     #[test]
@@ -239,24 +396,25 @@ mod tests {
         // ¬G1's relay probability is independent of how many peers exist.
         let small = symmetric(1, 0.9, 0.3, 0.5, 0.7);
         let large = symmetric(10, 0.9, 0.3, 0.5, 0.7);
-        let r_small = relay_probability(&small, 0, Coordination::NotG1);
-        let r_large = relay_probability(&large, 0, Coordination::NotG1);
+        let r_small = relay_probability(&small.ctx(), 0, Coordination::NotG1);
+        let r_large = relay_probability(&large.ctx(), 0, Coordination::NotG1);
         assert_eq!(r_small, r_large);
         assert_eq!(r_small, 0.7);
         // Which is exactly why its false positives blow up with density
         // (Table 2): expected relays grow linearly.
-        let e = expected_relays(&large, Coordination::NotG1);
+        let e = expected_relays(&large.ctx(), Coordination::NotG1);
         assert!(e > 3.0, "¬G1 E[#relays] with 10 auxes = {e}");
     }
 
     #[test]
     fn not_g2_ignores_destination_quality() {
-        let ctx = RelayContext {
+        let inp = RelayInputs {
             p_s_b: vec![0.8, 0.8],
             p_s_d: 0.4,
             p_d_b: vec![0.6, 0.6],
             p_b_d: vec![0.9, 0.1],
         };
+        let ctx = inp.ctx();
         let r0 = relay_probability(&ctx, 0, Coordination::NotG2);
         let r1 = relay_probability(&ctx, 1, Coordination::NotG2);
         assert_eq!(r0, r1, "¬G2 cannot tell good exits from bad");
@@ -265,12 +423,13 @@ mod tests {
     #[test]
     fn not_g3_concentrates_on_best_exit() {
         // With a strong best exit, ¬G3 gives it r=1 and the rest ~0.
-        let ctx = RelayContext {
+        let inp = RelayInputs {
             p_s_b: vec![1.0, 1.0, 1.0],
             p_s_d: 0.0, // everyone always contends
             p_d_b: vec![0.0, 0.0, 0.0],
             p_b_d: vec![0.9, 0.8, 0.7],
         };
+        let ctx = inp.ctx();
         // c_i = 1; best exit alone gives 0.9 < 1 → second gets fraction.
         let r0 = relay_probability(&ctx, 0, Coordination::NotG3);
         let r1 = relay_probability(&ctx, 1, Coordination::NotG3);
@@ -294,17 +453,60 @@ mod tests {
     fn vifi_relays_fewer_than_not_g3_under_weak_exits() {
         // Weak exits: delivering one copy in expectation takes many
         // relays; ViFi refuses to flood, ¬G3 floods (Table 2's 157%).
-        let ctx = symmetric(6, 0.9, 0.2, 0.3, 0.25);
-        let vifi = expected_relays(&ctx, Coordination::Vifi);
-        let g3 = expected_relays(&ctx, Coordination::NotG3);
+        let inp = symmetric(6, 0.9, 0.2, 0.3, 0.25);
+        let vifi = expected_relays(&inp.ctx(), Coordination::Vifi);
+        let g3 = expected_relays(&inp.ctx(), Coordination::NotG3);
         assert!(vifi <= 1.0 + 1e-9, "ViFi E = {vifi}");
         assert!(g3 > 2.0, "¬G3 E = {g3}");
     }
 
     #[test]
+    fn prepared_matches_single_shot_everywhere() {
+        // PreparedRelay is a pure caching layer: identical answers to the
+        // single-shot function for every formulation and index, including
+        // tie-heavy ¬G3 rankings.
+        let inp = RelayInputs {
+            p_s_b: vec![0.9, 0.2, 0.7, 0.9, 0.5, 0.33],
+            p_s_d: 0.45,
+            p_d_b: vec![0.1, 0.8, 0.6, 0.2, 0.9, 0.4],
+            p_b_d: vec![0.7, 0.7, 0.0, 0.9, 0.25, 0.7],
+        };
+        let ctx = inp.ctx();
+        for coord in [
+            Coordination::Vifi,
+            Coordination::NotG1,
+            Coordination::NotG2,
+            Coordination::NotG3,
+        ] {
+            let prepared = PreparedRelay::new(ctx, coord);
+            for me in 0..ctx.len() {
+                let single = relay_probability(&ctx, me, coord);
+                let cached = prepared.probability(me);
+                assert!(
+                    (single - cached).abs() < 1e-9,
+                    "{coord:?} me={me}: {single} vs {cached}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relay_inputs_scratch_reuse() {
+        let mut inp = symmetric(3, 0.5, 0.5, 0.5, 0.5);
+        inp.clear();
+        assert!(inp.ctx().is_empty());
+        inp.p_s_b.push(0.9);
+        inp.p_d_b.push(0.1);
+        inp.p_b_d.push(0.8);
+        inp.p_s_d = 0.2;
+        assert_eq!(inp.ctx().len(), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "probability out of range")]
     fn rejects_bad_probabilities() {
-        let ctx = symmetric(1, 1.5, 0.5, 0.5, 0.5);
-        relay_probability(&ctx, 0, Coordination::Vifi);
+        let inp = symmetric(1, 1.5, 0.5, 0.5, 0.5);
+        relay_probability(&inp.ctx(), 0, Coordination::Vifi);
     }
 }

@@ -2,14 +2,14 @@
 
 use proptest::prelude::*;
 use vifi_core::config::Coordination;
-use vifi_core::prob::{expected_relays, relay_probability, RelayContext};
+use vifi_core::prob::{expected_relays, relay_probability, PreparedRelay, RelayInputs};
 use vifi_core::RxBitmap;
 
 fn prob() -> impl Strategy<Value = f64> {
     (0u32..=1000).prop_map(|x| x as f64 / 1000.0)
 }
 
-fn ctx_strategy(max_aux: usize) -> impl Strategy<Value = RelayContext> {
+fn ctx_strategy(max_aux: usize) -> impl Strategy<Value = RelayInputs> {
     (1..=max_aux).prop_flat_map(|n| {
         (
             proptest::collection::vec(prob(), n),
@@ -17,7 +17,7 @@ fn ctx_strategy(max_aux: usize) -> impl Strategy<Value = RelayContext> {
             proptest::collection::vec(prob(), n),
             proptest::collection::vec(prob(), n),
         )
-            .prop_map(|(p_s_b, p_s_d, p_d_b, p_b_d)| RelayContext {
+            .prop_map(|(p_s_b, p_s_d, p_d_b, p_b_d)| RelayInputs {
                 p_s_b,
                 p_s_d,
                 p_d_b,
@@ -30,7 +30,8 @@ proptest! {
     /// Relay probabilities are valid probabilities under every
     /// formulation and every input.
     #[test]
-    fn relay_prob_in_unit_interval(ctx in ctx_strategy(12)) {
+    fn relay_prob_in_unit_interval(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
         for coord in [Coordination::Vifi, Coordination::NotG1, Coordination::NotG2, Coordination::NotG3] {
             for i in 0..ctx.len() {
                 let r = relay_probability(&ctx, i, coord);
@@ -42,14 +43,16 @@ proptest! {
     /// ViFi's G3: the expected number of relays never exceeds 1 (up to
     /// clamping slack, it equals 1 whenever feasible).
     #[test]
-    fn vifi_expected_relays_at_most_one(ctx in ctx_strategy(12)) {
+    fn vifi_expected_relays_at_most_one(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
         let e = expected_relays(&ctx, Coordination::Vifi);
         prop_assert!(e <= 1.0 + 1e-9, "E[#relays] = {e}");
     }
 
     /// When no auxiliary saturates (all r < 1) the expectation is exactly 1.
     #[test]
-    fn vifi_expected_relays_exactly_one_when_unsaturated(ctx in ctx_strategy(12)) {
+    fn vifi_expected_relays_exactly_one_when_unsaturated(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
         let rs: Vec<f64> = (0..ctx.len())
             .map(|i| relay_probability(&ctx, i, Coordination::Vifi))
             .collect();
@@ -62,7 +65,8 @@ proptest! {
 
     /// G2: better-connected auxiliaries never relay with lower probability.
     #[test]
-    fn vifi_monotone_in_exit_quality(ctx in ctx_strategy(12)) {
+    fn vifi_monotone_in_exit_quality(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
         for i in 0..ctx.len() {
             for j in 0..ctx.len() {
                 if ctx.p_b_d[i] >= ctx.p_b_d[j] {
@@ -76,7 +80,8 @@ proptest! {
 
     /// Contention probabilities are valid and match Eq. 3.
     #[test]
-    fn contention_formula_valid(ctx in ctx_strategy(12)) {
+    fn contention_formula_valid(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
         for i in 0..ctx.len() {
             let c = ctx.contention(i);
             prop_assert!((0.0..=1.0).contains(&c));
@@ -87,7 +92,8 @@ proptest! {
 
     /// ¬G3 meets its delivery constraint whenever it is feasible at all.
     #[test]
-    fn not_g3_meets_delivery_constraint_when_feasible(ctx in ctx_strategy(12)) {
+    fn not_g3_meets_delivery_constraint_when_feasible(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
         let max_deliveries: f64 = (0..ctx.len())
             .map(|i| ctx.contention(i) * ctx.p_b_d[i])
             .sum();
@@ -100,6 +106,21 @@ proptest! {
             })
             .sum();
         prop_assert!(deliveries >= 1.0 - 1e-6, "E[deliveries] = {deliveries}");
+    }
+
+    /// The prepared (denominator-cached) evaluator is indistinguishable
+    /// from the single-shot function for every formulation and index.
+    #[test]
+    fn prepared_relay_matches_single_shot(inputs in ctx_strategy(12)) {
+        let ctx = inputs.ctx();
+        for coord in [Coordination::Vifi, Coordination::NotG1, Coordination::NotG2, Coordination::NotG3] {
+            let prepared = PreparedRelay::new(ctx, coord);
+            for i in 0..ctx.len() {
+                let single = relay_probability(&ctx, i, coord);
+                let cached = prepared.probability(i);
+                prop_assert!((single - cached).abs() < 1e-9, "{coord:?} i={i}: {single} vs {cached}");
+            }
+        }
     }
 
     /// The RxBitmap window invariant: after arbitrary receptions, `wire`

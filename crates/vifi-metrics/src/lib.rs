@@ -27,5 +27,7 @@ pub mod stats;
 pub use burst::{conditional_loss_curve, loss_rate, reception_conditionals, PairConditionals};
 pub use cdf::Cdf;
 pub use efficiency::EfficiencyLedger;
-pub use sessions::{sessions_from_ratios, SessionDef, SessionSet, SlotSeries};
+pub use sessions::{
+    sessions_from_ratio_iter, sessions_from_ratios, SessionDef, SessionSet, SlotSeries,
+};
 pub use stats::{exp_avg, mean, mean_ci95, median, percentile, Summary};

@@ -111,11 +111,12 @@ impl SlotSeries {
         self.delivered.iter().map(|&x| x as u64).sum()
     }
 
-    /// Aggregate to reception ratios over intervals of length `interval`
-    /// (must be a multiple of the slot width). Intervals with zero expected
-    /// packets get ratio 0 — the client was expecting traffic every slot in
-    /// the paper's workloads, so silence means disconnection.
-    pub fn ratios(&self, interval: SimDuration) -> Vec<f64> {
+    /// The one copy of the interval-aggregation rule: lazy reception
+    /// ratios over intervals of length `interval` (must be a multiple of
+    /// the slot width). Intervals with zero expected packets get ratio 0 —
+    /// the client was expecting traffic every slot in the paper's
+    /// workloads, so silence means disconnection.
+    fn interval_ratios(&self, interval: SimDuration) -> impl Iterator<Item = f64> + '_ {
         let k = (interval / self.slot) as usize;
         assert!(k > 0, "interval smaller than slot");
         assert!(
@@ -134,12 +135,44 @@ impl SlotSeries {
                     dd as f64 / ee as f64
                 }
             })
-            .collect()
+    }
+
+    /// Aggregate to reception ratios over intervals of length `interval`
+    /// (see [`Self::interval_ratios`] for the semantics).
+    pub fn ratios(&self, interval: SimDuration) -> Vec<f64> {
+        self.interval_ratios(interval).collect()
     }
 
     /// Apply a session definition to this series.
+    ///
+    /// Streams: interval sums fold straight out of the slot counters into
+    /// the run-length accumulator, with no intermediate ratio vector — one
+    /// pass over the slots, allocations only for the session lengths
+    /// themselves. Ratios move through a fixed 64-slot stack buffer: the
+    /// buffer decouples the vectorizable chunk summations from the branchy
+    /// run-length fold (fully interleaving them measured ~2× slower on
+    /// random ratios — each mispredicted adequacy branch stalls the
+    /// in-flight summations; see `slot_series_sessions_60k` in
+    /// `BENCH_baseline.json`).
     pub fn sessions(&self, def: SessionDef) -> SessionSet {
-        sessions_from_ratios(&self.ratios(def.interval), def)
+        const BLOCK: usize = 64;
+        let mut acc = SessionAccumulator::new(def);
+        let mut buf = [0.0f64; BLOCK];
+        let mut ratios = self.interval_ratios(def.interval);
+        loop {
+            let mut filled = 0;
+            for r in ratios.by_ref().take(BLOCK) {
+                buf[filled] = r;
+                filled += 1;
+            }
+            for &r in &buf[..filled] {
+                acc.push(r);
+            }
+            if filled < BLOCK {
+                break;
+            }
+        }
+        acc.finish()
     }
 }
 
@@ -190,22 +223,64 @@ impl SessionSet {
     }
 }
 
-/// Extract sessions from a pre-aggregated ratio series.
-pub fn sessions_from_ratios(ratios: &[f64], def: SessionDef) -> SessionSet {
-    let mut lengths = Vec::new();
-    let mut run = 0u64;
-    for &r in ratios {
-        if r >= def.min_ratio && r > 0.0 {
-            run += 1;
-        } else if run > 0 {
-            lengths.push(def.interval * run);
-            run = 0;
+/// Streaming run-length fold: push interval ratios one at a time, collect
+/// the [`SessionSet`] at the end. This is the single-pass core underneath
+/// every session computation; producers that generate ratios on the fly
+/// (like [`SlotSeries::sessions`]) feed it directly with no intermediate
+/// ratio vector.
+#[derive(Clone, Debug)]
+pub struct SessionAccumulator {
+    def: SessionDef,
+    lengths: Vec<SimDuration>,
+    run: u64,
+}
+
+impl SessionAccumulator {
+    /// Start an empty fold under `def`.
+    pub fn new(def: SessionDef) -> Self {
+        SessionAccumulator {
+            def,
+            lengths: Vec::new(),
+            run: 0,
         }
     }
-    if run > 0 {
-        lengths.push(def.interval * run);
+
+    /// Fold in the next interval's reception ratio.
+    #[inline]
+    pub fn push(&mut self, ratio: f64) {
+        if ratio >= self.def.min_ratio && ratio > 0.0 {
+            self.run += 1;
+        } else if self.run > 0 {
+            self.lengths.push(self.def.interval * self.run);
+            self.run = 0;
+        }
     }
-    SessionSet { lengths, def }
+
+    /// Close any open run and return the completed set.
+    pub fn finish(mut self) -> SessionSet {
+        if self.run > 0 {
+            self.lengths.push(self.def.interval * self.run);
+        }
+        SessionSet {
+            lengths: self.lengths,
+            def: self.def,
+        }
+    }
+}
+
+/// Extract sessions from a pre-aggregated ratio series.
+pub fn sessions_from_ratios(ratios: &[f64], def: SessionDef) -> SessionSet {
+    sessions_from_ratio_iter(ratios.iter().copied(), def)
+}
+
+/// Extract sessions from any stream of interval reception ratios (see
+/// [`SessionAccumulator`]).
+pub fn sessions_from_ratio_iter(ratios: impl Iterator<Item = f64>, def: SessionDef) -> SessionSet {
+    let mut acc = SessionAccumulator::new(def);
+    for r in ratios {
+        acc.push(r);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]

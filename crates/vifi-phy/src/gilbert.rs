@@ -18,6 +18,27 @@
 //!   sensible behaviour for free: a close-in link with 25 dB of SNR margin
 //!   shrugs off an 11 dB fade, while a mid-range link at the cell edge
 //!   collapses — which is exactly where the paper observes burst losses.
+//!
+//! # Jump-ahead advancement
+//!
+//! [`GilbertElliott::state_at`] does **not** walk the intermediate
+//! transitions between queries. A two-state CTMC has a closed-form
+//! transition kernel: with rates `λg = 1/mean_good`, `λb = 1/mean_bad` and
+//! stationary bad-fraction `π_b = λg/(λg+λb)`,
+//!
+//! ```text
+//! P(Bad at t+Δ | state at t) = π_b + (1{Bad at t} − π_b)·e^(−(λg+λb)Δ)
+//! ```
+//!
+//! so when a query lands past the end of the current sojourn the chain
+//! *jumps*: one Bernoulli draw from the kernel picks the state at the query
+//! instant, and one exponential draw (memorylessness) schedules the next
+//! transition. Each query costs O(1) regardless of how much simulated time
+//! elapsed — a link not queried for ten minutes costs the same as one
+//! queried every frame. The per-step walk survives as
+//! [`ReferenceGilbertElliott`], and `tests/ge_equivalence.rs` pins the
+//! jump-ahead chain to it distributionally (stationary fraction, sojourn
+//! means, burstiness decay) across random parameters.
 
 use vifi_sim::{Rng, SimDuration, SimTime};
 
@@ -49,6 +70,12 @@ impl GeParams {
         let b = self.mean_bad.as_secs_f64();
         b / (g + b)
     }
+
+    /// Total transition rate `λg + λb = 1/mean_good + 1/mean_bad` — the
+    /// relaxation rate of the closed-form transition kernel.
+    pub fn rate_sum(&self) -> f64 {
+        1.0 / self.mean_good.as_secs_f64() + 1.0 / self.mean_bad.as_secs_f64()
+    }
 }
 
 /// State of the chain.
@@ -60,8 +87,21 @@ pub enum GeState {
     Bad,
 }
 
+impl GeState {
+    /// The other state.
+    #[inline]
+    fn flipped(self) -> GeState {
+        match self {
+            GeState::Good => GeState::Bad,
+            GeState::Bad => GeState::Good,
+        }
+    }
+}
+
 /// A lazily-advanced continuous-time Gilbert–Elliott chain for one directed
-/// link.
+/// link, using jump-ahead advancement (see the module docs): each query
+/// costs O(1) — one kernel evaluation and at most two RNG draws — no matter
+/// how much simulated time passed since the previous query.
 ///
 /// Queries must be made with non-decreasing `now` (the discrete-event loop
 /// guarantees this); a query earlier than a previous one returns the current
@@ -72,6 +112,10 @@ pub struct GilbertElliott {
     state: GeState,
     /// Instant at which the current sojourn ends.
     until: SimTime,
+    /// Precomputed `λg + λb` (kernel relaxation rate).
+    rate_sum: f64,
+    /// Precomputed stationary bad-state probability.
+    pi_bad: f64,
     rng: Rng,
 }
 
@@ -85,6 +129,93 @@ impl GilbertElliott {
             GeState::Good
         };
         let mut ge = GilbertElliott {
+            params,
+            state,
+            until: SimTime::ZERO,
+            rate_sum: params.rate_sum(),
+            pi_bad: params.stationary_bad(),
+            rng,
+        };
+        ge.until = SimTime::ZERO + ge.draw_sojourn(state);
+        ge
+    }
+
+    fn draw_sojourn(&mut self, state: GeState) -> SimDuration {
+        let mean = match state {
+            GeState::Good => self.params.mean_good,
+            GeState::Bad => self.params.mean_bad,
+        };
+        SimDuration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()).max(1e-6))
+    }
+
+    /// Advance the chain to `now` and return the state at that instant.
+    #[inline]
+    pub fn state_at(&mut self, now: SimTime) -> GeState {
+        if now < self.until {
+            return self.state;
+        }
+        self.jump_to(now);
+        self.state
+    }
+
+    /// Jump-ahead: the current sojourn ends at `self.until` with a
+    /// deterministic flip; from that instant the closed-form kernel gives
+    /// the state `Δ = now − until` later in one Bernoulli draw, and
+    /// memorylessness lets the residual sojourn be a fresh exponential.
+    fn jump_to(&mut self, now: SimTime) {
+        let entered = self.state.flipped();
+        let delta = now.saturating_since(self.until).as_secs_f64();
+        let indicator = match entered {
+            GeState::Bad => 1.0,
+            GeState::Good => 0.0,
+        };
+        let p_bad = self.pi_bad + (indicator - self.pi_bad) * (-self.rate_sum * delta).exp();
+        self.state = if self.rng.chance(p_bad) {
+            GeState::Bad
+        } else {
+            GeState::Good
+        };
+        self.until = now + self.draw_sojourn(self.state);
+    }
+
+    /// Extra attenuation at `now`, dB (advances the chain): zero in Good,
+    /// `fade_depth_db` in Bad.
+    #[inline]
+    pub fn attenuation_db_at(&mut self, now: SimTime) -> f64 {
+        match self.state_at(now) {
+            GeState::Good => 0.0,
+            GeState::Bad => self.params.fade_depth_db,
+        }
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &GeParams {
+        &self.params
+    }
+}
+
+/// The per-step reference implementation: walks every intermediate
+/// transition, drawing one exponential sojourn per state change — O(elapsed
+/// transitions) per query. Kept as the ground truth the jump-ahead chain is
+/// property-tested against (`tests/ge_equivalence.rs`); simulation code
+/// should use [`GilbertElliott`].
+#[derive(Clone, Debug)]
+pub struct ReferenceGilbertElliott {
+    params: GeParams,
+    state: GeState,
+    until: SimTime,
+    rng: Rng,
+}
+
+impl ReferenceGilbertElliott {
+    /// Create a reference chain (same initialization as the fast chain).
+    pub fn new(params: GeParams, mut rng: Rng) -> Self {
+        let state = if rng.chance(params.stationary_bad()) {
+            GeState::Bad
+        } else {
+            GeState::Good
+        };
+        let mut ge = ReferenceGilbertElliott {
             params,
             state,
             until: SimTime::ZERO,
@@ -102,26 +233,14 @@ impl GilbertElliott {
         SimDuration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()).max(1e-6))
     }
 
-    /// Advance the chain to `now` and return the state at that instant.
+    /// Advance transition-by-transition to `now` and return the state.
     pub fn state_at(&mut self, now: SimTime) -> GeState {
         while now >= self.until {
-            self.state = match self.state {
-                GeState::Good => GeState::Bad,
-                GeState::Bad => GeState::Good,
-            };
+            self.state = self.state.flipped();
             let sojourn = self.draw_sojourn(self.state);
             self.until += sojourn;
         }
         self.state
-    }
-
-    /// Extra attenuation at `now`, dB (advances the chain): zero in Good,
-    /// `fade_depth_db` in Bad.
-    pub fn attenuation_db_at(&mut self, now: SimTime) -> f64 {
-        match self.state_at(now) {
-            GeState::Good => 0.0,
-            GeState::Bad => self.params.fade_depth_db,
-        }
     }
 
     /// The chain parameters.

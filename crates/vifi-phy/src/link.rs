@@ -25,7 +25,7 @@ use crate::geom::{Point, Route};
 use crate::gilbert::{GeParams, GilbertElliott};
 use crate::gray::{GrayParams, GrayProcess};
 use crate::node::{link_label, NodeId, NodeKind};
-use crate::pathloss::{RadioParams, ShadowField};
+use crate::pathloss::{RadioParams, ShadowField, ShadowSampler};
 
 /// How a node moves.
 #[derive(Clone, Debug)]
@@ -91,6 +91,10 @@ pub trait LinkModel {
 struct LinkState {
     gray: GrayProcess,
     ge: GilbertElliott,
+    /// Cached-lattice view of the pair's shadowing field: the per-frame
+    /// sampling path hits the memo instead of rehashing the 4 corner
+    /// cells of a vehicle that moved a meter since the last frame.
+    shadow: ShadowSampler,
 }
 
 /// Physics-based channel: path loss + shadowing + gray periods + GE fades.
@@ -186,10 +190,10 @@ impl PhysicalLinkModel {
         )
     }
 
-    /// Received power before dynamic fades, dBm: path loss at the current
-    /// distance plus shadowing sampled at the link midpoint (so it evolves
-    /// as the vehicle moves).
-    fn static_rx_power_dbm(&self, tx: NodeId, rx: NodeId, now: SimTime) -> Option<f64> {
+    /// Received power before shadowing and dynamic fades, dBm, plus the
+    /// link midpoint to sample the shadow field at: `None` when the link
+    /// is wired or beyond the radio horizon.
+    fn link_geometry(&self, tx: NodeId, rx: NodeId, now: SimTime) -> Option<(f64, Point)> {
         if matches!(self.kind(tx), NodeKind::Wired) || matches!(self.kind(rx), NodeKind::Wired) {
             return None;
         }
@@ -199,8 +203,20 @@ impl PhysicalLinkModel {
         if d > self.params.max_range_m {
             return None;
         }
-        let shadow = self.shadow_field(tx, rx).sample_db(pt.lerp(pr, 0.5));
-        Some(self.tx_power_dbm(tx) - self.params.path_loss_db(d) + shadow)
+        Some((
+            self.tx_power_dbm(tx) - self.params.path_loss_db(d),
+            pt.lerp(pr, 0.5),
+        ))
+    }
+
+    /// Received power before dynamic fades, dBm: path loss at the current
+    /// distance plus shadowing sampled at the link midpoint (so it evolves
+    /// as the vehicle moves). Pure peek — used by the `&self` quality
+    /// paths; the `&mut` sampling paths go through the per-link
+    /// [`ShadowSampler`] instead.
+    fn static_rx_power_dbm(&self, tx: NodeId, rx: NodeId, now: SimTime) -> Option<f64> {
+        let (rxp, mid) = self.link_geometry(tx, rx, now)?;
+        Some(rxp + self.shadow_field(tx, rx).sample_db(mid))
     }
 
     fn link_state(&mut self, tx: NodeId, rx: NodeId) -> &mut LinkState {
@@ -208,11 +224,13 @@ impl PhysicalLinkModel {
         let master = &self.master;
         let gray_params = self.gray_params;
         let ge_params = self.ge_params;
+        let shadow = self.shadow_field(tx, rx);
         self.links.entry(key).or_insert_with(|| {
             let stream = master.fork(link_label(tx, rx));
             LinkState {
                 gray: GrayProcess::new(gray_params, stream.fork_named("gray")),
                 ge: GilbertElliott::new(ge_params, stream.fork_named("ge")),
+                shadow: ShadowSampler::new(shadow),
             }
         })
     }
@@ -232,13 +250,14 @@ impl PhysicalLinkModel {
 
 impl LinkModel for PhysicalLinkModel {
     fn delivery_prob(&mut self, tx: NodeId, rx: NodeId, now: SimTime) -> f64 {
-        let Some(rxp) = self.static_rx_power_dbm(tx, rx, now) else {
+        let Some((rxp, mid)) = self.link_geometry(tx, rx, now) else {
             return 0.0;
         };
         let noise = self.params.noise_floor_dbm;
         let state = self.link_state(tx, rx);
+        let shadow = state.shadow.sample_db(mid);
         let atten = state.gray.attenuation_db_at(now) + state.ge.attenuation_db_at(now);
-        let snr = rxp - atten - noise;
+        let snr = rxp + shadow - atten - noise;
         self.params.delivery_prob_from_snr(snr)
     }
 
@@ -247,11 +266,12 @@ impl LinkModel for PhysicalLinkModel {
     }
 
     fn rssi_dbm(&mut self, tx: NodeId, rx: NodeId, now: SimTime) -> Option<f64> {
-        let rxp = self.static_rx_power_dbm(tx, rx, now)?;
+        let (rxp, mid) = self.link_geometry(tx, rx, now)?;
         let state = self.link_state(tx, rx);
+        let shadow = state.shadow.sample_db(mid);
         let atten = state.gray.attenuation_db_at(now) + state.ge.attenuation_db_at(now);
         // ±1.5 dB measurement noise, quantized to 1 dB like real NIC reports.
-        let noisy = rxp - atten + self.sampler.range_f64(-1.5, 1.5);
+        let noisy = rxp + shadow - atten + self.sampler.range_f64(-1.5, 1.5);
         Some(noisy.round())
     }
 

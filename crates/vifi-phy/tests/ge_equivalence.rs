@@ -1,0 +1,179 @@
+//! Distributional equivalence of the jump-ahead Gilbert–Elliott chain and
+//! the per-step reference walk.
+//!
+//! The jump-ahead chain (`GilbertElliott`) replaces transition-by-transition
+//! advancement with one closed-form kernel draw per query, so it is *not*
+//! draw-for-draw identical to `ReferenceGilbertElliott` — the claim is that
+//! the two produce the same *process*. These property tests pin that claim
+//! across random `GeParams`:
+//!
+//! * the long-run bad-state fraction of both chains matches the analytic
+//!   stationary probability;
+//! * the mean measured Bad (and Good) sojourn of both chains matches the
+//!   configured means;
+//! * conditional burst persistence decays toward stationarity for both.
+//!
+//! Tolerances are statistical: each case observes ≥ ~1500 state cycles, so
+//! sample means sit within a few percent of truth with overwhelming
+//! probability; the bounds below leave ~4σ of slack.
+
+use proptest::prelude::*;
+use vifi_phy::gilbert::{GeParams, GeState, GilbertElliott, ReferenceGilbertElliott};
+use vifi_sim::{Rng, SimDuration, SimTime};
+
+/// Random-but-bounded parameters: means in [40, 400] ms (good) and
+/// [20, 200] ms (bad) keep each case's simulated horizon small while
+/// spanning a 20× ratio range.
+fn params_strategy() -> impl Strategy<Value = GeParams> {
+    (40u64..=400, 20u64..=200).prop_map(|(g_ms, b_ms)| GeParams {
+        mean_good: SimDuration::from_millis(g_ms),
+        mean_bad: SimDuration::from_millis(b_ms),
+        fade_depth_db: 13.0,
+    })
+}
+
+/// Observed statistics of one chain sampled on a fixed grid.
+struct Observed {
+    bad_fraction: f64,
+    mean_bad_sojourn_s: f64,
+    mean_good_sojourn_s: f64,
+    cycles: usize,
+}
+
+/// Sample `state_at` on a grid fine enough to resolve sojourns (step =
+/// min(mean)/8) over `cycles` expected good+bad cycles.
+fn observe(mut state_at: impl FnMut(SimTime) -> GeState, p: &GeParams, cycles: u64) -> Observed {
+    let g = p.mean_good.as_secs_f64();
+    let b = p.mean_bad.as_secs_f64();
+    let step = SimDuration::from_secs_f64((g.min(b) / 8.0).max(1e-4));
+    let horizon = SimDuration::from_secs_f64((g + b) * cycles as f64);
+    let steps = horizon / step;
+    let mut t = SimTime::ZERO;
+    let mut bad_samples = 0u64;
+    let mut bad_runs: Vec<f64> = Vec::new();
+    let mut good_runs: Vec<f64> = Vec::new();
+    let mut run_start = SimTime::ZERO;
+    let mut prev = state_at(SimTime::ZERO);
+    for _ in 0..steps {
+        t += step;
+        let s = state_at(t);
+        if s == GeState::Bad {
+            bad_samples += 1;
+        }
+        if s != prev {
+            let run = t.saturating_since(run_start).as_secs_f64();
+            match prev {
+                GeState::Bad => bad_runs.push(run),
+                GeState::Good => good_runs.push(run),
+            }
+            run_start = t;
+            prev = s;
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Observed {
+        bad_fraction: bad_samples as f64 / steps as f64,
+        mean_bad_sojourn_s: mean(&bad_runs),
+        mean_good_sojourn_s: mean(&good_runs),
+        cycles: bad_runs.len().min(good_runs.len()),
+    }
+}
+
+fn check_chain(name: &str, obs: &Observed, p: &GeParams) -> Result<(), TestCaseError> {
+    let stat = p.stationary_bad();
+    prop_assert!(obs.cycles > 500, "{name}: too few cycles ({})", obs.cycles);
+    prop_assert!(
+        (obs.bad_fraction - stat).abs() < 0.04 + 0.12 * stat,
+        "{name}: bad fraction {} vs stationary {stat}",
+        obs.bad_fraction
+    );
+    // Grid sampling overestimates sojourns by up to one step and misses
+    // sub-step excursions; with step = min(mean)/8 the bias is ≲ 15%.
+    let b = p.mean_bad.as_secs_f64();
+    let g = p.mean_good.as_secs_f64();
+    prop_assert!(
+        (obs.mean_bad_sojourn_s - b).abs() < 0.30 * b + 0.01,
+        "{name}: mean bad sojourn {} vs {b}",
+        obs.mean_bad_sojourn_s
+    );
+    prop_assert!(
+        (obs.mean_good_sojourn_s - g).abs() < 0.30 * g + 0.01,
+        "{name}: mean good sojourn {} vs {g}",
+        obs.mean_good_sojourn_s
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both chains reproduce the stationary bad fraction and the
+    /// configured sojourn means, for random parameters and seeds.
+    #[test]
+    fn jump_ahead_matches_reference_statistics(
+        p in params_strategy(),
+        seed in 1u64..10_000,
+    ) {
+        let cycles = 1500;
+        let mut fast = GilbertElliott::new(p, Rng::new(seed));
+        let mut reference = ReferenceGilbertElliott::new(p, Rng::new(seed ^ 0xDEAD_BEEF));
+        let obs_fast = observe(|t| fast.state_at(t), &p, cycles);
+        let obs_ref = observe(|t| reference.state_at(t), &p, cycles);
+        check_chain("jump-ahead", &obs_fast, &p)?;
+        check_chain("reference", &obs_ref, &p)?;
+        // The two estimators agree with each other at least as tightly as
+        // each agrees with truth.
+        prop_assert!(
+            (obs_fast.bad_fraction - obs_ref.bad_fraction).abs() < 0.05 + 0.15 * p.stationary_bad(),
+            "chains disagree: {} vs {}",
+            obs_fast.bad_fraction,
+            obs_ref.bad_fraction
+        );
+    }
+
+    /// Burstiness survives the jump-ahead rewrite: conditional bad→bad
+    /// persistence over one step is far above stationary and decays toward
+    /// it at long lags, matching the reference within tolerance.
+    #[test]
+    fn jump_ahead_preserves_burstiness_decay(seed in 1u64..10_000) {
+        let p = GeParams::default();
+        let step = SimDuration::from_millis(10);
+        let n = 120_000usize;
+        let collect = |mut f: Box<dyn FnMut(SimTime) -> GeState>| {
+            let mut t = SimTime::ZERO;
+            let mut states = Vec::with_capacity(n);
+            for _ in 0..n {
+                states.push(f(t) == GeState::Bad);
+                t += step;
+            }
+            states
+        };
+        let mut fast = GilbertElliott::new(p, Rng::new(seed));
+        let mut reference = ReferenceGilbertElliott::new(p, Rng::new(seed.wrapping_mul(31)));
+        let s_fast = collect(Box::new(move |t| fast.state_at(t)));
+        let s_ref = collect(Box::new(move |t| reference.state_at(t)));
+        let cond = |states: &[bool], lag: usize| {
+            let (mut num, mut den) = (0u64, 0u64);
+            for i in 0..states.len() - lag {
+                if states[i] {
+                    den += 1;
+                    num += states[i + lag] as u64;
+                }
+            }
+            num as f64 / den.max(1) as f64
+        };
+        for states in [&s_fast, &s_ref] {
+            let short = cond(states, 1);
+            let long = cond(states, 1000);
+            let stat = p.stationary_bad();
+            prop_assert!(short > 0.6, "10 ms persistence {short}");
+            prop_assert!((long - stat).abs() < 0.08, "10 s persistence {long} vs {stat}");
+            prop_assert!(short > 2.0 * long, "burstiness must decay");
+        }
+        // And the two chains' short-lag persistence agree.
+        prop_assert!(
+            (cond(&s_fast, 1) - cond(&s_ref, 1)).abs() < 0.08,
+            "short-lag persistence disagrees"
+        );
+    }
+}

@@ -5,27 +5,40 @@
 //! semantics among events scheduled for the same instant — this is the
 //! tie-break rule that makes whole-simulation runs bit-for-bit reproducible.
 //!
-//! Cancellation is lazy: [`EventQueue::cancel`] marks a [`TimerToken`] dead
-//! in O(1) and the heap discards dead entries when they surface. Protocol
-//! code (retransmission timers, relay timers) cancels far more often than it
-//! lets timers fire, so lazy deletion is the right trade.
+//! Cancellation is **generation-stamped**: every pending event owns a slot
+//! in a small side table, and its [`TimerToken`] carries `(slot,
+//! generation)`. Cancelling (or firing) bumps the slot's generation, which
+//! invalidates the token — and any stale heap entry — with one array write.
+//! Liveness checks on the pop/peek path are a single indexed compare, not a
+//! `HashSet` probe; there is no cancelled-set to grow, and slots are
+//! recycled through a free list, so memory is bounded by the *peak* number
+//! of concurrently pending events. Protocol code (retransmission timers,
+//! relay timers) cancels far more often than it lets timers fire, which is
+//! exactly the pattern this layout makes cheap.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, used to cancel it before it fires.
 ///
-/// Tokens are unique for the lifetime of a queue (u64 insertion counter; at
-/// one event per simulated microsecond that is ~585 millennia of sim time).
+/// A token is `(slot, generation)`: it names a slot in the queue's side
+/// table and the generation at which it was issued. Once the event fires or
+/// is cancelled the slot's generation moves on and the token goes stale
+/// forever (up to u32 generation wrap-around — four billion reuses of one
+/// slot — which no simulated workload approaches).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct TimerToken(u64);
+pub struct TimerToken {
+    slot: u32,
+    generation: u32,
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    generation: u32,
     event: E,
 }
 
@@ -51,11 +64,15 @@ impl<E> Ord for Entry<E> {
 /// A deterministic, cancellable priority queue of future events.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// FIFO tie-break counter (never reused; u64 cannot wrap in practice).
     next_seq: u64,
-    /// Seqs scheduled and neither fired nor cancelled yet.
-    pending: HashSet<u64>,
-    /// Seqs cancelled while still in the heap; purged lazily by `skim`.
-    cancelled: HashSet<u64>,
+    /// Current generation per slot. An entry (or token) is live iff its
+    /// stamped generation equals its slot's current generation.
+    generations: Vec<u32>,
+    /// Slots whose previous event fired or was cancelled, ready for reuse.
+    free_slots: Vec<u32>,
+    /// Number of live (scheduled, not yet fired or cancelled) events.
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,8 +87,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
         }
     }
 
@@ -80,21 +98,48 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) -> TimerToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
-        self.pending.insert(seq);
-        TimerToken(seq)
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.generations.len())
+                    .expect("more than u32::MAX concurrently pending events");
+                self.generations.push(0);
+                s
+            }
+        };
+        let generation = self.generations[slot as usize];
+        self.heap.push(Reverse(Entry {
+            at,
+            seq,
+            slot,
+            generation,
+            event,
+        }));
+        self.live += 1;
+        TimerToken { slot, generation }
     }
 
     /// Cancel a previously scheduled event. Returns true if the event was
     /// still pending; cancelling a fired or already-cancelled token is a
     /// harmless no-op returning false.
     pub fn cancel(&mut self, token: TimerToken) -> bool {
-        if self.pending.remove(&token.0) {
-            self.cancelled.insert(token.0);
-            true
-        } else {
-            false
+        match self.generations.get_mut(token.slot as usize) {
+            Some(generation) if *generation == token.generation => {
+                // Invalidate the token and its heap entry in one bump; the
+                // dead entry is discarded when it surfaces.
+                *generation = generation.wrapping_add(1);
+                self.free_slots.push(token.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// True if this heap entry's stamp still matches its slot.
+    #[inline]
+    fn entry_live(&self, e: &Entry<E>) -> bool {
+        self.generations[e.slot as usize] == e.generation
     }
 
     /// Time of the next live event, if any.
@@ -107,7 +152,10 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skim();
         self.heap.pop().map(|Reverse(e)| {
-            self.pending.remove(&e.seq);
+            // skim() left a live entry on top: retire its slot.
+            self.generations[e.slot as usize] = e.generation.wrapping_add(1);
+            self.free_slots.push(e.slot);
+            self.live -= 1;
             (e.at, e.event)
         })
     }
@@ -115,24 +163,28 @@ impl<E> EventQueue<E> {
     /// Discard cancelled entries at the top of the heap.
     fn skim(&mut self) {
         while let Some(Reverse(top)) = self.heap.peek() {
-            if self.cancelled.contains(&top.seq) {
-                let seq = top.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+            if self.entry_live(top) {
                 break;
             }
+            self.heap.pop();
         }
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
+    }
+
+    /// Number of slots ever allocated in the side table — bounded by the
+    /// peak number of concurrently pending events, *not* by cancellation
+    /// traffic. Exposed for capacity diagnostics and the stress tests.
+    pub fn slots_allocated(&self) -> usize {
+        self.generations.len()
     }
 }
 
@@ -196,7 +248,22 @@ mod tests {
     #[test]
     fn cancel_bogus_token_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(TimerToken(999)));
+        assert!(!q.cancel(TimerToken {
+            slot: 999,
+            generation: 0
+        }));
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_slot_reuser() {
+        // The ABA guard: a fired event's slot is recycled by a new event;
+        // the old token must not cancel the newcomer.
+        let mut q = EventQueue::new();
+        let old = q.schedule(t(1), "first");
+        assert_eq!(q.pop(), Some((t(1), "first")));
+        let _new = q.schedule(t(2), "second"); // reuses the slot
+        assert!(!q.cancel(old), "stale token must be inert");
+        assert_eq!(q.pop(), Some((t(2), "second")));
     }
 
     #[test]
@@ -283,5 +350,26 @@ mod tests {
         let now = t(100);
         q.schedule(now + SimDuration::from_millis(5), ());
         assert_eq!(q.peek_time(), Some(t(105)));
+    }
+
+    #[test]
+    fn slot_table_bounded_by_peak_concurrency() {
+        // A retransmission-timer loop: schedule/cancel forever with at
+        // most 4 events pending. The side table must stay at the peak,
+        // no matter how many cancellations pass through.
+        let mut q = EventQueue::new();
+        let mut pending = std::collections::VecDeque::new();
+        for round in 0..10_000u64 {
+            pending.push_back(q.schedule(SimTime::from_micros(round), round));
+            if pending.len() > 4 {
+                let tok = pending.pop_front().unwrap();
+                q.cancel(tok);
+            }
+        }
+        assert!(
+            q.slots_allocated() <= 8,
+            "slot table grew to {} for 5 concurrent events",
+            q.slots_allocated()
+        );
     }
 }

@@ -53,9 +53,11 @@ impl<E> Scheduler<E> {
         self.queue.schedule(at, event)
     }
 
-    /// Schedule an event `delay` after the current instant.
+    /// Schedule an event `delay` after the current instant. Routes through
+    /// [`Scheduler::at`] so the time-never-moves-backwards assertion also
+    /// guards `delay` arithmetic that wrapped or went "negative" upstream.
     pub fn after(&mut self, delay: SimDuration, event: E) -> TimerToken {
-        self.queue.schedule(self.now + delay, event)
+        self.at(self.now + delay, event)
     }
 
     /// Cancel a pending event. Returns true if it was still pending.

