@@ -22,6 +22,33 @@
 //! All state machines are poll-style with explicit `now` parameters; the
 //! transport serializes to [`bytes::Bytes`] so it can ride any link layer
 //! (the ViFi stack in `vifi-runtime`, or the simple pipes in [`cellular`]).
+//! That also makes them fleet-ready: `vifi-runtime` instantiates one
+//! driver per vehicle over these models, and nothing here holds global
+//! state — each instance is its own little application.
+//!
+//! ```
+//! use vifi_apps::{CbrSchedule, TcpConfig, TcpReceiver, TcpSender};
+//! use vifi_sim::SimTime;
+//!
+//! // The paper's probe schedule: 500 B every 100 ms, 10 packets/s.
+//! let probes = CbrSchedule::paper_probes();
+//! assert_eq!(probes.count_in(SimTime::ZERO, SimTime::from_secs(60)), 600);
+//!
+//! // A 10 KB transfer over a perfect instantaneous pipe completes.
+//! let mut tx = TcpSender::new(TcpConfig::default(), 10 * 1024, SimTime::ZERO);
+//! let mut rx = TcpReceiver::new();
+//! let mut now = SimTime::ZERO;
+//! while !tx.is_complete() {
+//!     now = now + vifi_sim::SimDuration::from_millis(1);
+//!     for seg in tx.poll_tx(now) {
+//!         for ack in rx.on_segment(seg, now) {
+//!             tx.on_segment(ack, now);
+//!         }
+//!     }
+//!     tx.on_timer(now);
+//! }
+//! assert!(tx.duration().is_some());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -22,7 +22,7 @@
 
 use vifi_bench::harness::{BenchConfig, Harness};
 use vifi_core::config::Coordination;
-use vifi_core::prob::{expected_relays, relay_probability, RelayInputs};
+use vifi_core::prob::{expected_relays, relay_probability, PreparedRelay, RelayInputs};
 use vifi_metrics::{sessions_from_ratios, SessionDef, SlotSeries};
 use vifi_phy::gilbert::GeParams;
 use vifi_phy::pathloss::{ShadowField, ShadowSampler};
@@ -103,6 +103,29 @@ fn bench_relay(h: &mut Harness) {
     let ctx = wide.ctx();
     h.bench("relay_expected_relays_16aux", || {
         expected_relays(std::hint::black_box(&ctx), Coordination::Vifi)
+    });
+    // Fleet fan-out: one auxiliary wake-up batch spanning 16 co-located
+    // flows (one per vehicle), each flow's Eq. 1 denominator prepared once
+    // and swept across its 8 auxiliaries — the endpoint's per-flow
+    // PreparedRelay path at fleet scale.
+    let mut rng = Rng::new(10);
+    let flows: Vec<RelayInputs> = (0..16)
+        .map(|_| RelayInputs {
+            p_s_b: (0..8).map(|_| rng.next_f64()).collect(),
+            p_s_d: rng.next_f64(),
+            p_d_b: (0..8).map(|_| rng.next_f64()).collect(),
+            p_b_d: (0..8).map(|_| rng.next_f64()).collect(),
+        })
+        .collect();
+    h.bench("relay_fleet_sweep_16flows_8aux", || {
+        let mut acc = 0.0;
+        for f in std::hint::black_box(&flows) {
+            let prepared = PreparedRelay::new(f.ctx(), Coordination::Vifi);
+            for me in 0..8 {
+                acc += prepared.probability(me);
+            }
+        }
+        acc
     });
 }
 

@@ -1,0 +1,198 @@
+//! Fleet-scale sweep: per-vehicle and aggregate session/interactivity
+//! metrics across fleet sizes {2, 4, 8, 16} on both testbeds.
+//!
+//! The paper's VanLAN ran two vans and its DieselNet analysis covered a
+//! whole bus fleet; this bin measures what the single-vehicle figures
+//! cannot — how shared-basestation contention and fleet contact schedules
+//! move delivery and session length as the fleet grows. Every vehicle
+//! carries the paper's CBR probe workload ([`WorkloadSpec::paper_cbr`]).
+//!
+//! ```text
+//! cargo run --release -p vifi-bench --bin fleet_sweep            # default scale
+//! cargo run --release -p vifi-bench --bin fleet_sweep -- --full  # more seeds/time
+//! ```
+//!
+//! Writes `results/fleet_sweep.json`: one entry per (testbed, fleet size)
+//! with a per-vehicle breakdown (first seed) and seed-averaged aggregates.
+
+use vifi_bench::{
+    banner, median_session_secs, parallel_map_seeds, print_table, run_fleet_deployment, save_json,
+    Scale, VifiConfig,
+};
+use vifi_runtime::workload::aggregate_cbr;
+use vifi_runtime::{RunOutcome, WorkloadSpec};
+use vifi_sim::{Rng, SimDuration};
+use vifi_testbeds::{dieselnet_fleet, vanlan, Scenario};
+
+/// Fleet sizes of the sweep (the acceptance grid).
+const FLEET_SIZES: [u32; 4] = [2, 4, 8, 16];
+
+/// One vehicle's row of the report.
+struct VehicleRow {
+    name: String,
+    sent: u64,
+    delivered: u64,
+    ratio: f64,
+    median_session_s: f64,
+    anchor_switches: u64,
+    contact_frac: f64,
+}
+
+/// Seed-level aggregate over the whole fleet.
+struct FleetAggregate {
+    sent: u64,
+    delivered: u64,
+    ratio: f64,
+    median_session_s: f64,
+    anchor_switches: u64,
+    frames_tx: u64,
+    events: u64,
+}
+
+fn aggregate(out: &RunOutcome, duration: SimDuration) -> FleetAggregate {
+    let agg = aggregate_cbr(out.vehicles.iter().map(|v| &v.report));
+    let ratios = agg.combined_ratios(SimDuration::from_secs(1), duration);
+    FleetAggregate {
+        sent: agg.total_sent(),
+        delivered: agg.total_delivered(),
+        ratio: agg.delivery_ratio(),
+        median_session_s: median_session_secs(&ratios, SimDuration::from_secs(1), 0.5),
+        anchor_switches: out.vehicles.iter().map(|v| v.anchor_switches).sum(),
+        frames_tx: out.frames_tx,
+        events: out.events,
+    }
+}
+
+fn sweep_testbed(
+    label: &str,
+    build: impl Fn(u32) -> Scenario,
+    duration: SimDuration,
+    seeds: u64,
+) -> serde_json::Value {
+    let mut fleets = Vec::new();
+    for &n in &FLEET_SIZES {
+        let scenario = build(n);
+        let outs: Vec<RunOutcome> = parallel_map_seeds(seeds, |seed| {
+            run_fleet_deployment(
+                &scenario,
+                VifiConfig::default(),
+                vec![WorkloadSpec::paper_cbr()],
+                duration,
+                1000 + seed,
+            )
+        });
+
+        // Per-vehicle breakdown from the first seed; contact fractions
+        // from the scenario itself (sampled over one lap).
+        let link = scenario.build_link_model(&Rng::new(1000));
+        let lap_s = scenario.lap.as_secs().max(1) as f64;
+        let per_vehicle: Vec<VehicleRow> = outs[0]
+            .vehicles
+            .iter()
+            .map(|v| {
+                let c = v.report.as_cbr().expect("CBR fleet");
+                let ratios = c.combined_ratios(SimDuration::from_secs(1), duration);
+                let windows = scenario.contact_windows(v.vehicle, &link, 0.1);
+                let covered: u64 = windows.iter().map(|(a, b)| b - a).sum();
+                VehicleRow {
+                    name: scenario.node(v.vehicle).name.clone(),
+                    sent: c.total_sent(),
+                    delivered: c.total_delivered(),
+                    ratio: c.delivery_ratio(),
+                    median_session_s: median_session_secs(&ratios, SimDuration::from_secs(1), 0.5),
+                    anchor_switches: v.anchor_switches,
+                    contact_frac: covered as f64 / lap_s,
+                }
+            })
+            .collect();
+
+        let aggs: Vec<FleetAggregate> = outs.iter().map(|o| aggregate(o, duration)).collect();
+        let mean = |f: &dyn Fn(&FleetAggregate) -> f64| {
+            aggs.iter().map(f).sum::<f64>() / aggs.len() as f64
+        };
+
+        print_table(
+            &format!("{label} fleet of {n} — per vehicle (seed 1000)"),
+            &[
+                "vehicle",
+                "sent",
+                "delivered",
+                "ratio",
+                "med sess s",
+                "switches",
+                "contact",
+            ],
+            &per_vehicle
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.sent.to_string(),
+                        r.delivered.to_string(),
+                        format!("{:.3}", r.ratio),
+                        format!("{:.1}", r.median_session_s),
+                        r.anchor_switches.to_string(),
+                        format!("{:.2}", r.contact_frac),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "aggregate over {seeds} seed(s): ratio {:.3}, median session {:.1} s, \
+             {:.0} anchor switches, {:.0} frames",
+            mean(&|a| a.ratio),
+            mean(&|a| a.median_session_s),
+            mean(&|a| a.anchor_switches as f64),
+            mean(&|a| a.frames_tx as f64),
+        );
+
+        fleets.push(serde_json::json!({
+            "vehicles": n,
+            "duration_s": duration.as_secs(),
+            "per_vehicle": per_vehicle.iter().map(|r| serde_json::json!({
+                "vehicle": r.name,
+                "sent": r.sent,
+                "delivered": r.delivered,
+                "delivery_ratio": r.ratio,
+                "median_session_s": r.median_session_s,
+                "anchor_switches": r.anchor_switches,
+                "contact_fraction": r.contact_frac,
+            })).collect::<Vec<_>>(),
+            "aggregate": {
+                "seeds": seeds,
+                "sent_mean": mean(&|a| a.sent as f64),
+                "delivered_mean": mean(&|a| a.delivered as f64),
+                "delivery_ratio_mean": mean(&|a| a.ratio),
+                "median_session_s_mean": mean(&|a| a.median_session_s),
+                "anchor_switches_mean": mean(&|a| a.anchor_switches as f64),
+                "frames_tx_mean": mean(&|a| a.frames_tx as f64),
+                "events_mean": mean(&|a| a.events as f64),
+            },
+        }));
+    }
+    serde_json::json!({ "testbed": label, "fleets": fleets })
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("fleet_sweep", &scale);
+    // Long enough that every phase-spread vehicle crosses coverage at
+    // least once; scaled up by --laps / --full like the other bins.
+    let duration = SimDuration::from_secs(300 * scale.laps.max(1) as u64);
+    let seeds = scale.seeds.max(1);
+    let vanlan_json = sweep_testbed("VanLAN", vanlan, duration, seeds);
+    let diesel_json = sweep_testbed(
+        "DieselNet-Fleet",
+        |n| dieselnet_fleet(n, 42),
+        duration,
+        seeds,
+    );
+    save_json(
+        "fleet_sweep",
+        &serde_json::json!({
+            "workload": "paper_cbr",
+            "fleet_sizes": FLEET_SIZES.to_vec(),
+            "testbeds": [vanlan_json, diesel_json],
+        }),
+    );
+}

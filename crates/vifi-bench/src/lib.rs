@@ -75,6 +75,16 @@ impl Scale {
     }
 }
 
+/// The standard one-way wired delay for a workload: VoIP runs use zero
+/// (the VoIP scorer adds the paper's fixed 40 ms wired budget itself,
+/// §5.3.2), everything else the default 10 ms.
+fn wired_delay_for(workload: &WorkloadSpec) -> SimDuration {
+    match workload {
+        WorkloadSpec::Voip => SimDuration::ZERO,
+        _ => SimDuration::from_millis(10),
+    }
+}
+
 /// Run one deployment-mode simulation.
 pub fn run_deployment(
     scenario: &Scenario,
@@ -83,13 +93,46 @@ pub fn run_deployment(
     duration: SimDuration,
     seed: u64,
 ) -> RunOutcome {
-    let wired_delay = match &workload {
-        WorkloadSpec::Voip => SimDuration::ZERO,
-        _ => SimDuration::from_millis(10),
-    };
+    let wired_delay = wired_delay_for(&workload);
     let cfg = RunConfig {
         vifi,
         workload,
+        duration,
+        seed,
+        wired_delay,
+        ..RunConfig::default()
+    };
+    Simulation::deployment(scenario, cfg).run()
+}
+
+/// Run one fleet deployment: every vehicle in the scenario carries a
+/// workload (vehicle `i` takes `workloads[i % len]`; see
+/// [`vifi_runtime::RunConfig::fleet_workloads`]).
+///
+/// `wired_delay` is a single per-run knob, and VoIP runs need it zero
+/// (the scorer adds the paper's fixed 40 ms wired budget itself), so
+/// fleets must be all-VoIP or VoIP-free; mixing panics rather than
+/// silently skewing the VoIP vehicles' delay budget.
+pub fn run_fleet_deployment(
+    scenario: &Scenario,
+    vifi: VifiConfig,
+    workloads: Vec<WorkloadSpec>,
+    duration: SimDuration,
+    seed: u64,
+) -> RunOutcome {
+    assert!(
+        !workloads.is_empty(),
+        "fleet runs need at least one workload"
+    );
+    let wired_delay = wired_delay_for(&workloads[0]);
+    assert!(
+        workloads.iter().all(|w| wired_delay_for(w) == wired_delay),
+        "wired_delay is one per-run knob: a fleet must be all-VoIP \
+         (wired_delay 0, the scorer adds the 40 ms budget) or VoIP-free"
+    );
+    let cfg = RunConfig {
+        vifi,
+        fleet_workloads: workloads,
         duration,
         seed,
         wired_delay,
@@ -106,10 +149,7 @@ pub fn run_trace(
     duration: SimDuration,
     seed: u64,
 ) -> RunOutcome {
-    let wired_delay = match &workload {
-        WorkloadSpec::Voip => SimDuration::ZERO,
-        _ => SimDuration::from_millis(10),
-    };
+    let wired_delay = wired_delay_for(&workload);
     let cfg = RunConfig {
         vifi,
         workload,

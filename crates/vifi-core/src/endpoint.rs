@@ -25,7 +25,7 @@ use crate::beacon::{BeaconPayload, ProbView, VehicleInfo};
 use crate::bitmap::{RxBitmap, WireBitmap};
 use crate::config::VifiConfig;
 use crate::ids::{Direction, PacketId};
-use crate::prob::{relay_probability, RelayInputs};
+use crate::prob::{PreparedRelayOwned, RelayInputs};
 use crate::retx::RetxTimer;
 
 /// Whether this endpoint is a vehicle or a basestation.
@@ -259,9 +259,10 @@ pub struct Endpoint {
     salvaged_epochs: HashMap<NodeId, u64>,
     relay_phase: SimDuration,
 
-    /// Reusable relay-math buffers: one allocation for the lifetime of the
-    /// endpoint instead of three `Vec`s per relay decision.
-    relay_scratch: RelayInputs,
+    /// Reusable relay-math buffer pool: one set of allocations per
+    /// concurrently prepared flow (usually one) for the lifetime of the
+    /// endpoint, instead of three `Vec`s per relay decision.
+    relay_scratch: Vec<RelayInputs>,
 
     // ---- interface ----
     tx_queue: VecDeque<OutFrame>,
@@ -315,7 +316,7 @@ impl Endpoint {
             internet_buf: VecDeque::new(),
             salvaged_epochs: HashMap::new(),
             relay_phase,
-            relay_scratch: RelayInputs::default(),
+            relay_scratch: Vec::new(),
             tx_queue: VecDeque::new(),
             data_tx: 0,
             relays_tx: 0,
@@ -948,6 +949,14 @@ impl Endpoint {
     /// Evaluate every contender whose ACK window has elapsed: compute the
     /// relay probability, flip the coin, relay or drop. Each packet is
     /// considered exactly once (§4.3).
+    ///
+    /// Packets of the same `(vehicle, source, destination)` flow share one
+    /// probability context within a wake-up (the beacon view cannot change
+    /// mid-call), so the Eq. 1 denominator is prepared once per flow
+    /// ([`PreparedRelayOwned`]) and queried in O(1) per packet. With one
+    /// vehicle that is one context per wake-up and the scratch buffers
+    /// recycle allocation-free; a fleet of co-located vehicles fans out to
+    /// one context per flow.
     fn run_relay_checks(&mut self, now: SimTime) -> Vec<Action> {
         let mut actions = Vec::new();
         let ack_wait = self.cfg.ack_wait;
@@ -958,23 +967,39 @@ impl Endpoint {
             .filter(|(_, c)| now.saturating_since(c.heard_at) >= ack_wait)
             .map(|(i, _)| i)
             .collect();
+        type FlowKey = (NodeId, NodeId, NodeId);
+        let mut prepared: Vec<(FlowKey, PreparedRelayOwned, usize)> = Vec::new();
         // Remove back-to-front to keep indices valid.
         for &i in due.iter().rev() {
             let c = self.contenders.swap_remove(i);
-            let Some(vv) = self.vehicles.get(&c.vehicle) else {
-                continue;
-            };
-            let aux = vv.info.aux.clone();
-            let Some(me_idx) = aux.iter().position(|&a| a == self.me) else {
-                continue;
-            };
             let (s, d) = (c.frame.flow_src, c.frame.flow_dst);
-            // Take the scratch buffers out so filling them can borrow
-            // `self` for the beacon-view lookups; put them back after.
-            let mut scratch = std::mem::take(&mut self.relay_scratch);
-            self.fill_relay_inputs(&mut scratch, &aux, s, d, now);
-            let prob = relay_probability(&scratch.ctx(), me_idx, self.cfg.coordination);
-            self.relay_scratch = scratch;
+            let key: FlowKey = (c.vehicle, s, d);
+            let pos = match prepared.iter().position(|(k, _, _)| *k == key) {
+                Some(pos) => pos,
+                None => {
+                    let Some(vv) = self.vehicles.get(&c.vehicle) else {
+                        continue;
+                    };
+                    let aux = vv.info.aux.clone();
+                    let Some(me_idx) = aux.iter().position(|&a| a == self.me) else {
+                        continue;
+                    };
+                    // Take a set of scratch buffers out of the pool so
+                    // filling them can borrow `self` for the beacon-view
+                    // lookups; they move into the prepared entry and every
+                    // entry's buffers return to the pool at call end.
+                    let mut scratch = self.relay_scratch.pop().unwrap_or_default();
+                    self.fill_relay_inputs(&mut scratch, &aux, s, d, now);
+                    prepared.push((
+                        key,
+                        PreparedRelayOwned::new(scratch, self.cfg.coordination),
+                        me_idx,
+                    ));
+                    prepared.len() - 1
+                }
+            };
+            let (_, flow, me_idx) = &prepared[pos];
+            let prob = flow.probability(*me_idx);
             let relayed = self.rng.chance(prob);
             actions.push(Action::Stat(StatEvent::RelayDecision {
                 id: c.frame.id,
@@ -1000,6 +1025,11 @@ impl Endpoint {
                     }
                 }
             }
+        }
+        // Recycle every flow's input buffers into the pool: steady state
+        // is allocation-free even when a wake-up batch spans many flows.
+        for (_, flow, _) in prepared {
+            self.relay_scratch.push(flow.into_inputs());
         }
         actions
     }

@@ -45,5 +45,5 @@ pub use bitmap::RxBitmap;
 pub use config::{Coordination, VifiConfig};
 pub use endpoint::{Action, DataFrame, Endpoint, Role, StatEvent, VifiPayload};
 pub use ids::{Direction, PacketId};
-pub use prob::{relay_probability, PreparedRelay, RelayContext, RelayInputs};
+pub use prob::{relay_probability, PreparedRelay, PreparedRelayOwned, RelayContext, RelayInputs};
 pub use retx::RetxTimer;

@@ -34,7 +34,7 @@
 //!   trust the learned-probability plumbing it guards.
 //! * The ¬G3 greedy is evaluated in O(n) without sorting or scratch: the
 //!   accumulated delivery mass of the auxiliaries ranked ahead of `me` is a
-//!   plain prefix sum (see [`not_g3`]).
+//!   plain prefix sum (see the private `not_g3` helper).
 //! * Sweeping every auxiliary against one context (Table 2, the ablation
 //!   bins, `expected_relays`) goes through [`PreparedRelay`], which
 //!   computes each formulation's contention-weighted denominator once and
@@ -311,6 +311,71 @@ pub fn expected_relays(ctx: &RelayContext, coord: Coordination) -> f64 {
         .sum()
 }
 
+/// An owning [`PreparedRelay`]: the same precomputed denominators, but
+/// holding its [`RelayInputs`] instead of borrowing them, so a prepared
+/// context can outlive the statement that built it.
+///
+/// This is the fleet fan-out path: when an auxiliary wakes with a batch of
+/// overheard packets from several co-located vehicles, every packet of the
+/// same `(vehicle, source, destination)` flow shares one probability
+/// context — the endpoint prepares each flow's context once per wake-up
+/// and answers the per-packet queries in O(1) instead of recomputing the
+/// Eq. 1 denominator per packet.
+#[derive(Clone, Debug)]
+pub struct PreparedRelayOwned {
+    inputs: RelayInputs,
+    coord: Coordination,
+    denom: f64,
+    not_g3: Vec<f64>,
+}
+
+impl PreparedRelayOwned {
+    /// Take ownership of `inputs` and precompute for `coord`. Identical
+    /// probabilities to [`relay_probability`] on the same inputs.
+    pub fn new(inputs: RelayInputs, coord: Coordination) -> Self {
+        let prepared = PreparedRelay::new(inputs.ctx(), coord);
+        let denom = prepared.denom;
+        let not_g3 = prepared.not_g3;
+        PreparedRelayOwned {
+            inputs,
+            coord,
+            denom,
+            not_g3,
+        }
+    }
+
+    /// Relay probability for auxiliary `me`.
+    #[inline]
+    pub fn probability(&self, me: usize) -> f64 {
+        let ctx = self.inputs.ctx();
+        let r = match self.coord {
+            Coordination::Vifi => vifi_from_denominator(&ctx, me, self.denom),
+            Coordination::NotG1 => ctx.p_b_d[me],
+            Coordination::NotG2 => not_g2_from_total(&ctx, me, self.denom),
+            Coordination::NotG3 => self.not_g3[me],
+        };
+        r.clamp(0.0, 1.0)
+    }
+
+    /// Number of auxiliaries in the prepared context.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inputs.ctx().len()
+    }
+
+    /// True when prepared over an empty auxiliary set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reclaim the input buffers (for scratch reuse across wake-ups).
+    pub fn into_inputs(mut self) -> RelayInputs {
+        self.inputs.clear();
+        self.inputs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +552,34 @@ mod tests {
                     "{coord:?} me={me}: {single} vs {cached}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn owned_prepared_matches_single_shot_and_recycles_buffers() {
+        let inp = RelayInputs {
+            p_s_b: vec![0.9, 0.2, 0.7, 0.9, 0.5, 0.33],
+            p_s_d: 0.45,
+            p_d_b: vec![0.1, 0.8, 0.6, 0.2, 0.9, 0.4],
+            p_b_d: vec![0.7, 0.7, 0.0, 0.9, 0.25, 0.7],
+        };
+        for coord in [
+            Coordination::Vifi,
+            Coordination::NotG1,
+            Coordination::NotG2,
+            Coordination::NotG3,
+        ] {
+            let owned = PreparedRelayOwned::new(inp.clone(), coord);
+            assert_eq!(owned.len(), 6);
+            for me in 0..owned.len() {
+                let single = relay_probability(&inp.ctx(), me, coord);
+                assert!(
+                    (single - owned.probability(me)).abs() < 1e-12,
+                    "{coord:?} me={me}"
+                );
+            }
+            let recycled = owned.into_inputs();
+            assert!(recycled.ctx().is_empty(), "buffers cleared for reuse");
         }
     }
 

@@ -138,7 +138,7 @@ impl SlotSeries {
     }
 
     /// Aggregate to reception ratios over intervals of length `interval`
-    /// (see [`Self::interval_ratios`] for the semantics).
+    /// (see the private `interval_ratios` iterator for the semantics).
     pub fn ratios(&self, interval: SimDuration) -> Vec<f64> {
         self.interval_ratios(interval).collect()
     }

@@ -19,6 +19,39 @@
 //! decision and delivery; Tables 1 and 2, the Fig. 12 efficiency bars and
 //! the PerfectRelay oracle (§5.4) are all *post-processed* from that log,
 //! exactly as the paper derives them from its packet logs.
+//!
+//! ## Fleet runs
+//!
+//! The paper instruments one vehicle; this runtime can instrument a whole
+//! fleet. Setting [`RunConfig::fleet_workloads`] gives every vehicle in
+//! the scenario its own workload driver and wired path (vehicle *i* takes
+//! entry `i % len`), and [`RunOutcome::vehicles`] carries one
+//! [`sim::VehicleOutcome`] per vehicle. The packet-level [`RunLog`] keeps
+//! following the first vehicle only.
+//!
+//! Fleet quickstart (the multi-vehicle mirror of `examples/quickstart.rs`):
+//!
+//! ```
+//! use vifi_runtime::{RunConfig, Simulation, WorkloadSpec};
+//! use vifi_sim::SimDuration;
+//! use vifi_testbeds::vanlan;
+//!
+//! // Two vans on per-vehicle routes, each carrying the paper's CBR
+//! // probe workload and contending for the same eleven basestations.
+//! let scenario = vanlan(2);
+//! let cfg = RunConfig {
+//!     fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+//!     duration: SimDuration::from_secs(30),
+//!     seed: 7,
+//!     ..RunConfig::default()
+//! };
+//! let outcome = Simulation::deployment(&scenario, cfg).run();
+//! assert_eq!(outcome.vehicles.len(), 2, "one outcome per van");
+//! let fleet = vifi_runtime::workload::aggregate_cbr(
+//!     outcome.vehicles.iter().map(|v| &v.report),
+//! );
+//! assert!(fleet.total_sent() > 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +61,5 @@ pub mod sim;
 pub mod workload;
 
 pub use logging::{PerfectRelayOutcome, RunLog, Table1, Table2Row};
-pub use sim::{RunConfig, RunOutcome, Simulation};
-pub use workload::{TcpStats, VoipStats, WorkloadReport, WorkloadSpec};
+pub use sim::{RunConfig, RunOutcome, Simulation, VehicleOutcome};
+pub use workload::{aggregate_cbr, CbrStats, TcpStats, VoipStats, WorkloadReport, WorkloadSpec};

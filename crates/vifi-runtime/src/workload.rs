@@ -124,6 +124,33 @@ pub enum WorkloadReport {
     Voip(VoipStats),
 }
 
+impl WorkloadReport {
+    /// The CBR stats, if this is a CBR report (fleet aggregation helper).
+    pub fn as_cbr(&self) -> Option<&CbrStats> {
+        match self {
+            WorkloadReport::Cbr(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Merge per-vehicle CBR reports into one fleet-level [`CbrStats`]: probe
+/// outcomes and delays concatenate, so ratios, sessions and delay
+/// percentiles over the result describe the fleet as a whole. Non-CBR
+/// reports are ignored.
+pub fn aggregate_cbr<'a>(reports: impl IntoIterator<Item = &'a WorkloadReport>) -> CbrStats {
+    let mut agg = CbrStats::default();
+    for r in reports {
+        if let Some(c) = r.as_cbr() {
+            agg.up.extend_from_slice(&c.up);
+            agg.down.extend_from_slice(&c.down);
+            agg.up_delays.extend_from_slice(&c.up_delays);
+            agg.down_delays.extend_from_slice(&c.down_delays);
+        }
+    }
+    agg
+}
+
 // ---------------------------------------------------------------------
 // CBR
 // ---------------------------------------------------------------------
@@ -173,6 +200,21 @@ impl CbrStats {
             .chain(self.down.iter())
             .filter(|&&(_, ok)| ok)
             .count() as u64
+    }
+
+    /// Total probes sent (both directions).
+    pub fn total_sent(&self) -> u64 {
+        (self.up.len() + self.down.len()) as u64
+    }
+
+    /// Fraction of sent probes delivered (0 when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        let sent = self.total_sent();
+        if sent == 0 {
+            0.0
+        } else {
+            self.total_delivered() as f64 / sent as f64
+        }
     }
 }
 

@@ -21,6 +21,43 @@
 //! Calibration: the `fig5` bench measures these models with the paper's own
 //! estimator (CDF of BSes heard per second) — the knob-turning lives here,
 //! the verification lives there.
+//!
+//! ## Fleets
+//!
+//! Both testbeds scale past the paper's instrumentation: `vanlan(n)`
+//! builds an `n`-van fleet on per-vehicle routes (odd vans drive the loop
+//! in reverse, everyone phase-offset), and
+//! [`dieselnet_fleet`] synthesizes a whole bus
+//! fleet with per-seed schedules ([`dieselnet::bus_schedules`]). Every
+//! generator is deterministic: the same arguments (and seed, where one is
+//! taken) reproduce the same scenario bit for bit.
+//!
+//! Fleet quickstart — build a four-van VanLAN fleet and inspect each
+//! van's contact windows:
+//!
+//! ```
+//! use vifi_sim::Rng;
+//! use vifi_testbeds::{dieselnet_fleet, vanlan};
+//!
+//! let fleet = vanlan(4);
+//! assert_eq!(fleet.vehicle_ids().len(), 4);
+//!
+//! // Each van alternates in and out of BS coverage on its own schedule.
+//! let link = fleet.build_link_model(&Rng::new(1));
+//! for &van in &fleet.vehicle_ids() {
+//!     let windows = fleet.contact_windows(van, &link, 0.1);
+//!     assert!(!windows.is_empty(), "every van visits the campus");
+//!     // Windows are sorted and disjoint.
+//!     for pair in windows.windows(2) {
+//!         assert!(pair[0].1 <= pair[1].0);
+//!     }
+//! }
+//!
+//! // DieselNet fleets synthesize per-bus schedules from a seed.
+//! let buses = dieselnet_fleet(8, 42);
+//! assert_eq!(buses.vehicle_ids().len(), 8);
+//! assert_eq!(buses.bs_ids().len(), 14);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +67,9 @@ pub mod scenario;
 pub mod trace;
 pub mod vanlan;
 
-pub use dieselnet::{dieselnet_ch1, dieselnet_ch6};
+pub use dieselnet::{bus_schedules, dieselnet_ch1, dieselnet_ch6, dieselnet_fleet, BusSchedule};
 pub use scenario::{NodeSpec, Scenario};
-pub use trace::{generate_beacon_trace, BeaconRecord, BeaconTrace, TraceSimSetup};
+pub use trace::{
+    generate_beacon_trace, generate_fleet_beacon_traces, BeaconRecord, BeaconTrace, TraceSimSetup,
+};
 pub use vanlan::vanlan;

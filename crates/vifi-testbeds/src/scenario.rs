@@ -125,6 +125,47 @@ impl Scenario {
     pub fn position(&self, id: NodeId, t: SimTime) -> Point {
         self.node(id).mobility.position_at(t)
     }
+
+    /// The contact windows of one vehicle over a single lap: maximal
+    /// `[start, end)` second intervals during which the vehicle can hear
+    /// at least one basestation with slow-fading delivery probability
+    /// above `min_prob`. Windows are returned sorted and disjoint —
+    /// fleet schedulers and the fleet property tests lean on both
+    /// invariants. Sampled at 1 Hz against `link` (build it with
+    /// [`Scenario::build_link_model`]), the same granularity as the
+    /// testbeds' GPS and beacon logs.
+    pub fn contact_windows(
+        &self,
+        vehicle: NodeId,
+        link: &PhysicalLinkModel,
+        min_prob: f64,
+    ) -> Vec<(u64, u64)> {
+        assert_eq!(
+            self.node(vehicle).kind,
+            NodeKind::Vehicle,
+            "contact windows are defined for vehicles"
+        );
+        let bs = self.bs_ids();
+        let lap_s = self.lap.as_secs();
+        let mut windows = Vec::new();
+        let mut open: Option<u64> = None;
+        for sec in 0..lap_s {
+            let t = SimTime::from_secs(sec);
+            let covered = bs.iter().any(|&b| link.slow_prob(b, vehicle, t) > min_prob);
+            match (covered, open) {
+                (true, None) => open = Some(sec),
+                (false, Some(start)) => {
+                    windows.push((start, sec));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            windows.push((start, lap_s));
+        }
+        windows
+    }
 }
 
 #[cfg(test)]

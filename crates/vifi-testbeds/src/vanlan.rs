@@ -68,8 +68,31 @@ pub fn shuttle_waypoints() -> Vec<Point> {
     .collect()
 }
 
-/// Build the VanLAN scenario: 11 BSes, `vehicles` shuttles spread evenly
-/// around the loop. The paper's testbed has two vans.
+/// The route shuttle `v` of a `vehicles`-strong fleet drives: the shared
+/// campus loop, but a *distinct* traversal per vehicle — odd-numbered vans
+/// run the loop in the opposite direction (the real shuttles served the
+/// same buildings on complementary schedules), and every van starts at its
+/// own phase offset so the fleet spreads out instead of convoying. All
+/// vans still share the eleven BSes and the single channel, so growing the
+/// fleet grows contention at the same basestations.
+pub fn shuttle_route(v: u32, vehicles: u32) -> Route {
+    assert!(
+        v < vehicles,
+        "vehicle index {v} outside fleet of {vehicles}"
+    );
+    let speed = kmh_to_ms(40.0);
+    let mut waypoints = shuttle_waypoints();
+    if v % 2 == 1 {
+        waypoints.reverse();
+    }
+    let route = Route::new(waypoints, speed, true);
+    let offset = route.length() * v as f64 / vehicles as f64;
+    route.with_start_offset(offset)
+}
+
+/// Build the VanLAN scenario: 11 BSes, `vehicles` shuttles on per-vehicle
+/// routes (see [`shuttle_route`]) spread evenly around the loop. The
+/// paper's testbed has two vans; any `vehicles ≥ 1` yields a valid fleet.
 pub fn vanlan(vehicles: u32) -> Scenario {
     assert!(vehicles >= 1, "need at least one vehicle");
     let mut nodes = Vec::new();
@@ -81,17 +104,12 @@ pub fn vanlan(vehicles: u32) -> Scenario {
             name: format!("BS-{i}"),
         });
     }
-    let speed = kmh_to_ms(40.0);
-    let base_route = Route::new(shuttle_waypoints(), speed, true);
-    let lap_m = base_route.length();
+    let base_route = shuttle_route(0, vehicles);
     for v in 0..vehicles {
-        let offset = lap_m * v as f64 / vehicles as f64;
         nodes.push(NodeSpec {
             id: NodeId((BS_POSITIONS.len() as u32) + v),
             kind: NodeKind::Vehicle,
-            mobility: MobilitySource::Mobile(
-                Route::new(shuttle_waypoints(), speed, true).with_start_offset(offset),
-            ),
+            mobility: MobilitySource::Mobile(shuttle_route(v, vehicles)),
             name: format!("van-{v}"),
         });
     }
@@ -137,6 +155,58 @@ mod tests {
         let p0 = s.position(v[0], SimTime::ZERO);
         let p1 = s.position(v[1], SimTime::ZERO);
         assert!(p0.distance(p1) > 500.0, "vans start far apart");
+    }
+
+    #[test]
+    fn fleet_vans_have_distinct_routes_and_directions() {
+        let s = vanlan(4);
+        s.validate();
+        assert_eq!(s.vehicle_ids().len(), 4);
+        let vs = s.vehicle_ids();
+        // Pairwise distinct trajectories.
+        for i in 0..vs.len() {
+            for j in i + 1..vs.len() {
+                let distinct = [0u64, 60, 200].iter().any(|&sec| {
+                    let t = SimTime::from_secs(sec);
+                    s.position(vs[i], t).distance(s.position(vs[j], t)) > 1.0
+                });
+                assert!(distinct, "vans {i} and {j} share a trajectory");
+            }
+        }
+        // Both directions trace the same loop…
+        let r0 = shuttle_route(0, 1);
+        let r1 = shuttle_route(1, 2);
+        assert!(
+            (r1.length() - r0.length()).abs() < 1e-6,
+            "both directions trace the same loop"
+        );
+        // …but odd vans really drive it reversed: were van-1 merely
+        // phase-offset (no waypoint reversal), it would coincide with a
+        // forward route at the same offset. It must not.
+        let fwd_offset = Route::new(shuttle_waypoints(), kmh_to_ms(40.0), true)
+            .with_start_offset(r0.length() * 0.5);
+        let diverges = [5u64, 30, 90, 200].iter().any(|&sec| {
+            let d = sec as f64 * r1.speed_ms();
+            r1.position_at_distance(d)
+                .distance(fwd_offset.position_at_distance(d))
+                > 1.0
+        });
+        assert!(
+            diverges,
+            "odd vans must run the loop reversed, not merely offset"
+        );
+    }
+
+    #[test]
+    fn fleet_construction_is_deterministic() {
+        let a = vanlan(8);
+        let b = vanlan(8);
+        for &v in &a.vehicle_ids() {
+            for sec in [0u64, 33, 117, 400] {
+                let t = SimTime::from_secs(sec);
+                assert_eq!(a.position(v, t), b.position(v, t));
+            }
+        }
     }
 
     #[test]

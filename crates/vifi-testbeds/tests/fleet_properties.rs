@@ -1,0 +1,93 @@
+//! Property tests for the fleet-scale scenario generators: determinism
+//! per seed, per-vehicle route distinctness, and contact-window validity
+//! (sorted, disjoint, inside the lap).
+
+use proptest::prelude::*;
+use vifi_sim::{Rng, SimTime};
+use vifi_testbeds::{dieselnet_fleet, vanlan, Scenario};
+
+/// Sample instants spread over the first lap (and beyond, to catch wrap
+/// bugs in closed routes).
+const SAMPLE_SECS: [u64; 6] = [0, 17, 61, 149, 403, 997];
+
+fn positions_fingerprint(s: &Scenario) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for &v in &s.vehicle_ids() {
+        for &sec in &SAMPLE_SECS {
+            let p = s.position(v, SimTime::from_secs(sec));
+            out.push((p.x, p.y));
+        }
+    }
+    out
+}
+
+fn assert_routes_distinct(s: &Scenario) {
+    let vs = s.vehicle_ids();
+    for i in 0..vs.len() {
+        for j in i + 1..vs.len() {
+            let distinct = SAMPLE_SECS.iter().any(|&sec| {
+                let t = SimTime::from_secs(sec);
+                s.position(vs[i], t).distance(s.position(vs[j], t)) > 1.0
+            });
+            assert!(distinct, "vehicles {i} and {j} share a trajectory");
+        }
+    }
+}
+
+fn assert_windows_valid(s: &Scenario, link_seed: u64) {
+    let link = s.build_link_model(&Rng::new(link_seed));
+    let lap_s = s.lap.as_secs();
+    for &v in &s.vehicle_ids() {
+        let windows = s.contact_windows(v, &link, 0.1);
+        let mut prev_end = 0u64;
+        for (k, &(start, end)) in windows.iter().enumerate() {
+            assert!(start < end, "window {k} is non-empty: [{start}, {end})");
+            assert!(end <= lap_s, "window {k} ends inside the lap");
+            if k > 0 {
+                assert!(
+                    start > prev_end,
+                    "window {k} [{start}, {end}) overlaps or touches the previous \
+                     (maximal windows are separated by at least one dead second)"
+                );
+            }
+            prev_end = end;
+        }
+    }
+}
+
+proptest! {
+    // Scenario construction is cheap; the channel sampling in the window
+    // checks is the cost, so keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `vanlan(n)` is deterministic and its n vans ride distinct routes.
+    #[test]
+    fn vanlan_fleet_properties(n in 2u32..10) {
+        let a = vanlan(n);
+        let b = vanlan(n);
+        prop_assert_eq!(a.vehicle_ids().len(), n as usize);
+        prop_assert_eq!(positions_fingerprint(&a), positions_fingerprint(&b));
+        assert_routes_distinct(&a);
+    }
+
+    /// `dieselnet_fleet(n, seed)` reproduces per seed, differs across
+    /// seeds, and its n buses ride distinct routes.
+    #[test]
+    fn dieselnet_fleet_properties(n in 2u32..10, seed in 0u64..1_000) {
+        let a = dieselnet_fleet(n, seed);
+        let b = dieselnet_fleet(n, seed);
+        let c = dieselnet_fleet(n, seed ^ 0xDEAD_BEEF);
+        prop_assert_eq!(a.vehicle_ids().len(), n as usize);
+        prop_assert_eq!(positions_fingerprint(&a), positions_fingerprint(&b));
+        prop_assert_ne!(positions_fingerprint(&a), positions_fingerprint(&c));
+        assert_routes_distinct(&a);
+    }
+
+    /// Contact windows of every fleet vehicle are non-empty intervals,
+    /// sorted, disjoint, and inside the lap — on both testbeds.
+    #[test]
+    fn fleet_contact_windows_valid(n in 2u32..6, seed in 0u64..100) {
+        assert_windows_valid(&vanlan(n), seed + 1);
+        assert_windows_valid(&dieselnet_fleet(n, seed), seed + 2);
+    }
+}
