@@ -27,7 +27,9 @@ use vifi_metrics::{sessions_from_ratios, SessionDef, SlotSeries};
 use vifi_phy::gilbert::GeParams;
 use vifi_phy::pathloss::{ShadowField, ShadowSampler};
 use vifi_phy::{GilbertElliott, Point};
+use vifi_runtime::{RunConfig, Simulation, WorkloadSpec};
 use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
+use vifi_testbeds::dieselnet_fleet;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -73,6 +75,29 @@ fn register(h: &mut Harness) {
     bench_shadow(h);
     bench_event_queue(h);
     bench_sessions(h);
+    bench_fleet_sharded(h);
+}
+
+fn bench_fleet_sharded(h: &mut Harness) {
+    // The sharded fleet executor end to end: plan a 16-bus DieselNet
+    // fleet, run one micro-shard sub-run per bus (the decomposed
+    // semantics, workers capped at the host's cores), and merge the
+    // outcomes in vehicle order. A short simulated horizon keeps one
+    // iteration in the tens of milliseconds — the bench tracks the
+    // orchestration overhead (planning, sub-scenario builds, link-model
+    // construction, merge) plus per-event simulation cost, which is
+    // where a sharding regression would land.
+    let scenario = dieselnet_fleet(16, 42);
+    let cfg = RunConfig {
+        fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+        duration: SimDuration::from_secs(2),
+        seed: 7,
+        shards: 2,
+        ..RunConfig::default()
+    };
+    h.bench("fleet_run_16bus_sharded", || {
+        Simulation::run_sharded(&scenario, std::hint::black_box(cfg.clone())).events
+    });
 }
 
 fn bench_relay(h: &mut Harness) {

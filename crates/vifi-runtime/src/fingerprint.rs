@@ -1,0 +1,116 @@
+//! Canonical run-outcome fingerprints.
+//!
+//! The shard-equivalence suite needs to assert that two [`RunOutcome`]s
+//! are *bit-identical* — every probe outcome, delay, log record and
+//! counter equal, floats compared by bit pattern. Comparing the structs
+//! field-by-field in every test would be brittle (a new field silently
+//! escapes the comparison), so the runtime owns one canonical digest:
+//! every field of the outcome, in a fixed order, folded into an FNV-1a
+//! hash. Floats contribute their IEEE-754 bit patterns (`f64::to_bits`),
+//! so `0.0 != -0.0` and NaNs are distinguished — exactly the "same bits"
+//! contract a deterministic simulator promises.
+//!
+//! [`RunOutcome`]: crate::RunOutcome
+
+/// FNV-1a accumulator with typed `push_*` helpers. Each push also folds in
+/// a length/tag where the encoding would otherwise be ambiguous (e.g. two
+/// adjacent vectors), so distinct structures cannot collide by
+/// concatenation.
+#[derive(Clone, Debug)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Fold one u64 into the digest, byte by byte (FNV-1a).
+    pub fn push_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold a boolean.
+    pub fn push_bool(&mut self, v: bool) {
+        self.push_u64(v as u64);
+    }
+
+    /// Fold a float by bit pattern.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Fold a usize (as u64; the simulator never exceeds 2^64 items).
+    pub fn push_len(&mut self, v: usize) {
+        self.push_u64(v as u64);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Types that can fold themselves into a [`Fingerprint`].
+pub trait Fingerprintable {
+    /// Fold every observable field into `fp`, in a fixed order.
+    fn fingerprint_into(&self, fp: &mut Fingerprint);
+
+    /// Convenience: digest of this value alone.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        self.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_float_bit_patterns() {
+        let mut a = Fingerprint::new();
+        a.push_f64(0.0);
+        let mut b = Fingerprint::new();
+        b.push_f64(-0.0);
+        assert_ne!(a.finish(), b.finish(), "0.0 and -0.0 differ by bits");
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Fingerprint::new();
+        a.push_u64(1);
+        a.push_u64(2);
+        let mut b = Fingerprint::new();
+        b.push_u64(2);
+        b.push_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn deterministic() {
+        let digest = || {
+            let mut fp = Fingerprint::new();
+            fp.push_u64(42);
+            fp.push_f64(1.5);
+            fp.push_bool(true);
+            fp.push_len(7);
+            fp.finish()
+        };
+        assert_eq!(digest(), digest());
+    }
+}

@@ -52,14 +52,48 @@
 //! );
 //! assert!(fleet.total_sent() > 0);
 //! ```
+//!
+//! ## Sharded runs
+//!
+//! Large fleet runs shard across cores with [`RunConfig::shards`] and
+//! [`Simulation::run_sharded`]: the fleet decomposes by vehicle, each
+//! vehicle simulated against the full infrastructure under an RNG stream
+//! keyed by `(run_seed, vehicle)`, and outcomes merge deterministically
+//! in vehicle order. The merged result is bit-identical for every shard
+//! count `>= 2` ([`RunOutcome::fingerprint`] is the equality the
+//! equivalence suite asserts); `shards = 1` is the unchanged
+//! fully-coupled loop. See [`sim`]'s module docs for the trade.
+//!
+//! ```
+//! use vifi_runtime::{RunConfig, Simulation, WorkloadSpec};
+//! use vifi_sim::SimDuration;
+//! use vifi_testbeds::vanlan;
+//!
+//! let scenario = vanlan(4);
+//! let cfg = RunConfig {
+//!     fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+//!     duration: SimDuration::from_secs(10),
+//!     seed: 7,
+//!     shards: 2,
+//!     ..RunConfig::default()
+//! };
+//! let a = Simulation::run_sharded(&scenario, cfg.clone());
+//! let b = Simulation::run_sharded(&scenario, RunConfig { shards: 4, ..cfg });
+//! assert_eq!(a.fingerprint(), b.fingerprint(), "invariant to shard count");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod logging;
 pub mod sim;
 pub mod workload;
 
+pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use logging::{PerfectRelayOutcome, RunLog, Table1, Table2Row};
-pub use sim::{RunConfig, RunOutcome, Simulation, VehicleOutcome};
+pub use sim::{
+    plan_shards, RunConfig, RunOutcome, ShardAssignment, ShardPlan, ShardTiming, Simulation,
+    VehicleOutcome,
+};
 pub use workload::{aggregate_cbr, CbrStats, TcpStats, VoipStats, WorkloadReport, WorkloadSpec};

@@ -20,6 +20,8 @@ use vifi_metrics::EfficiencyLedger;
 use vifi_phy::NodeId;
 use vifi_sim::SimTime;
 
+use crate::fingerprint::{Fingerprint, Fingerprintable};
+
 /// The fate of one relay of one packet.
 #[derive(Clone, Debug)]
 pub struct RelayFate {
@@ -174,8 +176,91 @@ impl RunLog {
         }
     }
 
+    /// Rewrite every node id in the log through `f` (packet origins, aux
+    /// sets, relay decisions, relay fates). Sharded runs simulate each
+    /// vehicle in a re-densified sub-scenario; this maps the instrumented
+    /// shard's log back into the parent scenario's id space so merged
+    /// outcomes read like sequential ones. The internal latest-record
+    /// index is rebuilt because packet ids embed their origin node.
+    pub fn remap_nodes(&mut self, f: impl Fn(NodeId) -> NodeId) {
+        for r in &mut self.records {
+            r.id.origin = f(r.id.origin);
+            for n in r
+                .aux_set
+                .iter_mut()
+                .chain(r.aux_heard.iter_mut())
+                .chain(r.ack_heard_by.iter_mut())
+            {
+                *n = f(*n);
+            }
+            for d in &mut r.decisions {
+                d.0 = f(d.0);
+            }
+            for fate in &mut r.relays {
+                fate.by = f(fate.by);
+            }
+        }
+        let remapped: HashMap<PacketId, usize> = self
+            .latest
+            .drain()
+            .map(|(mut id, idx)| {
+                id.origin = f(id.origin);
+                (id, idx)
+            })
+            .collect();
+        self.latest = remapped;
+    }
+
     fn dir_records(&self, dir: Direction) -> impl Iterator<Item = &TxRecord> {
         self.records.iter().filter(move |r| r.dir == dir)
+    }
+}
+
+impl Fingerprintable for RunLog {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.push_len(self.records.len());
+        for r in &self.records {
+            fp.push_u64(r.id.origin.label());
+            fp.push_u64(r.id.seq);
+            fp.push_u64(r.attempt as u64);
+            fp.push_u64(match r.dir {
+                Direction::Upstream => 0,
+                Direction::Downstream => 1,
+            });
+            fp.push_u64(r.at.as_micros());
+            for ids in [&r.aux_set, &r.aux_heard, &r.ack_heard_by] {
+                fp.push_len(ids.len());
+                for n in ids {
+                    fp.push_u64(n.label());
+                }
+            }
+            fp.push_bool(r.dst_heard);
+            fp.push_len(r.decisions.len());
+            for &(n, p, relayed) in &r.decisions {
+                fp.push_u64(n.label());
+                fp.push_f64(p);
+                fp.push_bool(relayed);
+            }
+            fp.push_len(r.relays.len());
+            for fate in &r.relays {
+                fp.push_u64(fate.by.label());
+                fp.push_bool(fate.via_backplane);
+                fp.push_bool(fate.reached_dst);
+            }
+            fp.push_bool(r.delivered);
+        }
+        fp.push_len(self.aux_sizes.len());
+        for &(sec, size) in &self.aux_sizes {
+            fp.push_u64(sec);
+            fp.push_len(size);
+        }
+        for ledger in [&self.ledger_up, &self.ledger_down] {
+            fp.push_u64(ledger.wireless_tx);
+            fp.push_u64(ledger.backplane_tx);
+            fp.push_u64(ledger.ack_tx);
+            fp.push_u64(ledger.delivered);
+        }
+        fp.push_u64(self.backplane_drops);
     }
 }
 

@@ -17,8 +17,30 @@
 //! packet-level [`RunLog`] still follows the first vehicle's flows only —
 //! it feeds the paper's per-packet tables — while per-vehicle outcomes
 //! come back in [`RunOutcome::vehicles`].
+//!
+//! ## Sharded runs
+//!
+//! A single large fleet run can be sharded across cores with
+//! [`RunConfig::shards`] and [`Simulation::run_sharded`]. The unit of
+//! decomposition is the *vehicle* (a "micro-shard"): each instrumented
+//! vehicle is simulated in its own sub-run against the full basestation
+//! infrastructure, with its RNG stream derived deterministically from
+//! `(run_seed, vehicle)`; a shard is the worker that owns a disjoint set
+//! of vehicles and executes their sub-runs. Because the simulation unit
+//! and its seed never depend on the shard count, the merged
+//! [`RunOutcome`] is **bit-identical for every `shards >= 2`** — and for
+//! single-vehicle scenarios bit-identical to the sequential
+//! (`shards = 1`) run as well. What `shards >= 2` gives up is
+//! cross-vehicle channel coupling (fleet members no longer contend for
+//! airtime at shared basestations, and background vehicles that carry no
+//! workload are dropped); the sequential `shards = 1` path keeps the
+//! paper's fully-coupled semantics, unchanged. The merge is
+//! deterministic: per-vehicle outcomes are ordered by vehicle id,
+//! counters sum, and the packet log is the first vehicle's, remapped to
+//! the parent scenario's node ids.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use vifi_core::endpoint::BackplaneMsg;
@@ -29,6 +51,7 @@ use vifi_sim::{Rng, Scheduler, SimDuration, SimTime, TimerToken};
 use vifi_testbeds::trace::TraceSimSetup;
 use vifi_testbeds::{BeaconTrace, Scenario};
 
+use crate::fingerprint::{Fingerprint, Fingerprintable};
 use crate::logging::RunLog;
 use crate::workload::{build_driver, Driver, HostApi, HostCmd, WorkloadReport, WorkloadSpec};
 
@@ -57,6 +80,15 @@ pub struct RunConfig {
     /// Note: VoIP runs should keep this 0 — the VoIP scorer adds the
     /// paper's fixed 40 ms wired budget itself (§5.3.2).
     pub wired_delay: SimDuration,
+    /// Execution sharding for [`Simulation::run_sharded`]. `1` (the
+    /// default) is the paper's fully-coupled single event loop —
+    /// `run_sharded` and [`Simulation::run`] are then the same path.
+    /// `>= 2` decomposes the run by vehicle across that many worker
+    /// shards (`0` = one shard per available core, floored at two so the
+    /// choice of semantics never depends on the host); the merged outcome
+    /// is invariant to the exact count — see the module docs on what the
+    /// decomposition trades away. Ignored by plain [`Simulation::run`].
+    pub shards: usize,
 }
 
 impl Default for RunConfig {
@@ -70,6 +102,7 @@ impl Default for RunConfig {
             mac: MacParams::default(),
             backplane: BackplaneParams::default(),
             wired_delay: SimDuration::from_millis(10),
+            shards: 1,
         }
     }
 }
@@ -180,11 +213,18 @@ impl Simulation {
     /// protocol (beacons, anchoring) as background occupants of the
     /// channel.
     pub fn deployment(scenario: &Scenario, cfg: RunConfig) -> Self {
+        Self::deployment_shard(scenario, cfg, 0)
+    }
+
+    /// Deployment mode under a specific scheduler shard id (sharded
+    /// sub-runs tag their event queues so timer tokens are distinct
+    /// across shards; the id itself never changes simulation results).
+    fn deployment_shard(scenario: &Scenario, cfg: RunConfig, shard: u32) -> Self {
         let rng = Rng::new(cfg.seed);
         let link = Box::new(scenario.build_link_model(&rng));
         let vehicles = scenario.vehicle_ids();
         let bs_ids = scenario.bs_ids();
-        Self::assemble(link, vehicles, bs_ids, cfg, rng)
+        Self::assemble(link, vehicles, bs_ids, cfg, rng, shard)
     }
 
     /// Trace-driven mode (§5.1): build from a beacon trace.
@@ -193,7 +233,7 @@ impl Simulation {
         let setup = TraceSimSetup::from_trace(trace, &rng);
         let vehicles = vec![setup.vehicle];
         let bs_ids = setup.bs_ids.clone();
-        Self::assemble(Box::new(setup.link), vehicles, bs_ids, cfg, rng)
+        Self::assemble(Box::new(setup.link), vehicles, bs_ids, cfg, rng, 0)
     }
 
     fn assemble(
@@ -202,6 +242,7 @@ impl Simulation {
         bs_ids: Vec<NodeId>,
         cfg: RunConfig,
         rng: Rng,
+        shard: u32,
     ) -> Self {
         assert!(!vehicles.is_empty() && !bs_ids.is_empty());
         let mut endpoints = HashMap::new();
@@ -274,7 +315,7 @@ impl Simulation {
             medium: Medium::new(cfg.mac),
             backplane: Backplane::new(cfg.backplane),
             beacons,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_shard(shard),
             link,
             endpoints,
             iface_busy,
@@ -743,6 +784,356 @@ impl Simulation {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharded execution
+// ---------------------------------------------------------------------
+
+/// One shard of a sharded run: the worker-owned disjoint set of vehicles
+/// it simulates, in fleet order. See the module docs for the semantics.
+#[derive(Clone, Debug)]
+pub struct ShardAssignment {
+    /// Shard identity (also stamped into the shard's timer tokens).
+    pub shard_id: u32,
+    /// `(fleet_index, vehicle)` pairs owned by this shard; `fleet_index`
+    /// is the vehicle's position in [`Scenario::vehicle_ids`] order.
+    pub vehicles: Vec<(usize, NodeId)>,
+}
+
+/// The deterministic execution plan of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// One assignment per shard (trailing shards may be empty when the
+    /// shard count exceeds the instrumented-vehicle count).
+    pub assignments: Vec<ShardAssignment>,
+}
+
+impl ShardPlan {
+    /// Total instrumented vehicles across all assignments.
+    pub fn vehicles(&self) -> usize {
+        self.assignments.iter().map(|a| a.vehicles.len()).sum()
+    }
+}
+
+/// Wall-clock accounting of one shard of a sharded run: how long the
+/// shard's sub-runs took on their worker. The maximum across shards is
+/// the run's critical path — the wall-clock it needs when every shard
+/// has its own core.
+#[derive(Clone, Debug)]
+pub struct ShardTiming {
+    /// Which shard.
+    pub shard_id: u32,
+    /// How many vehicles the shard simulated.
+    pub vehicles: usize,
+    /// Wall-clock the shard spent simulating them.
+    pub wall: Duration,
+}
+
+/// Resolve the configured shard count: `0` means one shard per available
+/// core, floored at two so `0` always selects the *decomposed* semantics
+/// — were a single-core host to resolve to the coupled `1` path, the
+/// same config would produce different physics on different machines.
+/// (The floor costs nothing: merged outcomes are invariant to the shard
+/// count anyway.)
+fn resolve_shards(shards: usize) -> usize {
+    if shards == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .max(2)
+    } else {
+        shards
+    }
+}
+
+/// Build the deterministic shard plan for `(scenario, cfg)`: the
+/// instrumented vehicles (every vehicle in fleet mode, the first vehicle
+/// otherwise), partitioned by [`Scenario::shard_partition`] (round-robin
+/// in fleet order) across the resolved shard count. A pure function of
+/// its inputs — the plan is as replayable as the run (the core count
+/// only enters through `shards == 0`). Note that *which* shard owns a
+/// vehicle only affects scheduling, never results: merged outcomes are
+/// invariant to the partition (the equivalence suite proves it), which
+/// is also why alternative partitions like
+/// [`Scenario::shard_partition_by_contact`] are pure load-balancing
+/// choices.
+pub fn plan_shards(scenario: &Scenario, cfg: &RunConfig) -> ShardPlan {
+    let shards = resolve_shards(cfg.shards).max(1);
+    let fleet_index: HashMap<NodeId, usize> = scenario
+        .vehicle_ids()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let groups: Vec<Vec<NodeId>> = if cfg.fleet_workloads.is_empty() {
+        // Non-fleet mode instruments only the first vehicle; the rest of
+        // the partition stays empty.
+        let mut groups = vec![Vec::new(); shards];
+        groups[0].push(scenario.vehicle_ids()[0]);
+        groups
+    } else {
+        scenario.shard_partition(shards)
+    };
+    ShardPlan {
+        assignments: groups
+            .into_iter()
+            .enumerate()
+            .map(|(s, vehicles)| ShardAssignment {
+                shard_id: s as u32,
+                vehicles: vehicles.into_iter().map(|v| (fleet_index[&v], v)).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// The seed of one vehicle's micro-shard sub-run. The partition unit is
+/// the vehicle, so streams are keyed by `(run_seed, vehicle)` — never by
+/// the shard count — which is what makes sharded outcomes invariant to
+/// how many workers execute the plan. Fleet index 0 keeps the run seed
+/// itself, so a single-vehicle scenario's sharded run replays the
+/// sequential run bit-for-bit.
+fn micro_shard_seed(seed: u64, fleet_index: usize, vehicle: NodeId) -> u64 {
+    if fleet_index == 0 {
+        seed
+    } else {
+        Rng::new(seed)
+            .fork_named("shard")
+            .fork(vehicle.label())
+            .next_u64()
+    }
+}
+
+/// Run one vehicle's micro-shard: restrict the scenario to the vehicle
+/// plus the full infrastructure, run it under its derived seed, and remap
+/// the outcome back into the parent scenario's node-id space.
+fn run_micro_shard(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    fleet_index: usize,
+    vehicle: NodeId,
+    shard_id: u32,
+) -> RunOutcome {
+    let (sub, mapping) = scenario.with_vehicle_subset(&[vehicle]);
+    let sub_cfg = RunConfig {
+        vifi: cfg.vifi.clone(),
+        workload: cfg.workload.clone(),
+        fleet_workloads: if cfg.fleet_workloads.is_empty() {
+            Vec::new()
+        } else {
+            vec![cfg.fleet_workloads[fleet_index % cfg.fleet_workloads.len()].clone()]
+        },
+        duration: cfg.duration,
+        seed: micro_shard_seed(cfg.seed, fleet_index, vehicle),
+        mac: cfg.mac,
+        backplane: cfg.backplane,
+        wired_delay: cfg.wired_delay,
+        shards: 1,
+    };
+    let mut out = Simulation::deployment_shard(&sub, sub_cfg, shard_id).run();
+    // Map sub-scenario ids back to the parent's (identity whenever the
+    // scenario lists basestations before vehicles, but never assumed).
+    let back: HashMap<NodeId, NodeId> = mapping.into_iter().map(|(old, new)| (new, old)).collect();
+    let remap = |n: NodeId| *back.get(&n).unwrap_or(&n);
+    out.log.remap_nodes(remap);
+    for v in &mut out.vehicles {
+        v.vehicle = remap(v.vehicle);
+    }
+    out
+}
+
+/// Deterministically merge per-vehicle micro-shard outcomes (paired with
+/// their fleet index) into one [`RunOutcome`]: vehicles in fleet order,
+/// counters summed, the packet log and primary report taken from the
+/// first vehicle — the same shape a sequential fleet run produces.
+fn merge_shard_outcomes(mut parts: Vec<(usize, RunOutcome)>) -> RunOutcome {
+    assert!(!parts.is_empty(), "sharded run produced no outcomes");
+    parts.sort_by_key(|&(fleet_index, _)| fleet_index);
+    assert_eq!(parts[0].0, 0, "fleet index 0 must be present");
+    let mut vehicles = Vec::with_capacity(parts.len());
+    let mut unroutable_down = 0;
+    let mut salvaged = 0;
+    let mut events = 0;
+    let mut frames_tx = 0;
+    let mut log = None;
+    for (fleet_index, part) in parts {
+        debug_assert_eq!(part.vehicles.len(), 1, "micro-shards host one vehicle");
+        unroutable_down += part.unroutable_down;
+        salvaged += part.salvaged;
+        events += part.events;
+        frames_tx += part.frames_tx;
+        if fleet_index == 0 {
+            log = Some(part.log);
+        }
+        vehicles.extend(part.vehicles);
+    }
+    RunOutcome {
+        report: vehicles[0].report.clone(),
+        anchor_switches: vehicles[0].anchor_switches,
+        unroutable_down,
+        vehicles,
+        salvaged,
+        events,
+        frames_tx,
+        log: log.expect("fleet index 0 carries the packet log"),
+    }
+}
+
+impl Simulation {
+    /// Run `(scenario, cfg)` sharded across up to [`RunConfig::shards`]
+    /// worker threads and return the merged outcome. `shards <= 1` is the
+    /// sequential fully-coupled [`Simulation::run`], unchanged; see the
+    /// module docs for the `shards >= 2` decomposition semantics and the
+    /// bit-identity guarantees the equivalence suite enforces.
+    pub fn run_sharded(scenario: &Scenario, cfg: RunConfig) -> RunOutcome {
+        Self::run_sharded_timed(scenario, cfg).0
+    }
+
+    /// [`Simulation::run_sharded`], also returning per-shard wall-clock
+    /// accounting (one [`ShardTiming`] per non-empty shard; a single
+    /// entry for the sequential `shards <= 1` path). Worker threads are
+    /// capped at the host's available parallelism — extra shards queue on
+    /// the workers rather than oversubscribing cores, so each shard's
+    /// wall-clock measures its own work, not its neighbours' timeslices.
+    pub fn run_sharded_timed(
+        scenario: &Scenario,
+        cfg: RunConfig,
+    ) -> (RunOutcome, Vec<ShardTiming>) {
+        let shards = resolve_shards(cfg.shards);
+        if shards <= 1 {
+            let instrumented = if cfg.fleet_workloads.is_empty() {
+                1
+            } else {
+                scenario.vehicle_ids().len()
+            };
+            let start = Instant::now();
+            let out = Simulation::deployment(scenario, cfg).run();
+            let timing = vec![ShardTiming {
+                shard_id: 0,
+                vehicles: instrumented,
+                wall: start.elapsed(),
+            }];
+            return (out, timing);
+        }
+        let plan = plan_shards(scenario, &cfg);
+        let busy: Vec<&ShardAssignment> = plan
+            .assignments
+            .iter()
+            .filter(|a| !a.vehicles.is_empty())
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(busy.len())
+            .max(1);
+        let cfg = &cfg;
+        let mut merged: Vec<(usize, RunOutcome)> = Vec::new();
+        let mut timings: Vec<ShardTiming> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let busy = &busy;
+                    s.spawn(move || {
+                        let mut parts: Vec<(usize, RunOutcome)> = Vec::new();
+                        let mut timings: Vec<ShardTiming> = Vec::new();
+                        let mut i = w;
+                        while i < busy.len() {
+                            let a = busy[i];
+                            let start = Instant::now();
+                            for &(fleet_index, vehicle) in &a.vehicles {
+                                parts.push((
+                                    fleet_index,
+                                    run_micro_shard(
+                                        scenario,
+                                        cfg,
+                                        fleet_index,
+                                        vehicle,
+                                        a.shard_id,
+                                    ),
+                                ));
+                            }
+                            timings.push(ShardTiming {
+                                shard_id: a.shard_id,
+                                vehicles: a.vehicles.len(),
+                                wall: start.elapsed(),
+                            });
+                            i += workers;
+                        }
+                        (parts, timings)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (parts, t) = h.join().expect("shard worker panicked");
+                merged.extend(parts);
+                timings.extend(t);
+            }
+        });
+        timings.sort_by_key(|t| t.shard_id);
+        (merge_shard_outcomes(merged), timings)
+    }
+
+    /// The sequential reference path of the sharded semantics: execute
+    /// the same per-vehicle decomposition as `shards >= 2`, inline on the
+    /// calling thread, in fleet order. `run_sharded` with any shard count
+    /// `>= 2` is bit-identical to this — the equivalence suite pins the
+    /// parallel executor against it.
+    pub fn run_sharded_sequential(scenario: &Scenario, cfg: RunConfig) -> RunOutcome {
+        let plan = plan_shards(
+            scenario,
+            &RunConfig {
+                shards: 1,
+                ..cfg.clone()
+            },
+        );
+        let parts: Vec<(usize, RunOutcome)> = plan.assignments[0]
+            .vehicles
+            .iter()
+            .map(|&(fleet_index, vehicle)| {
+                (
+                    fleet_index,
+                    run_micro_shard(scenario, &cfg, fleet_index, vehicle, 0),
+                )
+            })
+            .collect();
+        merge_shard_outcomes(parts)
+    }
+}
+
+impl Fingerprintable for VehicleOutcome {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.push_u64(self.vehicle.label());
+        self.report.fingerprint_into(fp);
+        fp.push_u64(self.anchor_switches);
+        fp.push_u64(self.unroutable_down);
+    }
+}
+
+impl Fingerprintable for RunOutcome {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        self.report.fingerprint_into(fp);
+        fp.push_len(self.vehicles.len());
+        for v in &self.vehicles {
+            v.fingerprint_into(fp);
+        }
+        self.log.fingerprint_into(fp);
+        fp.push_u64(self.anchor_switches);
+        fp.push_u64(self.salvaged);
+        fp.push_u64(self.unroutable_down);
+        fp.push_u64(self.events);
+        fp.push_u64(self.frames_tx);
+    }
+}
+
+impl RunOutcome {
+    /// Canonical digest of every observable field of this outcome (probe
+    /// outcomes, delays, log records, counters; floats by bit pattern).
+    /// Two outcomes with equal fingerprints are bit-identical for every
+    /// purpose the evaluation reads — this is the equality the
+    /// shard-equivalence suite asserts.
+    pub fn fingerprint(&self) -> u64 {
+        Fingerprintable::fingerprint(self)
+    }
+}
+
 /// Kind of a node in this simulation (diagnostic helper).
 pub fn node_kind_name(kind: NodeKind) -> &'static str {
     match kind {
@@ -1018,6 +1409,109 @@ mod tests {
             .map(|v| v.report.as_cbr().unwrap().total_sent())
             .sum();
         assert_eq!(agg.total_sent(), sum_sent);
+    }
+
+    #[test]
+    fn shard_plan_partitions_instrumented_vehicles() {
+        let s = vanlan(1);
+        // Non-fleet mode: one micro-shard (the instrumented vehicle).
+        let cfg = quick_cfg(WorkloadSpec::paper_cbr(), 10, 1);
+        let plan = plan_shards(&s, &RunConfig { shards: 4, ..cfg });
+        assert_eq!(plan.assignments.len(), 4);
+        assert_eq!(plan.vehicles(), 1);
+        assert_eq!(plan.assignments[0].vehicles, vec![(0, s.vehicle_ids()[0])]);
+        // Fleet mode: every vehicle, round-robin.
+        let s = vanlan(5);
+        let cfg = RunConfig {
+            fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+            shards: 2,
+            ..quick_cfg(WorkloadSpec::Idle, 10, 1)
+        };
+        let plan = plan_shards(&s, &cfg);
+        assert_eq!(plan.vehicles(), 5);
+        let vs = s.vehicle_ids();
+        assert_eq!(
+            plan.assignments[0].vehicles,
+            vec![(0, vs[0]), (2, vs[2]), (4, vs[4])]
+        );
+        assert_eq!(plan.assignments[1].vehicles, vec![(1, vs[1]), (3, vs[3])]);
+    }
+
+    #[test]
+    fn single_vehicle_sharded_is_bit_identical_to_sequential() {
+        // The paper's setup (one instrumented vehicle) under any shard
+        // count replays the sequential run exactly: the sub-scenario is
+        // the scenario and micro-shard 0 keeps the run seed.
+        let s = vanlan(1);
+        let cfg = quick_cfg(WorkloadSpec::paper_cbr(), 40, 9);
+        let sequential = Simulation::deployment(&s, cfg.clone()).run();
+        for shards in [2usize, 3] {
+            let sharded = Simulation::run_sharded(
+                &s,
+                RunConfig {
+                    shards,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(
+                sharded.fingerprint(),
+                sequential.fingerprint(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_fleet_merges_in_vehicle_order() {
+        let s = vanlan(3);
+        let cfg = RunConfig {
+            fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+            shards: 2,
+            ..quick_cfg(WorkloadSpec::Idle, 30, 4)
+        };
+        let (out, timings) = Simulation::run_sharded_timed(&s, cfg);
+        assert_eq!(out.vehicles.len(), 3);
+        let ids: Vec<NodeId> = out.vehicles.iter().map(|v| v.vehicle).collect();
+        assert_eq!(ids, s.vehicle_ids(), "merged outcomes in vehicle order");
+        // The primary report and switch counter mirror vehicle 0, counters
+        // sum across shards.
+        assert_eq!(
+            out.report.as_cbr().unwrap().total_delivered(),
+            out.vehicles[0].report.as_cbr().unwrap().total_delivered()
+        );
+        assert_eq!(out.anchor_switches, out.vehicles[0].anchor_switches);
+        assert_eq!(
+            out.unroutable_down,
+            out.vehicles.iter().map(|v| v.unroutable_down).sum::<u64>()
+        );
+        // Two non-empty shards: 2 vehicles + 1 vehicle.
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].vehicles + timings[1].vehicles, 3);
+    }
+
+    #[test]
+    fn sharded_runs_are_invariant_to_shard_count() {
+        let s = vanlan(4);
+        let run = |shards| {
+            let cfg = RunConfig {
+                fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+                shards,
+                ..quick_cfg(WorkloadSpec::Idle, 30, 6)
+            };
+            Simulation::run_sharded(&s, cfg).fingerprint()
+        };
+        let sequential_plan = Simulation::run_sharded_sequential(
+            &s,
+            RunConfig {
+                fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+                ..quick_cfg(WorkloadSpec::Idle, 30, 6)
+            },
+        )
+        .fingerprint();
+        let two = run(2);
+        assert_eq!(two, run(3));
+        assert_eq!(two, run(8), "more shards than vehicles");
+        assert_eq!(two, sequential_plan, "parallel == sequential plan");
     }
 
     #[test]

@@ -11,6 +11,8 @@ use vifi_apps::tcp::{TcpConfig, TcpReceiver, TcpSegment, TcpSender};
 use vifi_apps::voip::{VoipParams, VoipReport, VoipScorer, VoipSource};
 use vifi_sim::{Rng, SimDuration, SimTime};
 
+use crate::fingerprint::{Fingerprint, Fingerprintable};
+
 /// What traffic to run over the link layer.
 #[derive(Clone, Debug)]
 pub enum WorkloadSpec {
@@ -138,17 +140,91 @@ impl WorkloadReport {
 /// outcomes and delays concatenate, so ratios, sessions and delay
 /// percentiles over the result describe the fleet as a whole. Non-CBR
 /// reports are ignored.
+///
+/// Pass reports in a stable order (vehicle-id order, as
+/// [`crate::RunOutcome::vehicles`] is laid out — the order sharded runs
+/// merge into) and the aggregate is as deterministic as the runs.
 pub fn aggregate_cbr<'a>(reports: impl IntoIterator<Item = &'a WorkloadReport>) -> CbrStats {
     let mut agg = CbrStats::default();
     for r in reports {
         if let Some(c) = r.as_cbr() {
-            agg.up.extend_from_slice(&c.up);
-            agg.down.extend_from_slice(&c.down);
-            agg.up_delays.extend_from_slice(&c.up_delays);
-            agg.down_delays.extend_from_slice(&c.down_delays);
+            agg.merge_from(c);
         }
     }
     agg
+}
+
+impl Fingerprintable for WorkloadReport {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        match self {
+            WorkloadReport::Idle => fp.push_u64(0),
+            WorkloadReport::Cbr(c) => {
+                fp.push_u64(1);
+                c.fingerprint_into(fp);
+            }
+            WorkloadReport::Tcp(t) => {
+                fp.push_u64(2);
+                t.fingerprint_into(fp);
+            }
+            WorkloadReport::Voip(v) => {
+                fp.push_u64(3);
+                v.fingerprint_into(fp);
+            }
+        }
+    }
+}
+
+impl Fingerprintable for CbrStats {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        for probes in [&self.up, &self.down] {
+            fp.push_len(probes.len());
+            for &(at, ok) in probes {
+                fp.push_u64(at.as_micros());
+                fp.push_bool(ok);
+            }
+        }
+        for delays in [&self.up_delays, &self.down_delays] {
+            fp.push_len(delays.len());
+            for &d in delays {
+                fp.push_f64(d);
+            }
+        }
+    }
+}
+
+impl Fingerprintable for TcpStats {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        for dir in [&self.down, &self.up] {
+            fp.push_len(dir.transfer_times.len());
+            for &t in &dir.transfer_times {
+                fp.push_f64(t);
+            }
+            fp.push_len(dir.transfers_per_session.len());
+            for &n in &dir.transfers_per_session {
+                fp.push_u64(n as u64);
+            }
+            fp.push_u64(dir.aborts as u64);
+        }
+    }
+}
+
+impl Fingerprintable for VoipStats {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        for leg in [&self.down, &self.up] {
+            fp.push_len(leg.scores.len());
+            for w in &leg.scores {
+                fp.push_u64(w.window);
+                fp.push_f64(w.loss);
+                fp.push_f64(w.delay_ms);
+                fp.push_f64(w.mos);
+            }
+            fp.push_len(leg.sessions.len());
+            for s in &leg.sessions {
+                fp.push_u64(s.as_micros());
+            }
+            fp.push_f64(leg.mean_mos);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -205,6 +281,16 @@ impl CbrStats {
     /// Total probes sent (both directions).
     pub fn total_sent(&self) -> u64 {
         (self.up.len() + self.down.len()) as u64
+    }
+
+    /// Append another vehicle's probe outcomes and delays to this one —
+    /// the concatenation step of [`aggregate_cbr`], usable directly when
+    /// the stats are already in hand rather than behind reports.
+    pub fn merge_from(&mut self, other: &CbrStats) {
+        self.up.extend_from_slice(&other.up);
+        self.down.extend_from_slice(&other.down);
+        self.up_delays.extend_from_slice(&other.up_delays);
+        self.down_delays.extend_from_slice(&other.down_delays);
     }
 
     /// Fraction of sent probes delivered (0 when nothing was sent).

@@ -152,6 +152,87 @@ fn cancelled_bookkeeping_never_grows_unbounded() {
 }
 
 #[test]
+fn concurrent_shard_queues_under_churn_never_collide() {
+    // The sharded-run layout: one queue per shard, each owned by its own
+    // worker thread, all churning (schedule/cancel/pop) at once. Asserts
+    // the two properties the sharded runtime leans on:
+    //
+    // 1. per-shard determinism — a queue's pop order is a pure function
+    //    of its own operations, however the OS interleaves the workers;
+    // 2. no cross-shard token/generation collisions — every token ever
+    //    issued is globally unique (the shard stamp keeps same
+    //    (slot, generation) pairs from different queues distinct), and a
+    //    foreign shard's token is inert against another queue.
+    const SHARDS: u32 = 8;
+
+    // Reference pop order per shard, computed single-threaded.
+    let churn = |shard: u32, victim: Option<TimerToken>| {
+        let mut q: EventQueue<u64> = EventQueue::with_shard(shard);
+        // Per-shard stream, like the runtime derives per-vehicle streams.
+        let mut rng = Rng::new(99).fork(shard as u64);
+        let mut tokens: Vec<TimerToken> = Vec::new();
+        let mut issued: Vec<TimerToken> = Vec::new();
+        for i in 0..2_000u64 {
+            let tok = q.schedule(SimTime::from_micros(rng.below(50_000)), shard as u64 + i);
+            tokens.push(tok);
+            issued.push(tok);
+            if i % 5 == 0 {
+                let k = rng.below(tokens.len() as u64) as usize;
+                q.cancel(tokens.swap_remove(k));
+            }
+            if i % 7 == 0 {
+                q.pop();
+            }
+        }
+        if let Some(v) = victim {
+            // A live token from another shard must cancel nothing here.
+            assert!(!q.cancel(v), "cross-shard cancel must be inert");
+        }
+        let mut order = Vec::new();
+        while let Some(e) = q.pop() {
+            order.push(e);
+        }
+        (order, issued)
+    };
+
+    // A live token from shard 1000 handed to every worker below.
+    let mut foreign: EventQueue<u64> = EventQueue::with_shard(1000);
+    let foreign_tok = foreign.schedule(SimTime::from_micros(1), 0);
+
+    let expected: Vec<_> = (0..SHARDS).map(|s| churn(s, None)).collect();
+    let concurrent: Vec<(Vec<(SimTime, u64)>, Vec<TimerToken>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|s| scope.spawn(move || churn(s, Some(foreign_tok))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut all_tokens: std::collections::HashSet<TimerToken> = std::collections::HashSet::new();
+    for (s, ((order, issued), (exp_order, exp_issued))) in
+        concurrent.iter().zip(expected.iter()).enumerate()
+    {
+        assert_eq!(
+            order, exp_order,
+            "shard {s}: pop order must not depend on threading"
+        );
+        assert_eq!(issued, exp_issued, "shard {s}: token stream must replay");
+        for tok in issued {
+            assert_eq!(tok.shard(), s as u32);
+            assert!(
+                all_tokens.insert(*tok),
+                "token collision across shards: {tok:?}"
+            );
+        }
+    }
+    // The foreign shard's event survived all eight cancel attempts.
+    assert_eq!(foreign.len(), 1);
+    assert!(foreign.cancel(foreign_tok), "its own queue still can");
+}
+
+#[test]
 fn cancel_after_fire_with_heavy_reuse_is_inert() {
     // Fire → recycle → stale cancel, thousands of times, while live timers
     // ride along: no stale token may ever kill a live event.

@@ -1,0 +1,206 @@
+//! Shard-equivalence suite: the determinism guarantees of sharded fleet
+//! runs, asserted as bit-identity over [`RunOutcome::fingerprint`] (every
+//! probe outcome, delay, log record and counter; floats by bit pattern).
+//!
+//! What is enforced, per scenario and across seeds:
+//!
+//! 1. `shards = 1` is **bit-identical to the pre-sharding sequential
+//!    path** (`Simulation::deployment(..).run()`) — the coupled event
+//!    loop is untouched by the sharding seam.
+//! 2. `shards ∈ {2, 4, 8}` produce **identical merged outcomes to each
+//!    other** — the per-vehicle decomposition is keyed by
+//!    `(run_seed, vehicle)`, never by the shard/worker count.
+//! 3. Every parallel execution equals the **sequential reference path**
+//!    (`Simulation::run_sharded_sequential`) — threading introduces no
+//!    nondeterminism.
+//! 4. For single-vehicle scenarios (the paper's setup) sharded runs of
+//!    *any* count are bit-identical to the sequential coupled run.
+//!
+//! Run with `--test-threads=1` in CI (the `test-shards` leg) so the
+//! sharded executors own the machine while they are measured.
+
+use proptest::prelude::*;
+use vifi::runtime::{RunConfig, Simulation, WorkloadSpec};
+use vifi::sim::SimDuration;
+use vifi::testbeds::{dieselnet_fleet, vanlan, Scenario};
+
+/// The fleet configurations the issue pins: vanlan(8) and a 16-bus
+/// DieselNet fleet, every vehicle carrying the paper's CBR workload.
+fn fleet_scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("vanlan(8)", vanlan(8)),
+        ("dieselnet_fleet(16, 42)", dieselnet_fleet(16, 42)),
+    ]
+}
+
+fn fleet_cfg(seed: u64, shards: usize, secs: u64) -> RunConfig {
+    RunConfig {
+        fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+        duration: SimDuration::from_secs(secs),
+        seed,
+        shards,
+        ..RunConfig::default()
+    }
+}
+
+/// ≥ 5 seeds, per the issue.
+const SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
+
+#[test]
+fn single_shard_is_bit_identical_to_sequential_path() {
+    // `shards = 1` routes through `Simulation::deployment(..).run()`
+    // itself, so equality here is structural; what actually pins "the
+    // coupled event loop is untouched" against future drift are the
+    // golden fingerprints below, recorded from the pre-sharding
+    // sequential path. If a deliberate physics change lands, regenerate
+    // them (the failure message prints the new values) and explain the
+    // change in the commit.
+    let golden: [(u64, [u64; 5]); 2] = [
+        (
+            0, // vanlan(8)
+            [
+                0x6fe52ab1ad4f4676,
+                0xd4b20fe084156809,
+                0x0df798cbd60888d5,
+                0x20169e41a7578204,
+                0xb35b0b929a705280,
+            ],
+        ),
+        (
+            1, // dieselnet_fleet(16, 42)
+            [
+                0x4d39a301a75bdedf,
+                0xfbc2bf6eb2b89415,
+                0x31b42c49d780f77e,
+                0x269b10c35c9aeaed,
+                0xd561d6ab5da1bdab,
+            ],
+        ),
+    ];
+    for ((name, scenario), (_, expected)) in fleet_scenarios().into_iter().zip(golden) {
+        for (seed, want) in SEEDS.into_iter().zip(expected) {
+            let cfg = fleet_cfg(seed, 1, 15);
+            let sequential = Simulation::deployment(&scenario, cfg.clone())
+                .run()
+                .fingerprint();
+            let sharded = Simulation::run_sharded(&scenario, cfg).fingerprint();
+            assert_eq!(sharded, sequential, "{name} seed {seed}");
+            assert_eq!(
+                sequential, want,
+                "{name} seed {seed}: coupled-path fingerprint drifted from \
+                 the recorded golden (got {sequential:#018x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_counts_2_4_8_are_bit_identical_to_each_other() {
+    for (name, scenario) in fleet_scenarios() {
+        let mut per_seed = Vec::new();
+        for seed in SEEDS {
+            // The sequential reference path of the same decomposition.
+            let reference =
+                Simulation::run_sharded_sequential(&scenario, fleet_cfg(seed, 2, 15)).fingerprint();
+            for shards in [2usize, 4, 8] {
+                let fp =
+                    Simulation::run_sharded(&scenario, fleet_cfg(seed, shards, 15)).fingerprint();
+                assert_eq!(fp, reference, "{name} seed {seed} shards {shards}");
+            }
+            per_seed.push(reference);
+        }
+        // Non-vacuity: different seeds really produce different runs.
+        per_seed.dedup();
+        assert!(per_seed.len() > 1, "{name}: seeds must differentiate runs");
+    }
+}
+
+#[test]
+fn auto_shards_match_explicit_counts() {
+    // `shards = 0` (auto) selects the decomposed semantics regardless of
+    // the host's core count, so its outcome equals any explicit >= 2.
+    let scenario = vanlan(8);
+    let auto = Simulation::run_sharded(&scenario, fleet_cfg(21, 0, 15)).fingerprint();
+    let explicit = Simulation::run_sharded(&scenario, fleet_cfg(21, 4, 15)).fingerprint();
+    assert_eq!(auto, explicit);
+}
+
+#[test]
+fn single_vehicle_scenarios_shard_to_the_sequential_run() {
+    // The paper's one-instrumented-vehicle setup: sharding can only move
+    // the run to another core, so any shard count replays the coupled
+    // sequential run bit-for-bit — non-fleet and fleet form alike.
+    let scenario = vanlan(1);
+    for seed in [5u64, 6, 7] {
+        let cfg = RunConfig {
+            workload: WorkloadSpec::paper_cbr(),
+            duration: SimDuration::from_secs(30),
+            seed,
+            ..RunConfig::default()
+        };
+        let sequential = Simulation::deployment(&scenario, cfg.clone())
+            .run()
+            .fingerprint();
+        for shards in [1usize, 2, 4, 8] {
+            let fp = Simulation::run_sharded(
+                &scenario,
+                RunConfig {
+                    shards,
+                    ..cfg.clone()
+                },
+            )
+            .fingerprint();
+            assert_eq!(fp, sequential, "seed {seed} shards {shards}");
+        }
+    }
+}
+
+#[test]
+fn merged_outcome_shape_matches_sequential_fleet_shape() {
+    // Same vehicles, same ordering, same counter relationships as the
+    // coupled fleet run — only the physics differs (no cross-vehicle
+    // contention in the decomposed mode).
+    let scenario = dieselnet_fleet(16, 42);
+    let sharded = Simulation::run_sharded(&scenario, fleet_cfg(31, 4, 15));
+    let coupled = Simulation::run_sharded(&scenario, fleet_cfg(31, 1, 15));
+    assert_eq!(sharded.vehicles.len(), coupled.vehicles.len());
+    for (s, c) in sharded.vehicles.iter().zip(coupled.vehicles.iter()) {
+        assert_eq!(s.vehicle, c.vehicle, "vehicle order is the merge order");
+    }
+    assert_eq!(
+        sharded.unroutable_down,
+        sharded
+            .vehicles
+            .iter()
+            .map(|v| v.unroutable_down)
+            .sum::<u64>()
+    );
+    assert_eq!(sharded.anchor_switches, sharded.vehicles[0].anchor_switches);
+    // Every bus keeps probing in both modes.
+    for v in &sharded.vehicles {
+        assert!(v.report.as_cbr().unwrap().total_sent() > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Property over arbitrary seeds: parallel executions at co-prime
+    /// shard counts and the sequential reference all merge to the same
+    /// bits on a mid-sized fleet.
+    #[test]
+    fn sharded_outcome_is_a_pure_function_of_seed(seed in 1u64..1_000_000) {
+        let scenario = vanlan(4);
+        let reference =
+            Simulation::run_sharded_sequential(&scenario, fleet_cfg(seed, 2, 10)).fingerprint();
+        for shards in [2usize, 3] {
+            let fp =
+                Simulation::run_sharded(&scenario, fleet_cfg(seed, shards, 10)).fingerprint();
+            prop_assert_eq!(fp, reference, "seed {} shards {}", seed, shards);
+        }
+        // And replaying the same seed reproduces the same bits.
+        let replay =
+            Simulation::run_sharded(&scenario, fleet_cfg(seed, 2, 10)).fingerprint();
+        prop_assert_eq!(replay, reference);
+    }
+}
