@@ -3,7 +3,12 @@
 //! ```text
 //! cargo run --release -p vifi-bench --bin bench_compare -- \
 //!     BENCH_baseline.json BENCH_current.json [--threshold 25] [--no-normalize]
+//!     [--summary-md PATH]
 //! ```
+//!
+//! `--summary-md PATH` appends the per-benchmark delta table as GitHub
+//! markdown to `PATH` — CI passes `$GITHUB_STEP_SUMMARY` so every run's
+//! deltas land in the job summary, not just the pass/fail verdict.
 //!
 //! Exit code 0 if every benchmark present in the baseline is within the
 //! regression threshold in the current snapshot; 1 otherwise (including
@@ -65,6 +70,7 @@ fn main() -> ExitCode {
     let mut positional: Vec<&String> = Vec::new();
     let mut threshold_pct = 25.0f64;
     let mut normalize = true;
+    let mut summary_md: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,12 +85,20 @@ fn main() -> ExitCode {
                 }
             },
             "--no-normalize" => normalize = false,
+            "--summary-md" => match it.next() {
+                Some(path) => summary_md = Some(path.clone()),
+                None => {
+                    eprintln!("--summary-md requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             _ => positional.push(a),
         }
     }
     if positional.len() != 2 {
         eprintln!(
-            "usage: bench_compare <baseline.json> <current.json> [--threshold PCT] [--no-normalize]"
+            "usage: bench_compare <baseline.json> <current.json> [--threshold PCT] \
+             [--no-normalize] [--summary-md PATH]"
         );
         return ExitCode::from(2);
     }
@@ -124,6 +138,9 @@ fn main() -> ExitCode {
     let limit = 1.0 + threshold_pct / 100.0;
     let mut regressions = Vec::new();
     let mut missing = Vec::new();
+    // (name, baseline, current, ratio text, verdict) rows for the
+    // markdown job summary.
+    let mut md_rows: Vec<(String, String, String, String, String)> = Vec::new();
     println!(
         "{:<36} {:>12} {:>12} {:>8}  verdict",
         "bench", "baseline", "current", "ratio"
@@ -137,6 +154,13 @@ fn main() -> ExitCode {
                 "-",
                 "-"
             );
+            md_rows.push((
+                name.clone(),
+                fmt_ns(base_ns),
+                "-".into(),
+                "-".into(),
+                "MISSING".into(),
+            ));
             continue;
         };
         let ratio = (cur_ns / speed) / base_ns;
@@ -153,6 +177,13 @@ fn main() -> ExitCode {
             fmt_ns(base_ns),
             fmt_ns(cur_ns),
         );
+        md_rows.push((
+            name.clone(),
+            fmt_ns(base_ns),
+            fmt_ns(cur_ns),
+            format!("{ratio:.2}x"),
+            verdict.to_string(),
+        ));
     }
     for name in current.results.keys() {
         if !baseline.results.contains_key(name) {
@@ -160,6 +191,52 @@ fn main() -> ExitCode {
                 "{name:<36} {:>12} {:>12} {:>8}  new (refresh baseline)",
                 "-", "-", "-"
             );
+            md_rows.push((
+                name.clone(),
+                "-".into(),
+                fmt_ns(current.results[name]),
+                "-".into(),
+                "new (refresh baseline)".into(),
+            ));
+        }
+    }
+
+    if let Some(path) = &summary_md {
+        // Append (not truncate): $GITHUB_STEP_SUMMARY may already carry
+        // output from earlier steps of the job.
+        let mut md = String::new();
+        md.push_str("### Bench deltas vs baseline\n\n");
+        if normalize {
+            md.push_str(&format!(
+                "Calibration ratio (current/baseline): `{speed:.3}` — \
+                 per-bench ratios are normalized by it.\n\n"
+            ));
+        }
+        md.push_str("| bench | baseline | current | ratio | verdict |\n");
+        md.push_str("|---|---:|---:|---:|---|\n");
+        for (name, base, cur, ratio, verdict) in &md_rows {
+            let verdict = match verdict.as_str() {
+                "REGRESSION" => "**REGRESSION**",
+                "MISSING" => "**MISSING**",
+                other => other,
+            };
+            md.push_str(&format!(
+                "| `{name}` | {base} | {cur} | {ratio} | {verdict} |\n"
+            ));
+        }
+        md.push('\n');
+        use std::io::Write as _;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(md.as_bytes()) {
+                    eprintln!("warning: could not write summary to {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not open summary file {path}: {e}"),
         }
     }
 

@@ -27,7 +27,7 @@ use vifi_metrics::{sessions_from_ratios, SessionDef, SlotSeries};
 use vifi_phy::gilbert::GeParams;
 use vifi_phy::pathloss::{ShadowField, ShadowSampler};
 use vifi_phy::{GilbertElliott, Point};
-use vifi_runtime::{RunConfig, Simulation, WorkloadSpec};
+use vifi_runtime::{RunConfig, ShardMode, Simulation, WorkloadSpec};
 use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
 use vifi_testbeds::dieselnet_fleet;
 
@@ -97,6 +97,24 @@ fn bench_fleet_sharded(h: &mut Harness) {
     };
     h.bench("fleet_run_16bus_sharded", || {
         Simulation::run_sharded(&scenario, std::hint::black_box(cfg.clone())).events
+    });
+    // The contention-preserving coupled executor on the same fleet: one
+    // epoch-synchronized run split across 2 shards, every shard executed
+    // on the calling thread (worker threads would only add scheduler
+    // noise to a microbenchmark) — measures epoch execution, barrier
+    // placement/resolution, canonical routing and the log replay.
+    let coupled_cfg = RunConfig {
+        shard_mode: ShardMode::Coupled,
+        ..cfg
+    };
+    h.bench("fleet_run_16bus_coupled", || {
+        Simulation::run_coupled_timed(
+            &scenario,
+            std::hint::black_box(coupled_cfg.clone()),
+            Some(1),
+        )
+        .0
+        .events
     });
 }
 

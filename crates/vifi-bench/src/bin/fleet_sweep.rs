@@ -13,13 +13,24 @@
 //! ```
 //!
 //! Writes `results/fleet_sweep.json`: one entry per (testbed, fleet size)
-//! with a per-vehicle breakdown (first seed) and seed-averaged aggregates.
+//! with a per-vehicle breakdown (first seed) and seed-averaged aggregates,
+//! plus two execution-scaling axes on the largest fleets:
+//!
+//! * `shard_scaling` — the Independent (contention-dropping) decomposition
+//!   of PR 4;
+//! * `coupled_scaling` — the contention-preserving coupled mode: same
+//!   physics and bit-identical results as the sequential run, split
+//!   across shards by the epoch engine. Its `speedup_vs_sequential` is
+//!   pure core scaling of the *trustworthy* numbers; its
+//!   `cost_vs_independent` prices what keeping the shared medium costs
+//!   over the Independent shortcut.
 
 use std::time::Instant;
 
 use vifi_bench::{
-    banner, median_session_secs, parallel_map_seeds, print_table, run_fleet_deployment,
-    run_sharded_fleet_deployment, save_json, Scale, ShardScalingRow, VifiConfig,
+    banner, median_session_secs, parallel_map_seeds, print_table, run_coupled_fleet_deployment,
+    run_fleet_deployment, run_sharded_fleet_deployment, save_json, CoupledScalingRow, Scale,
+    ShardScalingRow, VifiConfig,
 };
 use vifi_runtime::workload::aggregate_cbr;
 use vifi_runtime::{RunOutcome, WorkloadSpec};
@@ -190,7 +201,11 @@ fn sweep_testbed(
 /// scaling *plus* the decomposition's cheaper contention-free physics)
 /// and `par` (`parallel_speedup`: total decomposed work over the
 /// critical path, the pure core-scaling factor).
-fn shard_scaling(label: &str, scenario: &Scenario, duration: SimDuration) -> serde_json::Value {
+fn shard_scaling(
+    label: &str,
+    scenario: &Scenario,
+    duration: SimDuration,
+) -> (serde_json::Value, Vec<ShardScalingRow>) {
     // Each shard count is measured twice and the pass with the smaller
     // critical path kept — the same min-merging the bench harness uses:
     // contention bursts on a shared host only inflate timings, so the
@@ -259,6 +274,98 @@ fn shard_scaling(label: &str, scenario: &Scenario, duration: SimDuration) -> ser
             })
             .collect::<Vec<_>>(),
     );
+    let json = serde_json::json!({
+        "testbed": label,
+        "vehicles": scenario.vehicle_ids().len(),
+        "duration_s": duration.as_secs(),
+        "rows": rows.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+    });
+    (json, rows)
+}
+
+/// Profile the contention-preserving coupled mode on the largest fleet:
+/// shard counts in [`SHARD_COUNTS`], every shard executed on the calling
+/// thread (`workers = Some(1)`) so per-shard walls are honest even when
+/// the host has fewer cores than shards. `speedup_vs_sequential` divides
+/// the sequential (`shards = 1`) critical path by each row's
+/// `serial + max(per-shard)` critical path — what the bit-identical
+/// coupled experiment costs once every shard has a core of its own —
+/// and `cost_vs_independent` compares against the Independent axis at
+/// the same shard count (the price of keeping the shared medium).
+fn coupled_scaling(
+    label: &str,
+    scenario: &Scenario,
+    duration: SimDuration,
+    independent: &[ShardScalingRow],
+) -> serde_json::Value {
+    const PASSES: usize = 2;
+    let mut seq_critical_ms = 0.0;
+    let mut rows: Vec<CoupledScalingRow> = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        // Min-merge across passes by critical path, like the Independent
+        // axis: shared-host contention only inflates timings.
+        let mut best: Option<vifi_runtime::CoupledTiming> = None;
+        for _ in 0..PASSES {
+            let (out, timing) = run_coupled_fleet_deployment(
+                scenario,
+                VifiConfig::default(),
+                vec![WorkloadSpec::paper_cbr()],
+                duration,
+                1000,
+                shards,
+                Some(1),
+            );
+            assert_eq!(out.vehicles.len(), scenario.vehicle_ids().len());
+            let critical = timing.critical_path();
+            let better = best
+                .as_ref()
+                .map(|b| critical < b.critical_path())
+                .unwrap_or(true);
+            if better {
+                best = Some(timing);
+            }
+        }
+        let timing = best.expect("at least one pass");
+        if shards == 1 {
+            seq_critical_ms = timing.critical_path().as_secs_f64() * 1e3;
+        }
+        let independent_ms = independent
+            .iter()
+            .find(|r| r.shards == shards)
+            .map(|r| r.critical_path_ms)
+            .unwrap_or(0.0);
+        rows.push(CoupledScalingRow::from_timing(
+            shards,
+            &timing,
+            seq_critical_ms,
+            independent_ms,
+        ));
+    }
+    print_table(
+        &format!(
+            "{label} — coupled scaling ({} vehicles, contention preserved)",
+            scenario.vehicle_ids().len()
+        ),
+        &[
+            "shards",
+            "critical path ms",
+            "serial ms",
+            "speedup",
+            "vs indep",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.shards.to_string(),
+                    format!("{:.0}", r.critical_path_ms),
+                    format!("{:.0}", r.serial_ms),
+                    format!("{:.2}x", r.speedup_vs_sequential),
+                    format!("{:.2}x", r.cost_vs_independent),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
     serde_json::json!({
         "testbed": label,
         "vehicles": scenario.vehicle_ids().len(),
@@ -282,9 +389,13 @@ fn main() {
         seeds,
     );
     let max_fleet = *FLEET_SIZES.last().expect("non-empty grid");
-    let shard_scaling_json = vec![
-        shard_scaling("VanLAN", &vanlan(max_fleet), duration),
-        shard_scaling("DieselNet-Fleet", &dieselnet_fleet(max_fleet, 42), duration),
+    let vanlan_big = vanlan(max_fleet);
+    let diesel_big = dieselnet_fleet(max_fleet, 42);
+    let (vanlan_shards, vanlan_rows) = shard_scaling("VanLAN", &vanlan_big, duration);
+    let (diesel_shards, diesel_rows) = shard_scaling("DieselNet-Fleet", &diesel_big, duration);
+    let coupled_scaling_json = vec![
+        coupled_scaling("VanLAN", &vanlan_big, duration, &vanlan_rows),
+        coupled_scaling("DieselNet-Fleet", &diesel_big, duration, &diesel_rows),
     ];
     save_json(
         "fleet_sweep",
@@ -293,7 +404,8 @@ fn main() {
             "fleet_sizes": FLEET_SIZES.to_vec(),
             "shard_counts": SHARD_COUNTS.to_vec(),
             "testbeds": [vanlan_json, diesel_json],
-            "shard_scaling": shard_scaling_json,
+            "shard_scaling": [vanlan_shards, diesel_shards],
+            "coupled_scaling": coupled_scaling_json,
         }),
     );
 }

@@ -22,7 +22,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use vifi_metrics::{mean_ci95, sessions_from_ratios, SessionDef};
-use vifi_runtime::{RunConfig, RunOutcome, ShardTiming, Simulation, WorkloadSpec};
+use vifi_runtime::{
+    CoupledTiming, RunConfig, RunOutcome, ShardMode, ShardTiming, Simulation, WorkloadSpec,
+};
 use vifi_sim::{SimDuration, SimTime};
 use vifi_testbeds::{BeaconTrace, Scenario};
 
@@ -175,6 +177,44 @@ pub fn run_sharded_fleet_deployment(
     Simulation::run_sharded_timed(scenario, cfg)
 }
 
+/// Run one fleet deployment in the contention-preserving coupled mode
+/// (`ShardMode::Coupled` over the epoch engine), returning the outcome
+/// plus the engine's wall-clock breakdown. `workers = Some(1)` executes
+/// every shard on the calling thread — the honest way to measure
+/// per-shard walls on a host with fewer cores than shards. Same workload
+/// rules as [`run_fleet_deployment`].
+pub fn run_coupled_fleet_deployment(
+    scenario: &Scenario,
+    vifi: VifiConfig,
+    workloads: Vec<WorkloadSpec>,
+    duration: SimDuration,
+    seed: u64,
+    shards: usize,
+    workers: Option<usize>,
+) -> (RunOutcome, CoupledTiming) {
+    assert!(
+        !workloads.is_empty(),
+        "fleet runs need at least one workload"
+    );
+    let wired_delay = wired_delay_for(&workloads[0]);
+    assert!(
+        workloads.iter().all(|w| wired_delay_for(w) == wired_delay),
+        "wired_delay is one per-run knob: a fleet must be all-VoIP \
+         (wired_delay 0, the scorer adds the 40 ms budget) or VoIP-free"
+    );
+    let cfg = RunConfig {
+        vifi,
+        fleet_workloads: workloads,
+        duration,
+        seed,
+        wired_delay,
+        shards,
+        shard_mode: ShardMode::Coupled,
+        ..RunConfig::default()
+    };
+    Simulation::run_coupled_timed(scenario, cfg, workers)
+}
+
 // ---------------------------------------------------------------------
 // Shard-scaling rows (the fleet_sweep shard axis)
 // ---------------------------------------------------------------------
@@ -267,6 +307,101 @@ impl ShardScalingRow {
             critical_path_ms: v.get("critical_path_ms")?.as_f64()?,
             speedup_vs_sequential: v.get("speedup_vs_sequential")?.as_f64()?,
             parallel_speedup: v.get("parallel_speedup")?.as_f64()?,
+        })
+    }
+}
+
+/// One row of `results/fleet_sweep.json`'s `coupled_scaling` axis: the
+/// wall-clock profile of one contention-preserving coupled run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoupledScalingRow {
+    /// Configured shard count (`1` = the sequential coupled run).
+    pub shards: usize,
+    /// Per-shard wall-clock, ms, in shard order (epoch execution plus
+    /// reception resolution — the work a dedicated core would bear).
+    pub per_shard_wall_ms: Vec<f64>,
+    /// Serial coordinator wall-clock, ms (placement, backplane batches,
+    /// message routing) — on every critical path regardless of cores.
+    pub serial_ms: f64,
+    /// `serial_ms + max(per_shard_wall_ms)`: the run's wall-clock once
+    /// every shard has its own core.
+    pub critical_path_ms: f64,
+    /// Sequential coupled wall (`shards = 1` critical path) divided by
+    /// this row's critical path: the end-to-end speedup of the coupled
+    /// experiment at this shard count, **with identical physics and
+    /// bit-identical results** — pure core scaling, no semantic change
+    /// compounded in (unlike the Independent axis' figure).
+    pub speedup_vs_sequential: f64,
+    /// This row's critical path divided by the Independent-mode critical
+    /// path at the same shard count (> 1 = coupled costs that much more
+    /// wall-clock than the contention-dropping decomposition — the price
+    /// of keeping the shared medium).
+    pub cost_vs_independent: f64,
+}
+
+impl CoupledScalingRow {
+    /// Build a row from an engine timing, the sequential reference
+    /// critical path, and the Independent-mode critical path at the same
+    /// shard count (ms; `0` if unavailable).
+    pub fn from_timing(
+        shards: usize,
+        timing: &CoupledTiming,
+        seq_critical_ms: f64,
+        independent_critical_ms: f64,
+    ) -> Self {
+        let per_shard: Vec<f64> = timing
+            .per_shard
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect();
+        let serial_ms = timing.serial.as_secs_f64() * 1e3;
+        let critical = serial_ms + per_shard.iter().copied().fold(0.0f64, f64::max);
+        CoupledScalingRow {
+            shards,
+            per_shard_wall_ms: per_shard,
+            serial_ms,
+            critical_path_ms: critical,
+            speedup_vs_sequential: if critical > 0.0 {
+                seq_critical_ms / critical
+            } else {
+                0.0
+            },
+            cost_vs_independent: if independent_critical_ms > 0.0 {
+                critical / independent_critical_ms
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The row's JSON shape (the schema the round-trip test pins).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "shards": self.shards,
+            "per_shard_wall_ms": self.per_shard_wall_ms.clone(),
+            "serial_ms": self.serial_ms,
+            "critical_path_ms": self.critical_path_ms,
+            "speedup_vs_sequential": self.speedup_vs_sequential,
+            "cost_vs_independent": self.cost_vs_independent,
+        })
+    }
+
+    /// Parse a row back from its JSON shape (schema check; returns None
+    /// if any field is missing or mistyped).
+    pub fn from_json(v: &serde_json::Value) -> Option<Self> {
+        Some(CoupledScalingRow {
+            shards: v.get("shards")?.as_u64()? as usize,
+            per_shard_wall_ms: match v.get("per_shard_wall_ms")? {
+                serde_json::Value::Array(xs) => xs
+                    .iter()
+                    .map(|x| x.as_f64())
+                    .collect::<Option<Vec<f64>>>()?,
+                _ => return None,
+            },
+            serial_ms: v.get("serial_ms")?.as_f64()?,
+            critical_path_ms: v.get("critical_path_ms")?.as_f64()?,
+            speedup_vs_sequential: v.get("speedup_vs_sequential")?.as_f64()?,
+            cost_vs_independent: v.get("cost_vs_independent")?.as_f64()?,
         })
     }
 }
@@ -631,6 +766,32 @@ mod tests {
         let broken: serde_json::Value =
             serde_json::from_str("{\"shards\": \"four\"}").expect("parse");
         assert!(ShardScalingRow::from_json(&broken).is_none());
+    }
+
+    #[test]
+    fn coupled_scaling_row_roundtrips_and_computes() {
+        use std::time::Duration;
+        let timing = CoupledTiming {
+            per_shard: vec![
+                Duration::from_millis(40),
+                Duration::from_millis(55),
+                Duration::from_millis(35),
+            ],
+            serial: Duration::from_millis(10),
+        };
+        let row = CoupledScalingRow::from_timing(3, &timing, 130.0, 50.0);
+        assert_eq!(row.per_shard_wall_ms, vec![40.0, 55.0, 35.0]);
+        assert_eq!(row.serial_ms, 10.0);
+        assert_eq!(row.critical_path_ms, 65.0);
+        assert!((row.speedup_vs_sequential - 2.0).abs() < 1e-12);
+        assert!((row.cost_vs_independent - 1.3).abs() < 1e-12);
+        // JSON round-trip through the vendored serde_json.
+        let text = serde_json::to_string(&row.to_json()).expect("serialize");
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("parse");
+        assert_eq!(CoupledScalingRow::from_json(&parsed).expect("schema"), row);
+        // A mistyped document is rejected, not misread.
+        let broken: serde_json::Value = serde_json::from_str("{\"shards\": [2]}").expect("parse");
+        assert!(CoupledScalingRow::from_json(&broken).is_none());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   the paper uses (§5.1);
 //! * [`medium`] — a packet-level broadcast medium with carrier sense,
 //!   slotted random backoff, half-duplex receivers, and hidden-terminal
-//!   collisions, driven by a [`vifi_phy::LinkModel`];
+//!   collisions, driven by a [`vifi_phy::LinkModel`]. Split into a pure
+//!   per-node decision kernel ([`medium::kernel`]) and the
+//!   [`SharedMediumService`], which owns global transmission state and
+//!   places each epoch's requests in one canonically-sorted batch — the
+//!   piece that lets sharded coupled runs keep cross-vehicle contention;
 //! * [`backplane`] — the bandwidth-limited inter-BS plane (§4.1 calls it
 //!   out as a design constraint: "relatively thin broadband links or a
 //!   multi-hop wireless mesh");
@@ -29,4 +33,4 @@ pub mod medium;
 pub use backplane::{Backplane, BackplaneParams};
 pub use beacon::BeaconSchedule;
 pub use frame::{Frame, MacParams};
-pub use medium::{Medium, Reception, TxHandle};
+pub use medium::{Placement, Reception, ResolvableTx, SharedMediumService, TxHandle, TxRequest};

@@ -15,7 +15,14 @@
 //!
 //! Determinism: every stochastic object forks its RNG stream from the model
 //! seed and the *link identity*, so results do not depend on the order in
-//! which links are first touched.
+//! which links are first touched. Since PR 5 this extends to the sampling
+//! draws themselves: delivery Bernoulli trials and RSSI measurement noise
+//! come from a **per-directed-link stream** (not a model-wide one), so
+//! sampling one link never perturbs another. That is the property the
+//! epoch-synchronized coupled runtime leans on — two shards resolving
+//! receptions on disjoint links draw identical values no matter which
+//! resolves first, and several model instances built from the same seed
+//! agree link-for-link.
 
 use std::collections::HashMap;
 
@@ -95,6 +102,10 @@ struct LinkState {
     /// sampling path hits the memo instead of rehashing the 4 corner
     /// cells of a vehicle that moved a meter since the last frame.
     shadow: ShadowSampler,
+    /// Per-link sampling stream: delivery Bernoulli trials and RSSI
+    /// measurement noise. Keyed by the link identity so sampling is
+    /// independent across links and across model instances.
+    sampler: Rng,
 }
 
 /// Physics-based channel: path loss + shadowing + gray periods + GE fades.
@@ -231,6 +242,7 @@ impl PhysicalLinkModel {
                 gray: GrayProcess::new(gray_params, stream.fork_named("gray")),
                 ge: GilbertElliott::new(ge_params, stream.fork_named("ge")),
                 shadow: ShadowSampler::new(shadow),
+                sampler: stream.fork_named("sampler"),
             }
         })
     }
@@ -261,6 +273,14 @@ impl LinkModel for PhysicalLinkModel {
         self.params.delivery_prob_from_snr(snr)
     }
 
+    fn sample_delivery(&mut self, tx: NodeId, rx: NodeId, now: SimTime) -> bool {
+        let p = self.delivery_prob(tx, rx, now);
+        // Per-link Bernoulli stream: the draw is a pure function of the
+        // link identity and how often *this* link has been sampled, never
+        // of what other links did in between.
+        self.link_state(tx, rx).sampler.chance(p)
+    }
+
     fn quality_hint(&self, tx: NodeId, rx: NodeId, now: SimTime) -> f64 {
         self.slow_prob(tx, rx, now)
     }
@@ -270,8 +290,9 @@ impl LinkModel for PhysicalLinkModel {
         let state = self.link_state(tx, rx);
         let shadow = state.shadow.sample_db(mid);
         let atten = state.gray.attenuation_db_at(now) + state.ge.attenuation_db_at(now);
-        // ±1.5 dB measurement noise, quantized to 1 dB like real NIC reports.
-        let noisy = rxp + shadow - atten + self.sampler.range_f64(-1.5, 1.5);
+        // ±1.5 dB measurement noise, quantized to 1 dB like real NIC
+        // reports; drawn from the link's own stream.
+        let noisy = rxp + shadow - atten + state.sampler.range_f64(-1.5, 1.5);
         Some(noisy.round())
     }
 
@@ -328,6 +349,9 @@ pub struct TraceLinkModel {
     nodes: Vec<(NodeId, NodeKind)>,
     series: HashMap<(NodeId, NodeId), LossSeries>,
     fades: HashMap<(NodeId, NodeId), GilbertElliott>,
+    /// Per-link delivery-sampling streams, forked from the link identity
+    /// (see the module docs on sampling independence).
+    samplers: HashMap<(NodeId, NodeId), Rng>,
     ge_params: GeParams,
     master: Rng,
     sampler: Rng,
@@ -343,6 +367,7 @@ impl TraceLinkModel {
             nodes: Vec::new(),
             series: HashMap::new(),
             fades: HashMap::new(),
+            samplers: HashMap::new(),
             ge_params: GeParams::default(),
             master: rng.fork_named("trace-fades"),
             sampler: rng.fork_named("trace-sampler"),
@@ -413,6 +438,16 @@ impl LinkModel for TraceLinkModel {
             .map(|s| s.prob_at(now))
             .unwrap_or(0.0);
         self.faded(tx, rx, base, now)
+    }
+
+    fn sample_delivery(&mut self, tx: NodeId, rx: NodeId, now: SimTime) -> bool {
+        let p = self.delivery_prob(tx, rx, now);
+        let sampler_root = &self.sampler;
+        let s = self
+            .samplers
+            .entry((tx, rx))
+            .or_insert_with(|| sampler_root.fork(link_label(tx, rx)));
+        s.chance(p)
     }
 
     fn quality_hint(&self, tx: NodeId, rx: NodeId, now: SimTime) -> f64 {
@@ -630,6 +665,68 @@ mod tests {
         let near = m_near.rssi_dbm(bs, veh, SimTime::ZERO).unwrap();
         let far = m_far.rssi_dbm(bs2, veh2, SimTime::ZERO).unwrap();
         assert!(near > far, "RSSI near {near} vs far {far}");
+    }
+
+    #[test]
+    fn sampling_is_per_link_and_instance_independent() {
+        // The coupled sharded runtime builds one model instance per shard
+        // from the same seed and lets each sample a disjoint set of links.
+        // That only works if (a) sampling one link never perturbs another
+        // and (b) two instances agree draw-for-draw per link.
+        let build = || {
+            let rng = Rng::new(77);
+            let mut m = PhysicalLinkModel::new(RadioParams::default(), &rng);
+            m.add_node(
+                NodeId(0),
+                NodeKind::Basestation,
+                MobilitySource::Fixed(Point::new(0.0, 0.0)),
+            );
+            m.add_node(
+                NodeId(1),
+                NodeKind::Basestation,
+                MobilitySource::Fixed(Point::new(150.0, 0.0)),
+            );
+            m.add_node(
+                NodeId(2),
+                NodeKind::Vehicle,
+                MobilitySource::Fixed(Point::new(80.0, 40.0)),
+            );
+            m
+        };
+        // Instance A samples links (0→2) and (1→2) interleaved; instance
+        // B samples only (0→2). The (0→2) sequences must coincide.
+        let (mut a, mut b) = (build(), build());
+        let mut t = SimTime::ZERO;
+        let mut seq_a = Vec::new();
+        let mut seq_b = Vec::new();
+        for _ in 0..500 {
+            seq_a.push(a.sample_delivery(NodeId(0), NodeId(2), t));
+            let _ = a.sample_delivery(NodeId(1), NodeId(2), t); // extra traffic
+            let _ = a.rssi_dbm(NodeId(1), NodeId(2), t);
+            seq_b.push(b.sample_delivery(NodeId(0), NodeId(2), t));
+            t += SimDuration::from_millis(10);
+        }
+        assert_eq!(seq_a, seq_b, "foreign-link traffic must not shift draws");
+        // Same property for the trace model.
+        let build_t = || {
+            let rng = Rng::new(9);
+            let mut m = TraceLinkModel::new(&rng);
+            m.add_node(NodeId(0), NodeKind::Basestation);
+            m.add_node(NodeId(1), NodeKind::Basestation);
+            m.add_node(NodeId(2), NodeKind::Vehicle);
+            m.set_series(NodeId(0), NodeId(2), LossSeries::new(vec![0.6; 10]));
+            m.set_series(NodeId(1), NodeId(2), LossSeries::new(vec![0.6; 10]));
+            m
+        };
+        let (mut a, mut b) = (build_t(), build_t());
+        let mut t = SimTime::ZERO;
+        for i in 0..500 {
+            let da = a.sample_delivery(NodeId(0), NodeId(2), t);
+            let _ = a.sample_delivery(NodeId(1), NodeId(2), t);
+            let db = b.sample_delivery(NodeId(0), NodeId(2), t);
+            assert_eq!(da, db, "trace draw {i} diverged");
+            t += SimDuration::from_millis(10);
+        }
     }
 
     #[test]

@@ -1,0 +1,1342 @@
+//! The epoch-synchronized simulation engine behind every coupled run.
+//!
+//! One engine executes one experiment as a set of **shards**, each owning
+//! a disjoint subset of the nodes (its *lanes*): the shard holds those
+//! nodes' endpoints, workload hosts and pending events in its own
+//! [`Scheduler`], plus its own lazily-populated link-model instance. Time
+//! is divided into epochs by an [`EpochSchedule`]; within an epoch every
+//! shard dispatches only its own lanes' events, and **all inter-node
+//! effects cross at the epoch barrier** in canonically sorted batches:
+//!
+//! * transmission requests → [`SharedMediumService::place_batch`] in
+//!   `(request time, sender)` order (global carrier sense + backoff);
+//! * reception resolution → each shard samples *its own* receivers of
+//!   every ending frame through the pure MAC kernel and per-link
+//!   sampling streams;
+//! * backplane sends → one [`Backplane::send_batch`] per instant in
+//!   sender order (drops deterministic);
+//! * wired hops and anchor hand-offs → routed with timestamps no earlier
+//!   than the barrier;
+//! * packet-log mutations → buffered as timestamped ops and replayed in
+//!   one canonical order at the end of the run.
+//!
+//! Because every cross-lane channel is mediated this way **even when both
+//! lanes share a shard**, the outcome is a pure function of
+//! `(config, seed, schedule)` — never of the partition or of how many
+//! worker threads execute it. `shards = 1` is literally the same machine
+//! with one shard; that is the bit-identity `tests/shard_equivalence.rs`
+//! pins for `ShardMode::Coupled`.
+//!
+//! Relative to the pre-PR-5 per-event loop this changes the observable
+//! semantics in one bounded way: a frame requested during an epoch airs
+//! from the next epoch edge (at most one sync quantum of extra access
+//! latency — 1 ms at the default — plus normal contention queueing), and
+//! wired/backplane deliveries never land before the barrier that routes
+//! them. Contention physics — deferral, half duplex, hidden-terminal
+//! collisions, the shared serializer — is exactly the global model, which
+//! is the point: sharded coupled runs keep it.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use vifi_core::endpoint::BackplaneMsg;
+use vifi_core::{Action, Direction, Endpoint, PacketId, Role, StatEvent, VifiPayload};
+use vifi_mac::medium::kernel;
+use vifi_mac::{
+    Backplane, BeaconSchedule, Frame, ResolvableTx, SharedMediumService, TxHandle, TxRequest,
+};
+use vifi_phy::{LinkModel, NodeId};
+use vifi_sim::{EpochBarrier, EpochSchedule, Rng, Scheduler, SimTime, TimerToken};
+
+use crate::logging::RunLog;
+use crate::sim::{RunConfig, RunOutcome, VehicleOutcome};
+use crate::workload::{build_driver, Driver, HostApi, HostCmd};
+
+/// A link model the engine can hand to worker threads.
+pub(crate) type EngineLink = Box<dyn LinkModel + Send>;
+
+/// Per-lane events. The lane (owning node) travels alongside in the
+/// scheduler payload.
+enum Ev {
+    /// The lane's beacon is due.
+    Beacon,
+    /// The lane's transmission finished airing; its interface is free.
+    TxDone,
+    /// A frame reached this lane (resolved by the reception kernel).
+    Rx(VifiPayload),
+    /// The lane's protocol timer fired.
+    Wakeup,
+    /// A backplane message arrived at this lane.
+    BackplaneArrive { from: NodeId, msg: BackplaneMsg },
+    /// A downstream app payload reached this vehicle's wired side.
+    WiredDownArrive { payload: Bytes },
+    /// A vehicle's downstream payload handed to this lane (its anchor).
+    AnchorDown { vehicle: NodeId, payload: Bytes },
+    /// An upstream payload reached this vehicle's Internet peer.
+    WiredUpArrive { payload: Bytes, radio_exit: SimTime },
+    /// Workload tick for this vehicle's driver.
+    AppTick { chan: u8 },
+}
+
+/// One vehicle's workload host: its driver, RNG stream, and counters.
+struct VehicleHost {
+    /// Taken out while the driver runs (so the host API can borrow `rng`).
+    driver: Option<Box<dyn Driver>>,
+    rng: Rng,
+    anchor_switches: u64,
+    unroutable_down: u64,
+}
+
+/// Everything one lane owns.
+struct NodeCell {
+    endpoint: Endpoint,
+    iface_busy: bool,
+    pending_beacon: Option<(VifiPayload, u32)>,
+    wakeup_token: Option<TimerToken>,
+    host: Option<VehicleHost>,
+    /// Per-lane sequence for buffered cross-barrier emissions (canonical
+    /// tie-break: a lane's emissions replay in emission order).
+    emit_seq: u64,
+}
+
+/// A buffered packet-log mutation, replayed in `(at, lane, seq)` order at
+/// the end of the run — the canonical order every partition produces.
+struct LogOp {
+    at: SimTime,
+    lane: u64,
+    seq: u64,
+    op: LogOpKind,
+}
+
+enum LogOpKind {
+    SourceTx {
+        id: PacketId,
+        dir: Direction,
+        aux_set: Vec<NodeId>,
+        aux_heard: Vec<NodeId>,
+        dst_heard: bool,
+    },
+    AckHeard {
+        id: PacketId,
+        heard_by: Vec<NodeId>,
+        dir: Direction,
+    },
+    Relay {
+        id: PacketId,
+        by: NodeId,
+        via_backplane: bool,
+        reached: bool,
+    },
+    Decision {
+        id: PacketId,
+        aux: NodeId,
+        prob: f64,
+        relayed: bool,
+    },
+    Delivered {
+        id: PacketId,
+        dir: Direction,
+    },
+    WirelessTx {
+        dir: Direction,
+    },
+    BackplaneTx,
+    BackplaneDrop {
+        relay: Option<(PacketId, NodeId)>,
+    },
+    AuxSample {
+        sec: u64,
+        size: usize,
+    },
+}
+
+/// Sequence-number namespaces for coordinator-emitted ops, so they order
+/// deterministically against (and after) same-instant lane ops.
+const SEQ_RESOLUTION: u64 = 1 << 32;
+const SEQ_BARRIER: u64 = 1 << 33;
+
+/// A backplane send buffered during an epoch.
+struct BpSend {
+    t: SimTime,
+    from: NodeId,
+    to: NodeId,
+    bytes: u32,
+    msg: BackplaneMsg,
+    lane_seq: u64,
+}
+
+/// A cross-lane message buffered during an epoch.
+enum XMsg {
+    AnchorDown {
+        anchor: NodeId,
+        vehicle: NodeId,
+        payload: Bytes,
+        lane_seq: u64,
+    },
+    WiredUp {
+        vehicle: NodeId,
+        from: NodeId,
+        payload: Bytes,
+        radio_exit: SimTime,
+        at: SimTime,
+        lane_seq: u64,
+    },
+}
+
+impl XMsg {
+    /// Canonical routing order: by target lane, then time, then source
+    /// lane and its emission sequence.
+    fn key(&self) -> (u64, SimTime, u64, u64) {
+        match self {
+            XMsg::AnchorDown {
+                vehicle, lane_seq, ..
+            } => (vehicle.label(), SimTime::ZERO, vehicle.label(), *lane_seq),
+            XMsg::WiredUp {
+                vehicle,
+                from,
+                at,
+                lane_seq,
+                ..
+            } => (vehicle.label(), *at, from.label(), *lane_seq),
+        }
+    }
+}
+
+/// One shard: a disjoint set of lanes plus their scheduler, link-model
+/// instance, and epoch outboxes.
+struct Shard {
+    /// Lanes owned by this shard, in node-id order.
+    nodes: Vec<NodeId>,
+    sched: Scheduler<(NodeId, Ev)>,
+    cells: HashMap<NodeId, NodeCell>,
+    link: EngineLink,
+    // ---- epoch outboxes, drained at every barrier ----
+    tx_requests: Vec<TxRequest<VifiPayload>>,
+    bp_sends: Vec<BpSend>,
+    x_msgs: Vec<XMsg>,
+    log_ops: Vec<LogOp>,
+    /// Reception reports of the current resolution phase:
+    /// `(frame handle, receiver)`.
+    reports: Vec<(TxHandle, NodeId)>,
+    salvaged: u64,
+    /// Wall-clock this shard spent executing epochs + resolving
+    /// receptions — the per-shard cost a dedicated core would bear.
+    wall: Duration,
+}
+
+/// Frame metadata the coordinator keeps from placement to resolution.
+struct FrameMeta {
+    /// Aux-set snapshot for the instrumented vehicle's source data frames
+    /// (read from the vehicle's endpoint at the placement barrier).
+    aux_set: Option<Vec<NodeId>>,
+}
+
+/// Barrier products the shards read during the parallel resolution phase.
+#[derive(Default)]
+struct Staged {
+    /// `(sender, end)` of every window placed at this barrier, in batch
+    /// order — each shard schedules `TxDone` for its own senders.
+    placements: Vec<(NodeId, SimTime)>,
+    /// Frames whose airtime ends before the next boundary, canonical
+    /// `(end, src)` order, with complete overlap snapshots.
+    resolvable: Vec<ResolvableTx<VifiPayload>>,
+}
+
+/// The node partition of an engine run: per shard, the lanes it owns.
+#[derive(Clone, Debug)]
+pub(crate) struct EnginePartition {
+    /// One entry per shard: all owned nodes (vehicles and basestations),
+    /// each node appearing in exactly one shard.
+    pub lanes: Vec<Vec<NodeId>>,
+}
+
+impl EnginePartition {
+    /// Everything in one shard — the `shards = 1` machine.
+    pub fn single(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_by_key(|n| n.index());
+        EnginePartition { lanes: vec![nodes] }
+    }
+}
+
+/// Wall-clock accounting of one coupled run: per-shard epoch work and the
+/// coordinator's serial barrier work. The critical path of the plan is
+/// `serial + max(per_shard)` — what the run costs once every shard has
+/// its own core.
+#[derive(Clone, Debug)]
+pub struct CoupledTiming {
+    /// Per-shard wall-clock (epoch execution + reception resolution), in
+    /// shard order.
+    pub per_shard: Vec<Duration>,
+    /// Serial coordinator wall-clock (placement, backplane, routing).
+    pub serial: Duration,
+}
+
+impl CoupledTiming {
+    /// The plan's critical path: serial work plus the slowest shard.
+    pub fn critical_path(&self) -> Duration {
+        self.serial
+            + self
+                .per_shard
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Inputs of an engine run, assembled by `Simulation`.
+pub(crate) struct EngineSetup {
+    pub cfg: RunConfig,
+    pub vehicles: Vec<NodeId>,
+    pub bs_ids: Vec<NodeId>,
+    /// Builds one link-model instance; called once per shard plus once
+    /// for the coordinator. Instances built from the same config agree
+    /// link-for-link (per-link forked streams), which is what makes the
+    /// partition irrelevant.
+    pub link_factory: Box<dyn Fn() -> EngineLink>,
+    pub schedule: EpochSchedule,
+    pub partition: EnginePartition,
+    /// Base scheduler-shard id (micro-shards of an Independent run stamp
+    /// their queues so timer tokens stay distinct across sub-runs).
+    pub base_shard_id: u32,
+    /// Worker threads to execute the shards on (clamped to shard count).
+    pub workers: usize,
+}
+
+/// Run the engine to completion.
+pub(crate) fn run(setup: EngineSetup) -> (RunOutcome, CoupledTiming) {
+    Engine::build(setup).run()
+}
+
+/// Globally shared, barrier-serial state.
+struct Coordinator {
+    medium: SharedMediumService<VifiPayload>,
+    backplane: Backplane,
+    link: EngineLink,
+    meta: HashMap<TxHandle, FrameMeta>,
+    log_ops: Vec<LogOp>,
+    serial_wall: Duration,
+    /// Monotone namespace counter for coordinator-emitted drop ops.
+    drop_seq: u64,
+}
+
+struct Engine {
+    cfg: RunConfig,
+    vehicles: Vec<NodeId>,
+    bs_ids: Vec<NodeId>,
+    beacons: BeaconSchedule,
+    schedule: EpochSchedule,
+    shards: Vec<Mutex<Shard>>,
+    /// Which shard owns each node.
+    owner: HashMap<NodeId, usize>,
+    coord: Mutex<Coordinator>,
+    staged: RwLock<Staged>,
+    workers: usize,
+    /// The instrumented vehicle (first vehicle; owns the packet log).
+    v0: NodeId,
+}
+
+impl Engine {
+    fn build(setup: EngineSetup) -> Engine {
+        let EngineSetup {
+            cfg,
+            vehicles,
+            bs_ids,
+            link_factory,
+            schedule,
+            partition,
+            base_shard_id,
+            workers,
+        } = setup;
+        assert!(!vehicles.is_empty() && !bs_ids.is_empty());
+        let rng = Rng::new(cfg.seed);
+        let beacons = BeaconSchedule::new(cfg.vifi.beacon_period, &rng);
+        let v0 = vehicles[0];
+
+        // Workload hosts: the instrumented vehicle alone by default,
+        // every vehicle in fleet mode. The first vehicle keeps the
+        // historical "driver" stream; fleet members fork per-vehicle
+        // streams (same derivation as the pre-engine loop).
+        let driver_rng = rng.fork_named("driver");
+        let mut hosts: HashMap<NodeId, VehicleHost> = HashMap::new();
+        if cfg.fleet_workloads.is_empty() {
+            hosts.insert(
+                v0,
+                VehicleHost {
+                    driver: Some(build_driver(&cfg.workload, SimTime::ZERO)),
+                    rng: driver_rng,
+                    anchor_switches: 0,
+                    unroutable_down: 0,
+                },
+            );
+        } else {
+            for (i, &v) in vehicles.iter().enumerate() {
+                let spec = &cfg.fleet_workloads[i % cfg.fleet_workloads.len()];
+                hosts.insert(
+                    v,
+                    VehicleHost {
+                        driver: Some(build_driver(spec, SimTime::ZERO)),
+                        rng: if i == 0 {
+                            driver_rng.fork(0)
+                        } else {
+                            driver_rng.fork(v.label())
+                        },
+                        anchor_switches: 0,
+                        unroutable_down: 0,
+                    },
+                );
+            }
+        }
+
+        let mut owner = HashMap::new();
+        let mut shards = Vec::with_capacity(partition.lanes.len());
+        for (s, lane_nodes) in partition.lanes.iter().enumerate() {
+            let mut nodes = lane_nodes.clone();
+            nodes.sort_by_key(|n| n.index());
+            let mut cells = HashMap::new();
+            for &n in &nodes {
+                let prev = owner.insert(n, s);
+                assert!(prev.is_none(), "node {n:?} assigned to two shards");
+                let role = if bs_ids.contains(&n) {
+                    Role::Bs
+                } else {
+                    Role::Vehicle
+                };
+                // Same per-endpoint stream derivation as the historical
+                // assemble(): position-independent forks keyed by label.
+                let ep_rng = rng.fork(
+                    if role == Role::Vehicle {
+                        0x5EED_0000
+                    } else {
+                        0x5EED_1000
+                    } + n.label(),
+                );
+                cells.insert(
+                    n,
+                    NodeCell {
+                        endpoint: Endpoint::new(n, role, cfg.vifi.clone(), bs_ids.clone(), ep_rng),
+                        iface_busy: false,
+                        pending_beacon: None,
+                        wakeup_token: None,
+                        host: hosts.remove(&n),
+                        emit_seq: 0,
+                    },
+                );
+            }
+            shards.push(Mutex::new(Shard {
+                nodes,
+                sched: Scheduler::with_shard(base_shard_id + s as u32),
+                cells,
+                link: link_factory(),
+                tx_requests: Vec::new(),
+                bp_sends: Vec::new(),
+                x_msgs: Vec::new(),
+                log_ops: Vec::new(),
+                reports: Vec::new(),
+                salvaged: 0,
+                wall: Duration::ZERO,
+            }));
+        }
+        assert!(
+            hosts.is_empty(),
+            "every workload vehicle must be assigned to a shard"
+        );
+
+        let coord = Coordinator {
+            medium: SharedMediumService::new(cfg.mac, &rng.fork_named("mac")),
+            backplane: Backplane::new(cfg.backplane),
+            link: link_factory(),
+            meta: HashMap::new(),
+            log_ops: Vec::new(),
+            serial_wall: Duration::ZERO,
+            drop_seq: 0,
+        };
+        let workers = workers.clamp(1, partition.lanes.len());
+        Engine {
+            cfg,
+            vehicles,
+            bs_ids,
+            beacons,
+            schedule,
+            shards,
+            owner,
+            coord: Mutex::new(coord),
+            staged: RwLock::new(Staged::default()),
+            workers,
+            v0,
+        }
+    }
+
+    fn run(self) -> (RunOutcome, CoupledTiming) {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        let boundaries = self.schedule.boundaries(horizon);
+        // Drain floor for the final barrier: only frames whose airtime
+        // ends within the horizon resolve (and get logged) — a frame
+        // still in the air when the run ends leaves no record, matching
+        // the per-event loop's behavior at the tail.
+        let final_next = SimTime::from_micros(horizon.as_micros() + 1);
+
+        // Seed every shard: beacons for every lane, then drivers, both in
+        // lane order.
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard");
+            for i in 0..sh.nodes.len() {
+                let n = sh.nodes[i];
+                let at = self.beacons.next_after(n, SimTime::ZERO);
+                sh.sched.at(at, (n, Ev::Beacon));
+            }
+            for i in 0..sh.nodes.len() {
+                let n = sh.nodes[i];
+                if sh.cells[&n].host.is_some() {
+                    self.with_driver(&mut sh, n, SimTime::ZERO, |d, api| d.start(api));
+                }
+            }
+        }
+
+        if self.workers <= 1 {
+            // Serial executor: identical phases, no thread handoff. The
+            // per-shard walls measured here are what each shard would cost
+            // on a core of its own.
+            for (bi, &b) in boundaries.iter().enumerate() {
+                for shard in &self.shards {
+                    let mut sh = shard.lock().expect("shard");
+                    let t0 = Instant::now();
+                    self.exec_epoch(&mut sh, b.min(horizon), false);
+                    sh.wall += t0.elapsed();
+                }
+                let next = boundaries.get(bi + 1).map(|&n| n.min(horizon));
+                self.barrier_serial_pre(b, next.unwrap_or(final_next));
+                for shard in &self.shards {
+                    let mut sh = shard.lock().expect("shard");
+                    let t0 = Instant::now();
+                    self.resolution_phase(&mut sh);
+                    sh.wall += t0.elapsed();
+                }
+                self.barrier_serial_post();
+            }
+            for shard in &self.shards {
+                let mut sh = shard.lock().expect("shard");
+                let t0 = Instant::now();
+                self.exec_epoch(&mut sh, horizon, true);
+                sh.wall += t0.elapsed();
+            }
+        } else {
+            // Threaded executor: workers own interleaved shard subsets;
+            // each barrier's leader runs the coordinator sections while
+            // the rest wait — the conservative lock-step the schedule
+            // prescribes.
+            let barrier = EpochBarrier::new(self.workers);
+            let engine = &self;
+            let boundaries = &boundaries;
+            std::thread::scope(|scope| {
+                for w in 0..engine.workers {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let my_shards: Vec<usize> =
+                            (w..engine.shards.len()).step_by(engine.workers).collect();
+                        for (bi, &b) in boundaries.iter().enumerate() {
+                            for &si in &my_shards {
+                                let mut sh = engine.shards[si].lock().expect("shard");
+                                let t0 = Instant::now();
+                                engine.exec_epoch(&mut sh, b.min(horizon), false);
+                                sh.wall += t0.elapsed();
+                            }
+                            let next = boundaries.get(bi + 1).map(|&n| n.min(horizon));
+                            if barrier.wait() {
+                                engine.barrier_serial_pre(b, next.unwrap_or(final_next));
+                            }
+                            barrier.wait();
+                            for &si in &my_shards {
+                                let mut sh = engine.shards[si].lock().expect("shard");
+                                let t0 = Instant::now();
+                                engine.resolution_phase(&mut sh);
+                                sh.wall += t0.elapsed();
+                            }
+                            if barrier.wait() {
+                                engine.barrier_serial_post();
+                            }
+                            barrier.wait();
+                        }
+                        for &si in &my_shards {
+                            let mut sh = engine.shards[si].lock().expect("shard");
+                            let t0 = Instant::now();
+                            engine.exec_epoch(&mut sh, horizon, true);
+                            sh.wall += t0.elapsed();
+                        }
+                    });
+                }
+            });
+        }
+
+        self.assemble_outcome(horizon)
+    }
+
+    /// Dispatch one shard's events up to `limit` — exclusive between
+    /// epochs, inclusive on the final pass (matching the historical
+    /// `<= horizon` loop).
+    fn exec_epoch(&self, sh: &mut Shard, limit: SimTime, inclusive: bool) {
+        while let Some(t) = sh.sched.peek_time() {
+            if (inclusive && t > limit) || (!inclusive && t >= limit) {
+                break;
+            }
+            let (now, (lane, ev)) = sh.sched.step().expect("peeked event vanished");
+            self.dispatch(sh, lane, ev, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier phases
+    // ------------------------------------------------------------------
+
+    /// Serial pre-resolution phase at boundary `b`: collect outboxes,
+    /// place the epoch's transmission batch, drain resolvable frames,
+    /// resolve the backplane batch, and route cross-lane messages.
+    fn barrier_serial_pre(&self, b: SimTime, next: SimTime) {
+        let t0 = Instant::now();
+        let mut coord = self.coord.lock().expect("coordinator");
+
+        // ---- collect outboxes in shard order ----
+        let mut requests: Vec<TxRequest<VifiPayload>> = Vec::new();
+        let mut bp: Vec<BpSend> = Vec::new();
+        let mut xs: Vec<XMsg> = Vec::new();
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard");
+            requests.append(&mut sh.tx_requests);
+            bp.append(&mut sh.bp_sends);
+            xs.append(&mut sh.x_msgs);
+            let mut ops = std::mem::take(&mut sh.log_ops);
+            coord.log_ops.append(&mut ops);
+        }
+
+        // ---- place the transmission batch in canonical order ----
+        requests.sort_by_key(|r| (r.t_req, r.frame.src.label()));
+        // Aux snapshots for the instrumented vehicle's source data frames
+        // (cross-lane read — legal here: every shard is parked).
+        let metas: Vec<FrameMeta> = requests
+            .iter()
+            .map(|r| {
+                let aux_set = match &r.frame.payload {
+                    VifiPayload::Data(d)
+                        if d.relayed_by.is_none()
+                            && self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 =>
+                    {
+                        let mut sh = self.shards[self.owner[&self.v0]].lock().expect("shard");
+                        let cell = sh.cells.get_mut(&self.v0).expect("v0 cell");
+                        Some(cell.endpoint.current_aux(b))
+                    }
+                    _ => None,
+                };
+                FrameMeta { aux_set }
+            })
+            .collect();
+        let senders: Vec<NodeId> = requests.iter().map(|r| r.frame.src).collect();
+        let placements = {
+            let Coordinator { medium, link, .. } = &mut *coord;
+            medium.place_batch(requests, b, link.as_ref())
+        };
+        for (p, m) in placements.iter().zip(metas) {
+            coord.meta.insert(p.handle, m);
+        }
+        let resolvable = coord.medium.drain_resolvable(next);
+        *self.staged.write().expect("staged") = Staged {
+            placements: senders
+                .into_iter()
+                .zip(placements.iter().map(|p| p.end))
+                .collect(),
+            resolvable,
+        };
+
+        // ---- backplane batch, canonical sender order per instant ----
+        bp.sort_by_key(|s| (s.t, s.from.label(), s.lane_seq));
+        let mut rest = bp;
+        while !rest.is_empty() {
+            let t = rest[0].t;
+            let split = rest.iter().position(|s| s.t != t).unwrap_or(rest.len());
+            let tail = rest.split_off(split);
+            let batch = rest;
+            rest = tail;
+            let sizes: Vec<(NodeId, NodeId, u32)> =
+                batch.iter().map(|s| (s.from, s.to, s.bytes)).collect();
+            let slots = coord.backplane.send_batch(&sizes, t);
+            for (send, slot) in batch.into_iter().zip(slots) {
+                match slot {
+                    Some(arrival) => {
+                        // Never earlier than the barrier that routes it
+                        // (only reachable when the backplane latency is
+                        // shorter than the epoch that buffered the send).
+                        let at = arrival.max(b);
+                        let mut sh = self.shards[self.owner[&send.to]].lock().expect("shard");
+                        sh.sched.at(
+                            at,
+                            (
+                                send.to,
+                                Ev::BackplaneArrive {
+                                    from: send.from,
+                                    msg: send.msg,
+                                },
+                            ),
+                        );
+                    }
+                    None => {
+                        // Drops are scoped to the instrumented vehicle's
+                        // traffic, like the per-event loop's accounting.
+                        let veh = match &send.msg {
+                            BackplaneMsg::RelayData(d) => self.flow_vehicle(d.flow_src, d.flow_dst),
+                            BackplaneMsg::SalvageRequest { vehicle, .. }
+                            | BackplaneMsg::SalvageData { vehicle, .. } => *vehicle,
+                        };
+                        if veh == self.v0 {
+                            let relay = match &send.msg {
+                                BackplaneMsg::RelayData(d) => Some((d.id, send.from)),
+                                _ => None,
+                            };
+                            coord.drop_seq += 1;
+                            let seq = SEQ_BARRIER + coord.drop_seq;
+                            coord.log_ops.push(LogOp {
+                                at: send.t,
+                                lane: send.from.label(),
+                                seq,
+                                op: LogOpKind::BackplaneDrop { relay },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- cross-lane messages, canonical order ----
+        xs.sort_by_key(|x| x.key());
+        for x in xs {
+            match x {
+                XMsg::AnchorDown {
+                    anchor,
+                    vehicle,
+                    payload,
+                    ..
+                } => {
+                    let mut sh = self.shards[self.owner[&anchor]].lock().expect("shard");
+                    sh.sched
+                        .at(b, (anchor, Ev::AnchorDown { vehicle, payload }));
+                }
+                XMsg::WiredUp {
+                    vehicle,
+                    payload,
+                    radio_exit,
+                    at,
+                    ..
+                } => {
+                    let deliver = (at + self.cfg.wired_delay).max(b);
+                    let mut sh = self.shards[self.owner[&vehicle]].lock().expect("shard");
+                    sh.sched.at(
+                        deliver,
+                        (
+                            vehicle,
+                            Ev::WiredUpArrive {
+                                payload,
+                                radio_exit,
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+
+        coord.serial_wall += t0.elapsed();
+    }
+
+    /// Parallel phase: each shard schedules TxDone for its own senders
+    /// and resolves its own receivers of every ending frame through the
+    /// pure MAC kernel and its own link-model instance.
+    fn resolution_phase(&self, sh: &mut Shard) {
+        let staged = self.staged.read().expect("staged");
+        for &(src, end) in &staged.placements {
+            if sh.cells.contains_key(&src) {
+                sh.sched.at(end, (src, Ev::TxDone));
+            }
+        }
+        let sense = self.cfg.mac.sense_threshold;
+        for tx in &staged.resolvable {
+            for idx in 0..sh.nodes.len() {
+                let rx = sh.nodes[idx];
+                if kernel::sample_reception(sh.link.as_mut(), tx, rx, sense).is_some() {
+                    sh.sched.at(tx.end, (rx, Ev::Rx(tx.frame.payload.clone())));
+                    sh.reports.push((tx.handle, rx));
+                }
+            }
+        }
+    }
+
+    /// Serial post-resolution phase: merge reception reports and emit the
+    /// instrumentation ops of every resolved frame.
+    fn barrier_serial_post(&self) {
+        let t0 = Instant::now();
+        let mut coord = self.coord.lock().expect("coordinator");
+        let mut by_handle: HashMap<TxHandle, Vec<NodeId>> = HashMap::new();
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard");
+            for (h, rx) in sh.reports.drain(..) {
+                by_handle.entry(h).or_default().push(rx);
+            }
+        }
+        let staged = std::mem::take(&mut *self.staged.write().expect("staged"));
+        for (k, tx) in staged.resolvable.iter().enumerate() {
+            let mut rx_ids = by_handle.remove(&tx.handle).unwrap_or_default();
+            rx_ids.sort_by_key(|n| n.index());
+            let meta = coord.meta.remove(&tx.handle);
+            self.emit_frame_ops(&mut coord, tx, &rx_ids, meta, SEQ_RESOLUTION + k as u64);
+        }
+        coord.serial_wall += t0.elapsed();
+    }
+
+    /// The per-frame instrumentation the per-event loop did in
+    /// `on_tx_done`, emitted as canonical log ops at `(end, tx lane)`.
+    fn emit_frame_ops(
+        &self,
+        coord: &mut Coordinator,
+        tx: &ResolvableTx<VifiPayload>,
+        rx_ids: &[NodeId],
+        meta: Option<FrameMeta>,
+        seq: u64,
+    ) {
+        let lane = tx.frame.src.label();
+        let at = tx.end;
+        match &tx.frame.payload {
+            VifiPayload::Data(d) if self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 => {
+                let dir = self.dir_of_src(d.flow_src);
+                coord.log_ops.push(LogOp {
+                    at,
+                    lane,
+                    seq,
+                    op: LogOpKind::WirelessTx { dir },
+                });
+                let op = if let Some(relayer) = d.relayed_by {
+                    LogOpKind::Relay {
+                        id: d.id,
+                        by: relayer,
+                        via_backplane: false,
+                        reached: rx_ids.contains(&d.flow_dst),
+                    }
+                } else {
+                    let aux_set = meta.and_then(|m| m.aux_set).unwrap_or_default();
+                    let aux_heard: Vec<NodeId> = rx_ids
+                        .iter()
+                        .copied()
+                        .filter(|n| aux_set.contains(n))
+                        .collect();
+                    LogOpKind::SourceTx {
+                        id: d.id,
+                        dir,
+                        dst_heard: rx_ids.contains(&d.flow_dst),
+                        aux_set,
+                        aux_heard,
+                    }
+                };
+                coord.log_ops.push(LogOp { at, lane, seq, op });
+            }
+            VifiPayload::Ack(a) => {
+                let veh = if self.is_bs(a.id.origin) {
+                    a.from
+                } else {
+                    a.id.origin
+                };
+                if veh == self.v0 {
+                    coord.log_ops.push(LogOp {
+                        at,
+                        lane,
+                        seq,
+                        op: LogOpKind::AckHeard {
+                            id: a.id,
+                            heard_by: rx_ids.to_vec(),
+                            dir: self.dir_of_src(a.id.origin),
+                        },
+                    });
+                }
+            }
+            VifiPayload::Data(_) | VifiPayload::Beacon(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (the per-event loop's logic; emissions go via outboxes)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&self, sh: &mut Shard, lane: NodeId, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::Beacon => self.on_beacon_due(sh, lane, now),
+            Ev::TxDone => {
+                let cell = sh.cells.get_mut(&lane).expect("cell");
+                cell.iface_busy = false;
+                if let Some((payload, bytes)) = cell.pending_beacon.take() {
+                    self.start_tx(sh, lane, payload, bytes, now);
+                }
+                self.pump(sh, lane, now);
+            }
+            Ev::Rx(payload) => {
+                let acts = sh
+                    .cells
+                    .get_mut(&lane)
+                    .expect("cell")
+                    .endpoint
+                    .on_frame(&payload, now);
+                self.handle_actions(sh, lane, acts, now);
+                self.pump(sh, lane, now);
+            }
+            Ev::Wakeup => {
+                let cell = sh.cells.get_mut(&lane).expect("cell");
+                cell.wakeup_token = None;
+                let acts = cell.endpoint.on_wakeup(now);
+                self.handle_actions(sh, lane, acts, now);
+                self.pump(sh, lane, now);
+            }
+            Ev::BackplaneArrive { from, msg } => {
+                if let BackplaneMsg::RelayData(d) = &msg {
+                    // An upstream relay reaching the anchor's process
+                    // counts as having reached the destination.
+                    if self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 {
+                        self.log_op(
+                            sh,
+                            lane,
+                            now,
+                            LogOpKind::Relay {
+                                id: d.id,
+                                by: from,
+                                via_backplane: true,
+                                reached: true,
+                            },
+                        );
+                    }
+                }
+                if let BackplaneMsg::SalvageData { packets, .. } = &msg {
+                    sh.salvaged += packets.len() as u64;
+                }
+                let acts = match sh.cells.get_mut(&lane) {
+                    Some(cell) => cell.endpoint.on_backplane(from, &msg, now),
+                    None => Vec::new(),
+                };
+                self.handle_actions(sh, lane, acts, now);
+                self.pump(sh, lane, now);
+            }
+            Ev::WiredDownArrive { payload } => {
+                // Lane is the vehicle; its current anchor gets the payload
+                // via the barrier (even when the anchor shares this shard —
+                // the rule must not depend on the partition).
+                let lane_seq = self.next_emit_seq(sh, lane);
+                let cell = sh.cells.get_mut(&lane).expect("cell");
+                match cell.endpoint.anchor() {
+                    Some(a) => sh.x_msgs.push(XMsg::AnchorDown {
+                        anchor: a,
+                        vehicle: lane,
+                        payload,
+                        lane_seq,
+                    }),
+                    None => {
+                        if let Some(host) = cell.host.as_mut() {
+                            host.unroutable_down += 1;
+                        }
+                    }
+                }
+            }
+            Ev::AnchorDown { vehicle, payload } => {
+                sh.cells.get_mut(&lane).expect("cell").endpoint.send_app(
+                    payload,
+                    Some(vehicle),
+                    now,
+                );
+                self.pump(sh, lane, now);
+            }
+            Ev::WiredUpArrive {
+                payload,
+                radio_exit,
+            } => {
+                self.with_driver(sh, lane, now, |d, api| {
+                    d.on_internet_rx(&payload, radio_exit, api)
+                });
+            }
+            Ev::AppTick { chan } => {
+                self.with_driver(sh, lane, now, |d, api| d.on_tick(chan, api));
+            }
+        }
+    }
+
+    fn on_beacon_due(&self, sh: &mut Shard, lane: NodeId, now: SimTime) {
+        let (payload, bytes, acts) = sh
+            .cells
+            .get_mut(&lane)
+            .expect("cell")
+            .endpoint
+            .make_beacon(now);
+        self.handle_actions(sh, lane, acts, now);
+        if lane == self.v0 {
+            if let VifiPayload::Beacon(bc) = &payload {
+                if let Some(v) = &bc.vehicle {
+                    // A1 counts auxiliaries while connected.
+                    if v.anchor.is_some() {
+                        let size = v.aux.len();
+                        self.log_op(
+                            sh,
+                            lane,
+                            now,
+                            LogOpKind::AuxSample {
+                                sec: now.second_bin(),
+                                size,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if sh.cells[&lane].iface_busy {
+            // Replace any stale pending beacon with the fresh one.
+            sh.cells.get_mut(&lane).expect("cell").pending_beacon = Some((payload, bytes));
+        } else {
+            self.start_tx(sh, lane, payload, bytes, now);
+        }
+        let next = self.beacons.next_after(lane, now);
+        sh.sched.at(next, (lane, Ev::Beacon));
+        self.pump(sh, lane, now);
+    }
+
+    /// Queue a transmission request: the interface goes busy now; the
+    /// frame airs from the next epoch edge (see the module docs).
+    fn start_tx(
+        &self,
+        sh: &mut Shard,
+        lane: NodeId,
+        payload: VifiPayload,
+        bytes: u32,
+        now: SimTime,
+    ) {
+        sh.cells.get_mut(&lane).expect("cell").iface_busy = true;
+        sh.tx_requests.push(TxRequest {
+            frame: Frame::new(lane, bytes, payload),
+            t_req: now,
+        });
+    }
+
+    fn pump(&self, sh: &mut Shard, lane: NodeId, now: SimTime) {
+        // Wakeup timer maintenance.
+        let next = sh.cells[&lane].endpoint.next_wakeup();
+        if let Some(tok) = sh.cells.get_mut(&lane).expect("cell").wakeup_token.take() {
+            sh.sched.cancel(tok);
+        }
+        if let Some(at) = next {
+            let at = at.max(now);
+            let tok = sh.sched.at(at, (lane, Ev::Wakeup));
+            sh.cells.get_mut(&lane).expect("cell").wakeup_token = Some(tok);
+        }
+        // Interface.
+        if !sh.cells[&lane].iface_busy {
+            let pulled = {
+                let cell = sh.cells.get_mut(&lane).expect("cell");
+                if cell.endpoint.has_tx() {
+                    cell.endpoint.pull_frame(now)
+                } else {
+                    None
+                }
+            };
+            if let Some((payload, bytes)) = pulled {
+                self.start_tx(sh, lane, payload, bytes, now);
+            }
+        }
+    }
+
+    fn handle_actions(&self, sh: &mut Shard, lane: NodeId, acts: Vec<Action>, now: SimTime) {
+        for act in acts {
+            match act {
+                Action::Deliver { id, app, dir } => self.on_deliver(sh, lane, id, app, dir, now),
+                Action::Backplane { to, msg } => {
+                    let bytes = msg.wire_bytes();
+                    if let BackplaneMsg::RelayData(d) = &msg {
+                        if self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 {
+                            self.log_op(sh, lane, now, LogOpKind::BackplaneTx);
+                        }
+                    }
+                    let lane_seq = self.next_emit_seq(sh, lane);
+                    sh.bp_sends.push(BpSend {
+                        t: now,
+                        from: lane,
+                        to,
+                        bytes,
+                        msg,
+                        lane_seq,
+                    });
+                }
+                Action::Stat(ev) => self.on_stat(sh, lane, ev, now),
+            }
+        }
+    }
+
+    fn on_deliver(
+        &self,
+        sh: &mut Shard,
+        lane: NodeId,
+        id: PacketId,
+        app: Bytes,
+        dir: Direction,
+        now: SimTime,
+    ) {
+        match dir {
+            Direction::Downstream => {
+                if lane == self.v0 {
+                    self.log_op(sh, lane, now, LogOpKind::Delivered { id, dir });
+                }
+                self.with_driver(sh, lane, now, |d, api| d.on_vehicle_rx(&app, api));
+            }
+            Direction::Upstream => {
+                // At the anchor: forward over the wired hop toward the
+                // originating vehicle's Internet peer.
+                if id.origin == self.v0 {
+                    self.log_op(sh, lane, now, LogOpKind::Delivered { id, dir });
+                }
+                let lane_seq = self.next_emit_seq(sh, lane);
+                sh.x_msgs.push(XMsg::WiredUp {
+                    vehicle: id.origin,
+                    from: lane,
+                    payload: app,
+                    radio_exit: now,
+                    at: now,
+                    lane_seq,
+                });
+            }
+        }
+    }
+
+    fn on_stat(&self, sh: &mut Shard, lane: NodeId, ev: StatEvent, now: SimTime) {
+        match ev {
+            StatEvent::RelayDecision {
+                id,
+                dir: _,
+                prob,
+                relayed,
+            } => {
+                // Attaches only to packets already in the log, i.e. the
+                // instrumented vehicle's flows.
+                self.log_op(
+                    sh,
+                    lane,
+                    now,
+                    LogOpKind::Decision {
+                        id,
+                        aux: lane,
+                        prob,
+                        relayed,
+                    },
+                );
+            }
+            StatEvent::AnchorSwitch { .. } => {
+                if let Some(host) = sh.cells.get_mut(&lane).and_then(|c| c.host.as_mut()) {
+                    host.anchor_switches += 1;
+                }
+            }
+            StatEvent::Salvaged { .. } => {
+                // Counted at BackplaneArrive (covers the transfer itself).
+            }
+            StatEvent::RelaySuppressed { .. } | StatEvent::SourceDrop { .. } => {}
+        }
+    }
+
+    fn with_driver<F>(&self, sh: &mut Shard, lane: NodeId, now: SimTime, f: F)
+    where
+        F: FnOnce(&mut dyn Driver, &mut HostApi),
+    {
+        // Vehicles without a workload driver (background fleet members in
+        // non-fleet runs) simply have no host.
+        let Some(host) = sh.cells.get_mut(&lane).and_then(|c| c.host.as_mut()) else {
+            return;
+        };
+        let mut driver = host.driver.take().expect("driver present");
+        let mut api = HostApi {
+            now,
+            rng: &mut host.rng,
+            cmds: Vec::new(),
+        };
+        f(driver.as_mut(), &mut api);
+        let cmds = api.cmds;
+        host.driver = Some(driver);
+        for cmd in cmds {
+            match cmd {
+                HostCmd::SendUpstream(bytes) => {
+                    sh.cells
+                        .get_mut(&lane)
+                        .expect("cell")
+                        .endpoint
+                        .send_app(bytes, None, now);
+                    self.pump(sh, lane, now);
+                }
+                HostCmd::SendDownstream(bytes) => {
+                    // Lane-local wired hop: the payload reaches this
+                    // vehicle's wired side after the configured delay.
+                    sh.sched.at(
+                        now + self.cfg.wired_delay,
+                        (lane, Ev::WiredDownArrive { payload: bytes }),
+                    );
+                }
+                HostCmd::ScheduleTick { chan, at } => {
+                    sh.sched.at(at.max(now), (lane, Ev::AppTick { chan }));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn next_emit_seq(&self, sh: &mut Shard, lane: NodeId) -> u64 {
+        let cell = sh.cells.get_mut(&lane).expect("cell");
+        cell.emit_seq += 1;
+        cell.emit_seq
+    }
+
+    fn log_op(&self, sh: &mut Shard, lane: NodeId, at: SimTime, op: LogOpKind) {
+        let seq = self.next_emit_seq(sh, lane);
+        sh.log_ops.push(LogOp {
+            at,
+            lane: lane.label(),
+            seq,
+            op,
+        });
+    }
+
+    fn is_bs(&self, n: NodeId) -> bool {
+        self.bs_ids.contains(&n)
+    }
+
+    /// Traffic direction of a data frame by its logical source.
+    fn dir_of_src(&self, flow_src: NodeId) -> Direction {
+        if self.is_bs(flow_src) {
+            Direction::Downstream
+        } else {
+            Direction::Upstream
+        }
+    }
+
+    /// The vehicle a data flow belongs to: the mobile end of the transfer.
+    fn flow_vehicle(&self, flow_src: NodeId, flow_dst: NodeId) -> NodeId {
+        if self.is_bs(flow_src) {
+            flow_dst
+        } else {
+            flow_src
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outcome assembly
+    // ------------------------------------------------------------------
+
+    fn assemble_outcome(self, horizon: SimTime) -> (RunOutcome, CoupledTiming) {
+        let mut coord = self.coord.into_inner().expect("coordinator");
+        let mut shards: Vec<Shard> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard"))
+            .collect();
+
+        // Per-vehicle outcomes in fleet order.
+        let mut vehicles_out: Vec<VehicleOutcome> = Vec::new();
+        for &v in &self.vehicles {
+            for sh in &mut shards {
+                if let Some(host) = sh.cells.get_mut(&v).and_then(|c| c.host.as_mut()) {
+                    vehicles_out.push(VehicleOutcome {
+                        vehicle: v,
+                        report: host
+                            .driver
+                            .as_mut()
+                            .expect("driver present at run end")
+                            .report(horizon),
+                        anchor_switches: host.anchor_switches,
+                        unroutable_down: host.unroutable_down,
+                    });
+                }
+            }
+        }
+        assert!(!vehicles_out.is_empty(), "at least one workload vehicle");
+
+        // Replay the buffered log ops in canonical order.
+        for sh in &mut shards {
+            coord.log_ops.append(&mut sh.log_ops);
+        }
+        coord.log_ops.sort_by_key(|o| (o.at, o.lane, o.seq));
+        let mut log = RunLog::new();
+        for op in &coord.log_ops {
+            apply_log_op(&mut log, op);
+        }
+
+        let events: u64 = shards.iter().map(|s| s.sched.dispatched()).sum();
+        let salvaged: u64 = shards.iter().map(|s| s.salvaged).sum();
+        let timing = CoupledTiming {
+            per_shard: shards.iter().map(|s| s.wall).collect(),
+            serial: coord.serial_wall,
+        };
+        let outcome = RunOutcome {
+            report: vehicles_out[0].report.clone(),
+            anchor_switches: vehicles_out[0].anchor_switches,
+            unroutable_down: vehicles_out.iter().map(|v| v.unroutable_down).sum(),
+            vehicles: vehicles_out,
+            salvaged,
+            events,
+            frames_tx: coord.medium.tx_count,
+            log,
+        };
+        (outcome, timing)
+    }
+}
+
+fn apply_log_op(log: &mut RunLog, op: &LogOp) {
+    match &op.op {
+        LogOpKind::SourceTx {
+            id,
+            dir,
+            aux_set,
+            aux_heard,
+            dst_heard,
+        } => log.on_source_tx(
+            *id,
+            *dir,
+            op.at,
+            aux_set.clone(),
+            aux_heard.clone(),
+            *dst_heard,
+        ),
+        LogOpKind::AckHeard { id, heard_by, dir } => {
+            log.on_ack_heard(*id, heard_by);
+            match dir {
+                Direction::Upstream => log.ledger_up.on_ack_tx(),
+                Direction::Downstream => log.ledger_down.on_ack_tx(),
+            }
+        }
+        LogOpKind::Relay {
+            id,
+            by,
+            via_backplane,
+            reached,
+        } => log.on_relay(*id, *by, *via_backplane, *reached),
+        LogOpKind::Decision {
+            id,
+            aux,
+            prob,
+            relayed,
+        } => log.on_decision(*id, *aux, *prob, *relayed),
+        LogOpKind::Delivered { id, dir } => {
+            log.on_delivered(*id);
+            match dir {
+                Direction::Upstream => log.ledger_up.on_delivered(),
+                Direction::Downstream => log.ledger_down.on_delivered(),
+            }
+        }
+        LogOpKind::WirelessTx { dir } => match dir {
+            Direction::Upstream => log.ledger_up.on_wireless_tx(),
+            Direction::Downstream => log.ledger_down.on_wireless_tx(),
+        },
+        LogOpKind::BackplaneTx => log.ledger_up.on_backplane_tx(),
+        LogOpKind::BackplaneDrop { relay } => {
+            log.backplane_drops += 1;
+            if let Some((id, by)) = relay {
+                log.on_relay(*id, *by, true, false);
+            }
+        }
+        LogOpKind::AuxSample { sec, size } => log.on_aux_sample(*sec, *size),
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! * **Deployment mode** — a [`vifi_testbeds::Scenario`] drives a
 //!   [`vifi_phy::PhysicalLinkModel`]; every node runs a
-//!   [`vifi_core::Endpoint`] over the CSMA [`vifi_mac::Medium`] and the
+//!   [`vifi_core::Endpoint`] over the CSMA medium
+//!   ([`vifi_mac::SharedMediumService`]) and the
 //!   bandwidth-limited [`vifi_mac::Backplane`]; an application workload
 //!   ([`workload`]) rides on top. This is the stand-in for the live
 //!   VanLAN prototype.
@@ -55,14 +56,22 @@
 //!
 //! ## Sharded runs
 //!
-//! Large fleet runs shard across cores with [`RunConfig::shards`] and
-//! [`Simulation::run_sharded`]: the fleet decomposes by vehicle, each
-//! vehicle simulated against the full infrastructure under an RNG stream
-//! keyed by `(run_seed, vehicle)`, and outcomes merge deterministically
-//! in vehicle order. The merged result is bit-identical for every shard
-//! count `>= 2` ([`RunOutcome::fingerprint`] is the equality the
-//! equivalence suite asserts); `shards = 1` is the unchanged
-//! fully-coupled loop. See [`sim`]'s module docs for the trade.
+//! Large fleet runs shard across cores with [`RunConfig::shards`],
+//! [`RunConfig::shard_mode`] and [`Simulation::run_sharded`], two ways:
+//!
+//! * [`ShardMode::Independent`] (default) decomposes by vehicle, each
+//!   simulated against the full infrastructure under an RNG stream keyed
+//!   by `(run_seed, vehicle)`; outcomes merge deterministically in
+//!   vehicle order and are bit-identical for every shard count `>= 2` —
+//!   but cross-vehicle contention is dropped.
+//! * [`ShardMode::Coupled`] splits the *one* coupled run across shards on
+//!   the epoch-synchronized engine, preserving the shared medium; the
+//!   result is bit-identical to the sequential `shards = 1` run at every
+//!   shard and worker count.
+//!
+//! [`RunOutcome::fingerprint`] is the equality the equivalence suite
+//! asserts for both claims. See [`sim`]'s module docs for when each mode
+//! is valid.
 //!
 //! ```
 //! use vifi_runtime::{RunConfig, Simulation, WorkloadSpec};
@@ -85,15 +94,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 pub mod fingerprint;
 pub mod logging;
 pub mod sim;
 pub mod workload;
 
+pub use engine::CoupledTiming;
 pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use logging::{PerfectRelayOutcome, RunLog, Table1, Table2Row};
 pub use sim::{
-    plan_shards, RunConfig, RunOutcome, ShardAssignment, ShardPlan, ShardTiming, Simulation,
-    VehicleOutcome,
+    plan_shards, RunConfig, RunOutcome, ShardAssignment, ShardMode, ShardPlan, ShardTiming,
+    Simulation, VehicleOutcome,
 };
 pub use workload::{aggregate_cbr, CbrStats, TcpStats, VoipStats, WorkloadReport, WorkloadSpec};

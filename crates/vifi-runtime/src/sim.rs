@@ -6,6 +6,20 @@
 //! Internet host behind a wired hop. Determinism: everything derives from
 //! `(RunConfig, seed)`.
 //!
+//! Since PR 5 every coupled run executes on the **epoch-synchronized
+//! engine** (`crate::engine`): nodes are grouped into shards, each shard
+//! dispatches its own nodes' events, and all inter-node effects — frame
+//! placement and reception, backplane messages, wired hops, packet-log
+//! writes — cross at epoch barriers in canonically sorted batches. The
+//! engine is the *same machine at every shard count*: `shards = 1` (the
+//! default, and [`Simulation::run`]) is one shard on the calling thread,
+//! and [`ShardMode::Coupled`] splits the same run across worker threads
+//! with bit-identical results. Epoch boundaries come from an
+//! [`vifi_sim::EpochSchedule`] whose lookahead is derived from
+//! [`Scenario::contact_windows`]-style activity analysis plus the beacon
+//! period: while the whole fleet is out of radio contact, shards run free
+//! on a stretched quantum.
+//!
 //! ## Fleet runs
 //!
 //! By default only the first vehicle carries [`RunConfig::workload`] (the
@@ -21,39 +35,54 @@
 //! ## Sharded runs
 //!
 //! A single large fleet run can be sharded across cores with
-//! [`RunConfig::shards`] and [`Simulation::run_sharded`]. The unit of
-//! decomposition is the *vehicle* (a "micro-shard"): each instrumented
-//! vehicle is simulated in its own sub-run against the full basestation
-//! infrastructure, with its RNG stream derived deterministically from
-//! `(run_seed, vehicle)`; a shard is the worker that owns a disjoint set
-//! of vehicles and executes their sub-runs. Because the simulation unit
-//! and its seed never depend on the shard count, the merged
-//! [`RunOutcome`] is **bit-identical for every `shards >= 2`** — and for
-//! single-vehicle scenarios bit-identical to the sequential
-//! (`shards = 1`) run as well. What `shards >= 2` gives up is
-//! cross-vehicle channel coupling (fleet members no longer contend for
-//! airtime at shared basestations, and background vehicles that carry no
-//! workload are dropped); the sequential `shards = 1` path keeps the
-//! paper's fully-coupled semantics, unchanged. The merge is
-//! deterministic: per-vehicle outcomes are ordered by vehicle id,
-//! counters sum, and the packet log is the first vehicle's, remapped to
-//! the parent scenario's node ids.
+//! [`RunConfig::shards`] + [`RunConfig::shard_mode`] and
+//! [`Simulation::run_sharded`]. Two modes:
+//!
+//! * [`ShardMode::Independent`] (PR 4's decomposition, the default): each
+//!   instrumented vehicle is simulated in its own sub-run against the
+//!   full basestation infrastructure, keyed by `(run_seed, vehicle)`;
+//!   outcomes merge deterministically and are invariant to the shard
+//!   count — but cross-vehicle channel contention and background
+//!   occupants are dropped. Fast, embarrassingly parallel, and only valid
+//!   when contention between fleet members is not the thing measured.
+//! * [`ShardMode::Coupled`]: the epoch engine splits the *one* coupled
+//!   run across shards — vehicles partitioned by contact load
+//!   ([`Scenario::shard_partition_by_contact`]), basestations by
+//!   contact-seconds ([`Scenario::bs_contact_seconds`]) — and the merged
+//!   [`RunOutcome`] is **bit-identical to the sequential `shards = 1`
+//!   run** at every shard and worker count (`tests/shard_equivalence.rs`
+//!   enforces it). Slower per event than Independent, but the numbers
+//!   keep the paper's full contention physics.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use vifi_core::endpoint::BackplaneMsg;
-use vifi_core::{Action, Direction, Endpoint, PacketId, Role, StatEvent, VifiConfig, VifiPayload};
-use vifi_mac::{Backplane, BackplaneParams, BeaconSchedule, Frame, MacParams, Medium, TxHandle};
-use vifi_phy::{LinkModel, NodeId, NodeKind};
-use vifi_sim::{Rng, Scheduler, SimDuration, SimTime, TimerToken};
+use vifi_core::VifiConfig;
+use vifi_mac::{BackplaneParams, MacParams};
+use vifi_phy::{NodeId, NodeKind};
+use vifi_sim::{EpochSchedule, Rng, SimDuration};
 use vifi_testbeds::trace::TraceSimSetup;
 use vifi_testbeds::{BeaconTrace, Scenario};
 
+use crate::engine::{self, CoupledTiming, EnginePartition, EngineSetup};
 use crate::fingerprint::{Fingerprint, Fingerprintable};
 use crate::logging::RunLog;
-use crate::workload::{build_driver, Driver, HostApi, HostCmd, WorkloadReport, WorkloadSpec};
+use crate::workload::{WorkloadReport, WorkloadSpec};
+
+/// How [`Simulation::run_sharded`] decomposes a run when
+/// [`RunConfig::shards`] is at least 2. See the module docs for the
+/// semantics of each mode; `shards = 1` ignores the mode and runs the
+/// sequential coupled loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ShardMode {
+    /// Per-vehicle sub-runs against replicated infrastructure; drops
+    /// cross-vehicle contention (PR 4 semantics, the historical default).
+    #[default]
+    Independent,
+    /// One coupled run on the epoch-synchronized engine; preserves the
+    /// shared medium and is bit-identical to `shards = 1`.
+    Coupled,
+}
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -81,14 +110,14 @@ pub struct RunConfig {
     /// paper's fixed 40 ms wired budget itself (§5.3.2).
     pub wired_delay: SimDuration,
     /// Execution sharding for [`Simulation::run_sharded`]. `1` (the
-    /// default) is the paper's fully-coupled single event loop —
-    /// `run_sharded` and [`Simulation::run`] are then the same path.
-    /// `>= 2` decomposes the run by vehicle across that many worker
-    /// shards (`0` = one shard per available core, floored at two so the
-    /// choice of semantics never depends on the host); the merged outcome
-    /// is invariant to the exact count — see the module docs on what the
-    /// decomposition trades away. Ignored by plain [`Simulation::run`].
+    /// default) is the sequential coupled run — `run_sharded` and
+    /// [`Simulation::run`] are then the same path. `>= 2` decomposes the
+    /// run per [`RunConfig::shard_mode`] (`0` = one shard per available
+    /// core, floored at two so the choice of semantics never depends on
+    /// the host). Ignored by plain [`Simulation::run`].
     pub shards: usize,
+    /// Decomposition semantics when `shards >= 2`; see [`ShardMode`].
+    pub shard_mode: ShardMode,
 }
 
 impl Default for RunConfig {
@@ -103,40 +132,9 @@ impl Default for RunConfig {
             backplane: BackplaneParams::default(),
             wired_delay: SimDuration::from_millis(10),
             shards: 1,
+            shard_mode: ShardMode::Independent,
         }
     }
-}
-
-/// Scheduler events.
-enum Event {
-    /// A node's beacon is due.
-    Beacon(NodeId),
-    /// A wireless transmission completed.
-    TxDone(NodeId, TxHandle),
-    /// A node's protocol timer fired.
-    Wakeup(NodeId),
-    /// A backplane message arrived.
-    BackplaneArrive {
-        from: NodeId,
-        to: NodeId,
-        msg: BackplaneMsg,
-    },
-    /// A downstream application payload reached the anchor's radio side.
-    WiredDownArrive {
-        /// The vehicle the payload is addressed to.
-        vehicle: NodeId,
-        payload: Bytes,
-    },
-    /// An upstream application payload reached the Internet host.
-    WiredUpArrive {
-        /// The vehicle that originated the payload.
-        vehicle: NodeId,
-        payload: Bytes,
-        /// When the anchor received it (radio exit time).
-        radio_exit: SimTime,
-    },
-    /// Workload tick for one vehicle's driver.
-    AppTick { vehicle: NodeId, chan: u8 },
 }
 
 /// Per-vehicle results of a (fleet) run — one entry per workload-carrying
@@ -175,36 +173,30 @@ pub struct RunOutcome {
     pub frames_tx: u64,
 }
 
-/// One vehicle's workload host: its driver, its RNG stream, and its
-/// per-vehicle counters.
-struct VehicleHost {
-    /// Taken out while the driver runs (so the host API can borrow `rng`).
-    driver: Option<Box<dyn Driver>>,
-    rng: Rng,
-    anchor_switches: u64,
-    unroutable_down: u64,
+/// The engine's sync quantum while any vehicle is (or may soon be) in
+/// radio contact: the bound on how much later than requested a frame can
+/// start airing.
+const SYNC_QUANTUM: SimDuration = SimDuration::from_millis(1);
+
+/// The stretched quantum while the whole fleet is out of contact (shards
+/// "run free": nothing they queue can reach another node sooner anyway).
+const QUIET_QUANTUM: SimDuration = SimDuration::from_millis(50);
+
+/// What a `Simulation` simulates.
+enum SimKind {
+    /// Deployment mode: a scenario drives the physical channel.
+    Deployment { scenario: Scenario },
+    /// Trace-driven mode (§5.1): a beacon trace supplies the channel.
+    Trace { trace: BeaconTrace },
 }
 
-/// The assembled simulation.
+/// The assembled simulation: configuration plus the channel source. The
+/// actual state machine lives in `crate::engine`; `run` instantiates it
+/// with a single shard.
 pub struct Simulation {
     cfg: RunConfig,
-    sched: Scheduler<Event>,
-    link: Box<dyn LinkModel>,
-    medium: Medium<VifiPayload>,
-    backplane: Backplane,
-    beacons: BeaconSchedule,
-    endpoints: HashMap<NodeId, Endpoint>,
-    iface_busy: HashMap<NodeId, bool>,
-    pending_beacon: HashMap<NodeId, (VifiPayload, u32)>,
-    wakeup_tokens: HashMap<NodeId, TimerToken>,
-    /// The instrumented vehicle (detailed packet log).
-    vehicle: NodeId,
-    bs_ids: Vec<NodeId>,
-    /// Workload hosts in scenario order (linear lookup: fleets are small).
-    hosts: Vec<(NodeId, VehicleHost)>,
-    log: RunLog,
-    rng_mac: Rng,
-    salvaged: u64,
+    kind: SimKind,
+    base_shard_id: u32,
 }
 
 impl Simulation {
@@ -216,571 +208,122 @@ impl Simulation {
         Self::deployment_shard(scenario, cfg, 0)
     }
 
-    /// Deployment mode under a specific scheduler shard id (sharded
+    /// Deployment mode under a specific scheduler shard id (Independent
     /// sub-runs tag their event queues so timer tokens are distinct
     /// across shards; the id itself never changes simulation results).
     fn deployment_shard(scenario: &Scenario, cfg: RunConfig, shard: u32) -> Self {
-        let rng = Rng::new(cfg.seed);
-        let link = Box::new(scenario.build_link_model(&rng));
-        let vehicles = scenario.vehicle_ids();
-        let bs_ids = scenario.bs_ids();
-        Self::assemble(link, vehicles, bs_ids, cfg, rng, shard)
+        scenario.validate();
+        Simulation {
+            cfg,
+            kind: SimKind::Deployment {
+                scenario: scenario.clone(),
+            },
+            base_shard_id: shard,
+        }
     }
 
     /// Trace-driven mode (§5.1): build from a beacon trace.
     pub fn trace_driven(trace: &BeaconTrace, cfg: RunConfig) -> Self {
-        let rng = Rng::new(cfg.seed);
-        let setup = TraceSimSetup::from_trace(trace, &rng);
-        let vehicles = vec![setup.vehicle];
-        let bs_ids = setup.bs_ids.clone();
-        Self::assemble(Box::new(setup.link), vehicles, bs_ids, cfg, rng, 0)
-    }
-
-    fn assemble(
-        link: Box<dyn LinkModel>,
-        vehicles: Vec<NodeId>,
-        bs_ids: Vec<NodeId>,
-        cfg: RunConfig,
-        rng: Rng,
-        shard: u32,
-    ) -> Self {
-        assert!(!vehicles.is_empty() && !bs_ids.is_empty());
-        let mut endpoints = HashMap::new();
-        let mut iface_busy = HashMap::new();
-        for &v in &vehicles {
-            endpoints.insert(
-                v,
-                Endpoint::new(
-                    v,
-                    Role::Vehicle,
-                    cfg.vifi.clone(),
-                    bs_ids.clone(),
-                    rng.fork(0x5EED_0000 + v.label()),
-                ),
-            );
-            iface_busy.insert(v, false);
-        }
-        for &b in &bs_ids {
-            endpoints.insert(
-                b,
-                Endpoint::new(
-                    b,
-                    Role::Bs,
-                    cfg.vifi.clone(),
-                    bs_ids.clone(),
-                    rng.fork(0x5EED_1000 + b.label()),
-                ),
-            );
-            iface_busy.insert(b, false);
-        }
-        let beacons = BeaconSchedule::new(cfg.vifi.beacon_period, &rng);
-        // Workload hosts: the instrumented vehicle alone by default, every
-        // vehicle in fleet mode. The first vehicle keeps the historical
-        // "driver" RNG stream so single-vehicle runs replay bit-identically
-        // across this refactor; fleet members fork per-vehicle streams.
-        let driver_rng = rng.fork_named("driver");
-        let hosts: Vec<(NodeId, VehicleHost)> = if cfg.fleet_workloads.is_empty() {
-            vec![(
-                vehicles[0],
-                VehicleHost {
-                    driver: Some(build_driver(&cfg.workload, SimTime::ZERO)),
-                    rng: driver_rng,
-                    anchor_switches: 0,
-                    unroutable_down: 0,
-                },
-            )]
-        } else {
-            vehicles
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| {
-                    let spec = &cfg.fleet_workloads[i % cfg.fleet_workloads.len()];
-                    (
-                        v,
-                        VehicleHost {
-                            driver: Some(build_driver(spec, SimTime::ZERO)),
-                            rng: if i == 0 {
-                                driver_rng.fork(0)
-                            } else {
-                                driver_rng.fork(v.label())
-                            },
-                            anchor_switches: 0,
-                            unroutable_down: 0,
-                        },
-                    )
-                })
-                .collect()
-        };
         Simulation {
-            medium: Medium::new(cfg.mac),
-            backplane: Backplane::new(cfg.backplane),
-            beacons,
-            sched: Scheduler::with_shard(shard),
-            link,
-            endpoints,
-            iface_busy,
-            pending_beacon: HashMap::new(),
-            wakeup_tokens: HashMap::new(),
-            vehicle: vehicles[0],
-            bs_ids,
-            hosts,
-            log: RunLog::new(),
-            rng_mac: rng.fork_named("mac"),
             cfg,
-            salvaged: 0,
+            kind: SimKind::Trace {
+                trace: trace.clone(),
+            },
+            base_shard_id: 0,
         }
     }
 
-    /// The instrumented vehicle's node id.
-    pub fn vehicle(&self) -> NodeId {
-        self.vehicle
+    /// Margin (seconds) the activity analysis dilates contact by: one
+    /// second of intra-second motion plus at least one beacon period of
+    /// staleness.
+    fn activity_margin_s(cfg: &RunConfig) -> u64 {
+        1 + cfg.vifi.beacon_period.as_secs().max(1)
     }
 
-    fn is_bs(&self, n: NodeId) -> bool {
-        self.bs_ids.contains(&n)
-    }
-
-    /// Traffic direction of a data frame by its logical source.
-    fn dir_of_src(&self, flow_src: NodeId) -> Direction {
-        if self.is_bs(flow_src) {
-            Direction::Downstream
-        } else {
-            Direction::Upstream
-        }
-    }
-
-    /// The vehicle a data flow belongs to: the mobile end of the transfer.
-    fn flow_vehicle(&self, flow_src: NodeId, flow_dst: NodeId) -> NodeId {
-        if self.is_bs(flow_src) {
-            flow_dst
-        } else {
-            flow_src
-        }
-    }
-
-    fn host_mut(&mut self, vehicle: NodeId) -> Option<&mut VehicleHost> {
-        self.hosts
-            .iter_mut()
-            .find(|(v, _)| *v == vehicle)
-            .map(|(_, h)| h)
-    }
-
-    /// Run to completion and produce the outcome.
-    pub fn run(mut self) -> RunOutcome {
-        // Kick off beacons for every radio node.
-        let ids: Vec<NodeId> = self.endpoints.keys().copied().collect();
-        for id in ids {
-            let at = self.beacons.next_after(id, SimTime::ZERO);
-            self.sched.at(at, Event::Beacon(id));
-        }
-        // Start every workload driver, in scenario order.
-        let workload_vehicles: Vec<NodeId> = self.hosts.iter().map(|(v, _)| *v).collect();
-        for &v in &workload_vehicles {
-            self.with_driver(v, SimTime::ZERO, |d, api| d.start(api));
-        }
-
-        let horizon = SimTime::ZERO + self.cfg.duration;
-        while let Some(at) = self.sched.peek_time() {
-            if at > horizon {
-                break;
+    /// Build the engine inputs for this simulation under `partition`.
+    fn engine_setup(&self, partition: EnginePartition, workers: usize) -> EngineSetup {
+        let cfg = self.cfg.clone();
+        let horizon_s = cfg.duration.as_secs() + 1;
+        let margin = Self::activity_margin_s(&cfg);
+        match &self.kind {
+            SimKind::Deployment { scenario } => {
+                let probe = scenario.build_link_model(&Rng::new(cfg.seed));
+                let active = scenario.active_seconds(&probe, horizon_s, margin);
+                let schedule = EpochSchedule::new(SYNC_QUANTUM, QUIET_QUANTUM, active);
+                let scenario = scenario.clone();
+                let seed = cfg.seed;
+                EngineSetup {
+                    vehicles: scenario.vehicle_ids(),
+                    bs_ids: scenario.bs_ids(),
+                    link_factory: Box::new(move || {
+                        Box::new(scenario.build_link_model(&Rng::new(seed)))
+                    }),
+                    schedule,
+                    partition,
+                    base_shard_id: self.base_shard_id,
+                    workers,
+                    cfg,
+                }
             }
-            let (now, ev) = self.sched.step().expect("peeked event vanished");
-            self.dispatch(now, ev);
-        }
-
-        let end = self.sched.now();
-        let vehicles: Vec<VehicleOutcome> = self
-            .hosts
-            .iter_mut()
-            .map(|(v, host)| VehicleOutcome {
-                vehicle: *v,
-                report: host
-                    .driver
-                    .as_mut()
-                    .expect("driver present at run end")
-                    .report(end),
-                anchor_switches: host.anchor_switches,
-                unroutable_down: host.unroutable_down,
-            })
-            .collect();
-        let report = vehicles
-            .first()
-            .map(|v| v.report.clone())
-            .expect("at least one workload vehicle");
-        // The run-level counters derive from the per-host ones: the
-        // instrumented vehicle always owns the first host.
-        RunOutcome {
-            report,
-            anchor_switches: vehicles[0].anchor_switches,
-            unroutable_down: vehicles.iter().map(|v| v.unroutable_down).sum(),
-            vehicles,
-            salvaged: self.salvaged,
-            events: self.sched.dispatched(),
-            frames_tx: self.medium.tx_count,
-            log: self.log,
-        }
-    }
-
-    fn dispatch(&mut self, now: SimTime, ev: Event) {
-        match ev {
-            Event::Beacon(node) => self.on_beacon_due(node, now),
-            Event::TxDone(node, handle) => self.on_tx_done(node, handle, now),
-            Event::Wakeup(node) => {
-                self.wakeup_tokens.remove(&node);
-                let acts = self
-                    .endpoints
-                    .get_mut(&node)
-                    .expect("endpoint")
-                    .on_wakeup(now);
-                self.handle_actions(node, acts, now);
-                self.pump(node, now);
-            }
-            Event::BackplaneArrive { from, to, msg } => {
-                if let BackplaneMsg::RelayData(d) = &msg {
-                    // An upstream relay reaching the anchor's process
-                    // counts as having reached the destination. Only the
-                    // instrumented vehicle's flows enter the packet log.
-                    if self.flow_vehicle(d.flow_src, d.flow_dst) == self.vehicle {
-                        self.log.on_relay(d.id, from, true, true);
+            SimKind::Trace { trace } => {
+                // Activity from the trace itself: seconds where at least
+                // one BS was audible, dilated by the margin.
+                let mut active: Vec<(u64, u64)> = Vec::new();
+                for (sec, n) in trace.visible_per_second(0.0).iter().enumerate() {
+                    if *n == 0 {
+                        continue;
+                    }
+                    let lo = (sec as u64).saturating_sub(margin);
+                    let hi = sec as u64 + margin + 1;
+                    match active.last_mut() {
+                        Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                        _ => active.push((lo, hi)),
                     }
                 }
-                if let BackplaneMsg::SalvageData { packets, .. } = &msg {
-                    self.salvaged += packets.len() as u64;
-                }
-                let acts = match self.endpoints.get_mut(&to) {
-                    Some(ep) => ep.on_backplane(from, &msg, now),
-                    None => Vec::new(),
-                };
-                self.handle_actions(to, acts, now);
-                self.pump(to, now);
-            }
-            Event::WiredDownArrive { vehicle, payload } => {
-                let anchor = self
-                    .endpoints
-                    .get(&vehicle)
-                    .expect("vehicle endpoint")
-                    .anchor();
-                match anchor {
-                    Some(a) => {
-                        self.endpoints
-                            .get_mut(&a)
-                            .expect("anchor endpoint")
-                            .send_app(payload, Some(vehicle), now);
-                        self.pump(a, now);
-                    }
-                    None => {
-                        // Only hosted vehicles receive downstream traffic,
-                        // so the per-host counter misses nothing.
-                        if let Some(host) = self.host_mut(vehicle) {
-                            host.unroutable_down += 1;
-                        }
-                    }
-                }
-            }
-            Event::WiredUpArrive {
-                vehicle,
-                payload,
-                radio_exit,
-            } => {
-                self.with_driver(vehicle, now, |d, api| {
-                    d.on_internet_rx(&payload, radio_exit, api)
-                });
-            }
-            Event::AppTick { vehicle, chan } => {
-                self.with_driver(vehicle, now, |d, api| d.on_tick(chan, api));
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Beacons and the interface
-    // ------------------------------------------------------------------
-
-    fn on_beacon_due(&mut self, node: NodeId, now: SimTime) {
-        let (payload, bytes, acts) = self
-            .endpoints
-            .get_mut(&node)
-            .expect("endpoint")
-            .make_beacon(now);
-        self.handle_actions(node, acts, now);
-        if node == self.vehicle {
-            if let VifiPayload::Beacon(b) = &payload {
-                if let Some(v) = &b.vehicle {
-                    // A1 counts auxiliaries while connected (the paper's
-                    // statistics come from packet logs, which only exist
-                    // when an anchor carries traffic).
-                    if v.anchor.is_some() {
-                        self.log.on_aux_sample(now.second_bin(), v.aux.len());
-                    }
-                }
-            }
-        }
-        if self.iface_busy[&node] {
-            // Replace any stale pending beacon with the fresh one.
-            self.pending_beacon.insert(node, (payload, bytes));
-        } else {
-            self.start_tx(node, payload, bytes, now);
-        }
-        let next = self.beacons.next_after(node, now);
-        self.sched.at(next, Event::Beacon(node));
-        self.pump(node, now);
-    }
-
-    fn start_tx(&mut self, node: NodeId, payload: VifiPayload, bytes: u32, now: SimTime) {
-        let frame = Frame::new(node, bytes, payload);
-        let (handle, _start, end) =
-            self.medium
-                .begin_tx(frame, now, self.link.as_ref(), &mut self.rng_mac);
-        self.iface_busy.insert(node, true);
-        self.sched.at(end, Event::TxDone(node, handle));
-    }
-
-    fn on_tx_done(&mut self, node: NodeId, handle: TxHandle, now: SimTime) {
-        let (frame, receptions) =
-            self.medium
-                .complete_tx(handle, now, self.link.as_mut(), &mut self.rng_mac);
-        let rx_ids: Vec<NodeId> = receptions.iter().map(|r| r.rx).collect();
-
-        // ---- instrumentation (instrumented vehicle's flows only: the
-        // packet log feeds the paper's per-packet tables, which follow one
-        // vehicle; fleet members are accounted at the workload layer) ----
-        match &frame.payload {
-            VifiPayload::Data(d) if self.flow_vehicle(d.flow_src, d.flow_dst) == self.vehicle => {
-                let dir = self.dir_of_src(d.flow_src);
-                let ledger = match dir {
-                    Direction::Upstream => &mut self.log.ledger_up,
-                    Direction::Downstream => &mut self.log.ledger_down,
-                };
-                ledger.on_wireless_tx();
-                if let Some(relayer) = d.relayed_by {
-                    // A wireless (downstream) relay: its fate is whether
-                    // the destination received it.
-                    let reached = rx_ids.contains(&d.flow_dst);
-                    self.log.on_relay(d.id, relayer, false, reached);
-                } else {
-                    // Source transmission: snapshot the aux set and who
-                    // heard what.
-                    let aux_set = self
-                        .endpoints
-                        .get_mut(&self.vehicle)
-                        .expect("vehicle")
-                        .current_aux(now);
-                    let aux_heard: Vec<NodeId> = rx_ids
-                        .iter()
-                        .copied()
-                        .filter(|n| aux_set.contains(n))
-                        .collect();
-                    let dst_heard = rx_ids.contains(&d.flow_dst);
-                    self.log
-                        .on_source_tx(d.id, dir, now, aux_set, aux_heard, dst_heard);
-                }
-            }
-            VifiPayload::Ack(a) => {
-                // The flow's vehicle: the origin for upstream flows, the
-                // acknowledging destination for downstream ones.
-                let veh = if self.is_bs(a.id.origin) {
-                    a.from
-                } else {
-                    a.id.origin
-                };
-                if veh == self.vehicle {
-                    self.log.on_ack_heard(a.id, &rx_ids);
-                    let dir = self.dir_of_src(a.id.origin);
-                    match dir {
-                        Direction::Upstream => self.log.ledger_up.on_ack_tx(),
-                        Direction::Downstream => self.log.ledger_down.on_ack_tx(),
-                    }
-                }
-            }
-            VifiPayload::Data(_) | VifiPayload::Beacon(_) => {}
-        }
-
-        // ---- delivery to receivers ----
-        for rx in rx_ids {
-            if let Some(ep) = self.endpoints.get_mut(&rx) {
-                let acts = ep.on_frame(&frame.payload, now);
-                self.handle_actions(rx, acts, now);
-                self.pump(rx, now);
-            }
-        }
-
-        // ---- sender interface is free again ----
-        self.iface_busy.insert(node, false);
-        if let Some((payload, bytes)) = self.pending_beacon.remove(&node) {
-            self.start_tx(node, payload, bytes, now);
-        }
-        self.pump(node, now);
-    }
-
-    /// Refresh a node's wakeup timer and start a transmission if its
-    /// interface is idle and it has frames queued.
-    fn pump(&mut self, node: NodeId, now: SimTime) {
-        // Wakeup timer maintenance.
-        let next = self.endpoints.get(&node).and_then(|ep| ep.next_wakeup());
-        if let Some(tok) = self.wakeup_tokens.remove(&node) {
-            self.sched.cancel(tok);
-        }
-        if let Some(at) = next {
-            let at = at.max(now);
-            let tok = self.sched.at(at, Event::Wakeup(node));
-            self.wakeup_tokens.insert(node, tok);
-        }
-        // Interface.
-        if !self.iface_busy[&node] {
-            if let Some(ep) = self.endpoints.get_mut(&node) {
-                if ep.has_tx() {
-                    if let Some((payload, bytes)) = ep.pull_frame(now) {
-                        self.start_tx(node, payload, bytes, now);
-                    }
+                let schedule = EpochSchedule::new(SYNC_QUANTUM, QUIET_QUANTUM, active);
+                let probe = TraceSimSetup::from_trace(trace, &Rng::new(cfg.seed));
+                let trace = trace.clone();
+                let seed = cfg.seed;
+                EngineSetup {
+                    vehicles: vec![probe.vehicle],
+                    bs_ids: probe.bs_ids.clone(),
+                    link_factory: Box::new(move || {
+                        Box::new(TraceSimSetup::from_trace(&trace, &Rng::new(seed)).link)
+                    }),
+                    schedule,
+                    partition,
+                    base_shard_id: self.base_shard_id,
+                    workers,
+                    cfg,
                 }
             }
         }
     }
 
-    // ------------------------------------------------------------------
-    // Endpoint actions and driver plumbing
-    // ------------------------------------------------------------------
-
-    fn handle_actions(&mut self, node: NodeId, acts: Vec<Action>, now: SimTime) {
-        for act in acts {
-            match act {
-                Action::Deliver { id, app, dir } => self.on_deliver(node, id, app, dir, now),
-                Action::Backplane { to, msg } => {
-                    let bytes = msg.wire_bytes();
-                    if let BackplaneMsg::RelayData(d) = &msg {
-                        if self.flow_vehicle(d.flow_src, d.flow_dst) == self.vehicle {
-                            self.log.ledger_up.on_backplane_tx();
-                        }
-                    }
-                    match self.backplane.send(node, to, bytes, now) {
-                        Some(at) => {
-                            self.sched.at(
-                                at,
-                                Event::BackplaneArrive {
-                                    from: node,
-                                    to,
-                                    msg,
-                                },
-                            );
-                        }
-                        None => {
-                            // Like the rest of the log, drops are scoped
-                            // to the instrumented vehicle's traffic.
-                            let veh = match &msg {
-                                BackplaneMsg::RelayData(d) => {
-                                    self.flow_vehicle(d.flow_src, d.flow_dst)
-                                }
-                                BackplaneMsg::SalvageRequest { vehicle, .. }
-                                | BackplaneMsg::SalvageData { vehicle, .. } => *vehicle,
-                            };
-                            if veh == self.vehicle {
-                                self.log.backplane_drops += 1;
-                                if let BackplaneMsg::RelayData(d) = &msg {
-                                    self.log.on_relay(d.id, node, true, false);
-                                }
-                            }
-                        }
-                    }
-                }
-                Action::Stat(ev) => self.on_stat(node, ev),
+    /// All radio nodes of this simulation (vehicles + basestations).
+    fn all_nodes(&self) -> Vec<NodeId> {
+        match &self.kind {
+            SimKind::Deployment { scenario } => {
+                let mut v = scenario.vehicle_ids();
+                v.extend(scenario.bs_ids());
+                v
+            }
+            SimKind::Trace { trace } => {
+                let probe = TraceSimSetup::from_trace(trace, &Rng::new(self.cfg.seed));
+                let mut v = vec![probe.vehicle];
+                v.extend(probe.bs_ids);
+                v
             }
         }
     }
 
-    fn on_deliver(&mut self, node: NodeId, id: PacketId, app: Bytes, dir: Direction, now: SimTime) {
-        match dir {
-            Direction::Downstream => {
-                // At a vehicle: hand to its workload driver, if it has one.
-                if node == self.vehicle {
-                    self.log.on_delivered(id);
-                    self.log.ledger_down.on_delivered();
-                }
-                self.with_driver(node, now, |d, api| d.on_vehicle_rx(&app, api));
-            }
-            Direction::Upstream => {
-                // At the anchor: forward over the wired hop toward the
-                // originating vehicle's Internet peer.
-                if id.origin == self.vehicle {
-                    self.log.on_delivered(id);
-                    self.log.ledger_up.on_delivered();
-                }
-                self.sched.at(
-                    now + self.cfg.wired_delay,
-                    Event::WiredUpArrive {
-                        vehicle: id.origin,
-                        payload: app,
-                        radio_exit: now,
-                    },
-                );
-            }
-        }
-    }
-
-    fn on_stat(&mut self, node: NodeId, ev: StatEvent) {
-        match ev {
-            StatEvent::RelayDecision {
-                id,
-                dir: _,
-                prob,
-                relayed,
-            } => {
-                // Attaches only to packets already in the log, i.e. the
-                // instrumented vehicle's flows.
-                self.log.on_decision(id, node, prob, relayed);
-            }
-            StatEvent::AnchorSwitch { .. } => {
-                if let Some(host) = self.host_mut(node) {
-                    host.anchor_switches += 1;
-                }
-            }
-            StatEvent::Salvaged { .. } => {
-                // Counted at BackplaneArrive (covers the transfer itself).
-            }
-            StatEvent::RelaySuppressed { .. } | StatEvent::SourceDrop { .. } => {}
-        }
-    }
-
-    fn with_driver<F>(&mut self, vehicle: NodeId, now: SimTime, f: F)
-    where
-        F: FnOnce(&mut dyn Driver, &mut HostApi),
-    {
-        // Vehicles without a workload driver (background fleet members in
-        // non-fleet runs) simply have no host entry.
-        let Some(idx) = self.hosts.iter().position(|(v, _)| *v == vehicle) else {
-            return;
-        };
-        let mut driver = self.hosts[idx].1.driver.take().expect("driver present");
-        let mut api = HostApi {
-            now,
-            rng: &mut self.hosts[idx].1.rng,
-            cmds: Vec::new(),
-        };
-        f(driver.as_mut(), &mut api);
-        let cmds = api.cmds;
-        self.hosts[idx].1.driver = Some(driver);
-        for cmd in cmds {
-            match cmd {
-                HostCmd::SendUpstream(bytes) => {
-                    self.endpoints
-                        .get_mut(&vehicle)
-                        .expect("vehicle endpoint")
-                        .send_app(bytes, None, now);
-                    self.pump(vehicle, now);
-                }
-                HostCmd::SendDownstream(bytes) => {
-                    self.sched.at(
-                        now + self.cfg.wired_delay,
-                        Event::WiredDownArrive {
-                            vehicle,
-                            payload: bytes,
-                        },
-                    );
-                }
-                HostCmd::ScheduleTick { chan, at } => {
-                    self.sched.at(at.max(now), Event::AppTick { vehicle, chan });
-                }
-            }
-        }
+    /// Run to completion and produce the outcome: the epoch engine with a
+    /// single shard on the calling thread — the sequential coupled run
+    /// every sharded mode is measured against.
+    pub fn run(self) -> RunOutcome {
+        let partition = EnginePartition::single(self.all_nodes());
+        let setup = self.engine_setup(partition, 1);
+        engine::run(setup).0
     }
 }
 
@@ -788,8 +331,11 @@ impl Simulation {
 // Sharded execution
 // ---------------------------------------------------------------------
 
-/// One shard of a sharded run: the worker-owned disjoint set of vehicles
-/// it simulates, in fleet order. See the module docs for the semantics.
+/// One shard of a sharded run: the disjoint node set it owns. For
+/// [`ShardMode::Independent`] only `vehicles` is populated (each vehicle
+/// becomes its own sub-run, `basestations` is empty because the
+/// infrastructure is replicated); for [`ShardMode::Coupled`] the shard
+/// owns its vehicles *and* an exclusive slice of the basestations.
 #[derive(Clone, Debug)]
 pub struct ShardAssignment {
     /// Shard identity (also stamped into the shard's timer tokens).
@@ -797,6 +343,9 @@ pub struct ShardAssignment {
     /// `(fleet_index, vehicle)` pairs owned by this shard; `fleet_index`
     /// is the vehicle's position in [`Scenario::vehicle_ids`] order.
     pub vehicles: Vec<(usize, NodeId)>,
+    /// Basestations owned by this shard (coupled mode only): every BS is
+    /// owned by exactly one shard, balanced by contact-seconds.
+    pub basestations: Vec<NodeId>,
 }
 
 /// The deterministic execution plan of a sharded run.
@@ -808,16 +357,17 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Total instrumented vehicles across all assignments.
+    /// Total vehicles across all assignments.
     pub fn vehicles(&self) -> usize {
         self.assignments.iter().map(|a| a.vehicles.len()).sum()
     }
 }
 
 /// Wall-clock accounting of one shard of a sharded run: how long the
-/// shard's sub-runs took on their worker. The maximum across shards is
-/// the run's critical path — the wall-clock it needs when every shard
-/// has its own core.
+/// shard's work took on its worker. The maximum across shards is the
+/// run's critical path — the wall-clock it needs when every shard has
+/// its own core. (Coupled runs additionally spend serial coordinator
+/// time at the barriers; [`Simulation::run_coupled_timed`] reports it.)
 #[derive(Clone, Debug)]
 pub struct ShardTiming {
     /// Which shard.
@@ -829,11 +379,9 @@ pub struct ShardTiming {
 }
 
 /// Resolve the configured shard count: `0` means one shard per available
-/// core, floored at two so `0` always selects the *decomposed* semantics
-/// — were a single-core host to resolve to the coupled `1` path, the
-/// same config would produce different physics on different machines.
-/// (The floor costs nothing: merged outcomes are invariant to the shard
-/// count anyway.)
+/// core, floored at two so `0` always selects the *decomposed* execution
+/// — were a single-core host to resolve to `1`, the same config would
+/// pick a different code path on different machines.
 fn resolve_shards(shards: usize) -> usize {
     if shards == 0 {
         std::thread::available_parallelism()
@@ -845,17 +393,20 @@ fn resolve_shards(shards: usize) -> usize {
     }
 }
 
-/// Build the deterministic shard plan for `(scenario, cfg)`: the
-/// instrumented vehicles (every vehicle in fleet mode, the first vehicle
-/// otherwise), partitioned by [`Scenario::shard_partition`] (round-robin
-/// in fleet order) across the resolved shard count. A pure function of
-/// its inputs — the plan is as replayable as the run (the core count
-/// only enters through `shards == 0`). Note that *which* shard owns a
-/// vehicle only affects scheduling, never results: merged outcomes are
-/// invariant to the partition (the equivalence suite proves it), which
-/// is also why alternative partitions like
-/// [`Scenario::shard_partition_by_contact`] are pure load-balancing
-/// choices.
+/// Build the deterministic shard plan for `(scenario, cfg)`.
+///
+/// [`ShardMode::Independent`]: the instrumented vehicles (every vehicle
+/// in fleet mode, the first vehicle otherwise) partitioned round-robin by
+/// [`Scenario::shard_partition`]; basestations are not assigned (each
+/// sub-run replicates them).
+///
+/// [`ShardMode::Coupled`]: *all* vehicles (background occupants too — the
+/// coupled engine simulates the whole scenario) partitioned by contact
+/// load ([`Scenario::shard_partition_by_contact`]), plus every
+/// basestation assigned to exactly one shard, heaviest-first by
+/// [`Scenario::bs_contact_seconds`] onto the lightest shard. A pure
+/// function of its inputs; and since the engine's outcome is invariant to
+/// the partition, the assignment is purely a load-balancing choice.
 pub fn plan_shards(scenario: &Scenario, cfg: &RunConfig) -> ShardPlan {
     let shards = resolve_shards(cfg.shards).max(1);
     let fleet_index: HashMap<NodeId, usize> = scenario
@@ -864,32 +415,65 @@ pub fn plan_shards(scenario: &Scenario, cfg: &RunConfig) -> ShardPlan {
         .enumerate()
         .map(|(i, v)| (v, i))
         .collect();
-    let groups: Vec<Vec<NodeId>> = if cfg.fleet_workloads.is_empty() {
-        // Non-fleet mode instruments only the first vehicle; the rest of
-        // the partition stays empty.
-        let mut groups = vec![Vec::new(); shards];
-        groups[0].push(scenario.vehicle_ids()[0]);
-        groups
-    } else {
-        scenario.shard_partition(shards)
-    };
-    ShardPlan {
-        assignments: groups
-            .into_iter()
-            .enumerate()
-            .map(|(s, vehicles)| ShardAssignment {
-                shard_id: s as u32,
-                vehicles: vehicles.into_iter().map(|v| (fleet_index[&v], v)).collect(),
-            })
-            .collect(),
+    match cfg.shard_mode {
+        ShardMode::Independent => {
+            let groups: Vec<Vec<NodeId>> = if cfg.fleet_workloads.is_empty() {
+                // Non-fleet mode instruments only the first vehicle; the
+                // rest of the partition stays empty.
+                let mut groups = vec![Vec::new(); shards];
+                groups[0].push(scenario.vehicle_ids()[0]);
+                groups
+            } else {
+                scenario.shard_partition(shards)
+            };
+            ShardPlan {
+                assignments: groups
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, vehicles)| ShardAssignment {
+                        shard_id: s as u32,
+                        vehicles: vehicles.into_iter().map(|v| (fleet_index[&v], v)).collect(),
+                        basestations: Vec::new(),
+                    })
+                    .collect(),
+            }
+        }
+        ShardMode::Coupled => {
+            let link = scenario.build_link_model(&Rng::new(cfg.seed));
+            let vgroups = scenario.shard_partition_by_contact(shards, &link, 0.1);
+            // Basestations: longest-processing-time by contact seconds.
+            let mut weights = scenario.bs_contact_seconds(&link, 0.1);
+            weights.sort_by_key(|&(bs, w)| (std::cmp::Reverse(w), bs));
+            let mut bs_groups: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+            let mut loads = vec![0u64; shards];
+            for (bs, w) in weights {
+                let lightest = (0..shards)
+                    .min_by_key(|&s| (loads[s], s))
+                    .expect(">=1 shard");
+                loads[lightest] += w;
+                bs_groups[lightest].push(bs);
+            }
+            ShardPlan {
+                assignments: vgroups
+                    .into_iter()
+                    .zip(bs_groups)
+                    .enumerate()
+                    .map(|(s, (vehicles, basestations))| ShardAssignment {
+                        shard_id: s as u32,
+                        vehicles: vehicles.into_iter().map(|v| (fleet_index[&v], v)).collect(),
+                        basestations,
+                    })
+                    .collect(),
+            }
+        }
     }
 }
 
-/// The seed of one vehicle's micro-shard sub-run. The partition unit is
+/// The seed of one vehicle's Independent sub-run. The partition unit is
 /// the vehicle, so streams are keyed by `(run_seed, vehicle)` — never by
-/// the shard count — which is what makes sharded outcomes invariant to
-/// how many workers execute the plan. Fleet index 0 keeps the run seed
-/// itself, so a single-vehicle scenario's sharded run replays the
+/// the shard count — which is what makes Independent outcomes invariant
+/// to how many workers execute the plan. Fleet index 0 keeps the run
+/// seed itself, so a single-vehicle scenario's sharded run replays the
 /// sequential run bit-for-bit.
 fn micro_shard_seed(seed: u64, fleet_index: usize, vehicle: NodeId) -> u64 {
     if fleet_index == 0 {
@@ -902,9 +486,9 @@ fn micro_shard_seed(seed: u64, fleet_index: usize, vehicle: NodeId) -> u64 {
     }
 }
 
-/// Run one vehicle's micro-shard: restrict the scenario to the vehicle
-/// plus the full infrastructure, run it under its derived seed, and remap
-/// the outcome back into the parent scenario's node-id space.
+/// Run one vehicle's Independent sub-run: restrict the scenario to the
+/// vehicle plus the full infrastructure, run it under its derived seed,
+/// and remap the outcome back into the parent scenario's node-id space.
 fn run_micro_shard(
     scenario: &Scenario,
     cfg: &RunConfig,
@@ -927,6 +511,7 @@ fn run_micro_shard(
         backplane: cfg.backplane,
         wired_delay: cfg.wired_delay,
         shards: 1,
+        shard_mode: cfg.shard_mode,
     };
     let mut out = Simulation::deployment_shard(&sub, sub_cfg, shard_id).run();
     // Map sub-scenario ids back to the parent's (identity whenever the
@@ -940,7 +525,7 @@ fn run_micro_shard(
     out
 }
 
-/// Deterministically merge per-vehicle micro-shard outcomes (paired with
+/// Deterministically merge per-vehicle Independent outcomes (paired with
 /// their fleet index) into one [`RunOutcome`]: vehicles in fleet order,
 /// counters summed, the packet log and primary report taken from the
 /// first vehicle — the same shape a sequential fleet run produces.
@@ -980,9 +565,8 @@ fn merge_shard_outcomes(mut parts: Vec<(usize, RunOutcome)>) -> RunOutcome {
 impl Simulation {
     /// Run `(scenario, cfg)` sharded across up to [`RunConfig::shards`]
     /// worker threads and return the merged outcome. `shards <= 1` is the
-    /// sequential fully-coupled [`Simulation::run`], unchanged; see the
-    /// module docs for the `shards >= 2` decomposition semantics and the
-    /// bit-identity guarantees the equivalence suite enforces.
+    /// sequential coupled [`Simulation::run`]; `shards >= 2` decomposes
+    /// per [`RunConfig::shard_mode`] — see the module docs.
     pub fn run_sharded(scenario: &Scenario, cfg: RunConfig) -> RunOutcome {
         Self::run_sharded_timed(scenario, cfg).0
     }
@@ -993,6 +577,8 @@ impl Simulation {
     /// capped at the host's available parallelism — extra shards queue on
     /// the workers rather than oversubscribing cores, so each shard's
     /// wall-clock measures its own work, not its neighbours' timeslices.
+    /// Coupled-mode timings exclude the serial coordinator share; use
+    /// [`Simulation::run_coupled_timed`] for the full breakdown.
     pub fn run_sharded_timed(
         scenario: &Scenario,
         cfg: RunConfig,
@@ -1013,6 +599,86 @@ impl Simulation {
             }];
             return (out, timing);
         }
+        match cfg.shard_mode {
+            ShardMode::Independent => Self::run_independent_timed(scenario, cfg),
+            ShardMode::Coupled => {
+                let plan = plan_shards(scenario, &cfg);
+                let (out, timing) = Self::run_coupled_planned(scenario, cfg, None, &plan);
+                let timings = plan
+                    .assignments
+                    .iter()
+                    .zip(&timing.per_shard)
+                    .map(|(a, &wall)| ShardTiming {
+                        shard_id: a.shard_id,
+                        vehicles: a.vehicles.len(),
+                        wall,
+                    })
+                    .collect();
+                (out, timings)
+            }
+        }
+    }
+
+    /// Run one coupled sharded experiment, returning the outcome plus the
+    /// engine's wall-clock breakdown (per-shard epoch work and the serial
+    /// coordinator share). `workers` overrides the worker-thread count —
+    /// `Some(1)` executes every shard on the calling thread, which is how
+    /// the fleet sweep measures honest per-shard walls on small hosts;
+    /// `None` uses one thread per shard up to the host's parallelism
+    /// (floored at two, so the threaded path is really exercised). The
+    /// outcome is bit-identical for every worker count.
+    pub fn run_coupled_timed(
+        scenario: &Scenario,
+        cfg: RunConfig,
+        workers: Option<usize>,
+    ) -> (RunOutcome, CoupledTiming) {
+        let cfg = RunConfig {
+            shard_mode: ShardMode::Coupled,
+            ..cfg
+        };
+        let plan = plan_shards(scenario, &cfg);
+        Self::run_coupled_planned(scenario, cfg, workers, &plan)
+    }
+
+    /// [`Simulation::run_coupled_timed`] with an already-computed plan —
+    /// the planner's contact analysis is not free, so callers that
+    /// needed the plan anyway (e.g. [`Simulation::run_sharded_timed`])
+    /// pass it in instead of replanning.
+    fn run_coupled_planned(
+        scenario: &Scenario,
+        cfg: RunConfig,
+        workers: Option<usize>,
+        plan: &ShardPlan,
+    ) -> (RunOutcome, CoupledTiming) {
+        let partition = EnginePartition {
+            lanes: plan
+                .assignments
+                .iter()
+                .map(|a| {
+                    let mut lane: Vec<NodeId> = a.vehicles.iter().map(|&(_, v)| v).collect();
+                    lane.extend(a.basestations.iter().copied());
+                    lane
+                })
+                .collect(),
+        };
+        let workers = workers.unwrap_or_else(|| {
+            partition.lanes.len().min(
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .max(2),
+            )
+        });
+        let sim = Simulation::deployment(scenario, cfg);
+        let setup = sim.engine_setup(partition, workers);
+        engine::run(setup)
+    }
+
+    /// The Independent-mode parallel executor (PR 4 semantics).
+    fn run_independent_timed(
+        scenario: &Scenario,
+        cfg: RunConfig,
+    ) -> (RunOutcome, Vec<ShardTiming>) {
         let plan = plan_shards(scenario, &cfg);
         let busy: Vec<&ShardAssignment> = plan
             .assignments
@@ -1071,16 +737,17 @@ impl Simulation {
         (merge_shard_outcomes(merged), timings)
     }
 
-    /// The sequential reference path of the sharded semantics: execute
-    /// the same per-vehicle decomposition as `shards >= 2`, inline on the
-    /// calling thread, in fleet order. `run_sharded` with any shard count
-    /// `>= 2` is bit-identical to this — the equivalence suite pins the
-    /// parallel executor against it.
+    /// The sequential reference path of the Independent semantics:
+    /// execute the same per-vehicle decomposition as `shards >= 2`,
+    /// inline on the calling thread, in fleet order. `run_sharded` in
+    /// Independent mode with any shard count `>= 2` is bit-identical to
+    /// this — the equivalence suite pins the parallel executor against it.
     pub fn run_sharded_sequential(scenario: &Scenario, cfg: RunConfig) -> RunOutcome {
         let plan = plan_shards(
             scenario,
             &RunConfig {
                 shards: 1,
+                shard_mode: ShardMode::Independent,
                 ..cfg.clone()
             },
         );
@@ -1246,7 +913,7 @@ mod tests {
             .log
             .records
             .iter()
-            .filter(|r| r.dir == Direction::Upstream)
+            .filter(|r| r.dir == vifi_core::Direction::Upstream)
             .flat_map(|r| r.relays.iter())
             .filter(|f| !f.via_backplane)
             .count();
@@ -1414,12 +1081,14 @@ mod tests {
     #[test]
     fn shard_plan_partitions_instrumented_vehicles() {
         let s = vanlan(1);
-        // Non-fleet mode: one micro-shard (the instrumented vehicle).
+        // Non-fleet Independent mode: one micro-shard (the instrumented
+        // vehicle).
         let cfg = quick_cfg(WorkloadSpec::paper_cbr(), 10, 1);
         let plan = plan_shards(&s, &RunConfig { shards: 4, ..cfg });
         assert_eq!(plan.assignments.len(), 4);
         assert_eq!(plan.vehicles(), 1);
         assert_eq!(plan.assignments[0].vehicles, vec![(0, s.vehicle_ids()[0])]);
+        assert!(plan.assignments.iter().all(|a| a.basestations.is_empty()));
         // Fleet mode: every vehicle, round-robin.
         let s = vanlan(5);
         let cfg = RunConfig {
@@ -1435,6 +1104,74 @@ mod tests {
             vec![(0, vs[0]), (2, vs[2]), (4, vs[4])]
         );
         assert_eq!(plan.assignments[1].vehicles, vec![(1, vs[1]), (3, vs[3])]);
+    }
+
+    #[test]
+    fn coupled_plan_covers_every_node_exactly_once() {
+        let s = vanlan(4);
+        let cfg = RunConfig {
+            fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+            shards: 3,
+            shard_mode: ShardMode::Coupled,
+            ..quick_cfg(WorkloadSpec::Idle, 10, 1)
+        };
+        let plan = plan_shards(&s, &cfg);
+        assert_eq!(plan.assignments.len(), 3);
+        let mut vehicles: Vec<NodeId> = plan
+            .assignments
+            .iter()
+            .flat_map(|a| a.vehicles.iter().map(|&(_, v)| v))
+            .collect();
+        vehicles.sort_by_key(|n| n.index());
+        assert_eq!(vehicles, s.vehicle_ids(), "all vehicles, background too");
+        let mut bs: Vec<NodeId> = plan
+            .assignments
+            .iter()
+            .flat_map(|a| a.basestations.iter().copied())
+            .collect();
+        bs.sort_by_key(|n| n.index());
+        assert_eq!(bs, s.bs_ids(), "every BS owned by exactly one shard");
+        // Deterministic plan.
+        let again = plan_shards(&s, &cfg);
+        for (a, b) in plan.assignments.iter().zip(&again.assignments) {
+            assert_eq!(a.vehicles, b.vehicles);
+            assert_eq!(a.basestations, b.basestations);
+        }
+    }
+
+    #[test]
+    fn coupled_mode_is_bit_identical_to_sequential() {
+        // The headline property, in miniature (the full grid lives in
+        // tests/shard_equivalence.rs): coupled sharded runs reproduce the
+        // sequential coupled run bit for bit, at any worker count.
+        let s = vanlan(2);
+        let cfg = RunConfig {
+            fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+            ..quick_cfg(WorkloadSpec::Idle, 12, 21)
+        };
+        let sequential = Simulation::deployment(&s, cfg.clone()).run().fingerprint();
+        for shards in [2usize, 3] {
+            let coupled = Simulation::run_sharded(
+                &s,
+                RunConfig {
+                    shards,
+                    shard_mode: ShardMode::Coupled,
+                    ..cfg.clone()
+                },
+            )
+            .fingerprint();
+            assert_eq!(coupled, sequential, "shards={shards}");
+        }
+        // Worker count is also irrelevant (serial vs threaded executor).
+        let (serial, _) = Simulation::run_coupled_timed(
+            &s,
+            RunConfig {
+                shards: 2,
+                ..cfg.clone()
+            },
+            Some(1),
+        );
+        assert_eq!(serial.fingerprint(), sequential);
     }
 
     #[test]

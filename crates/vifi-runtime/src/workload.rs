@@ -98,7 +98,7 @@ impl HostApi<'_> {
 }
 
 /// A workload driver.
-pub(crate) trait Driver {
+pub(crate) trait Driver: Send {
     /// Called once at simulation start.
     fn start(&mut self, api: &mut HostApi);
     /// A scheduled tick fired.

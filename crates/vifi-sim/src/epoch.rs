@@ -1,0 +1,295 @@
+//! Conservative synchronization for sharded coupled runs.
+//!
+//! The contention-preserving parallel mode (`vifi-runtime`'s
+//! `ShardMode::Coupled`) executes one simulation as a set of shards that
+//! advance in lock-step **epochs**: every shard runs its own event queue
+//! up to the next epoch boundary, then all shards meet at a barrier where
+//! the shared services (medium, backplane, wired hand-offs) resolve the
+//! epoch's cross-shard interactions in one canonically-sorted batch. Two
+//! pieces live here because they are protocol-agnostic:
+//!
+//! * [`EpochSchedule`] — the deterministic sequence of epoch boundaries.
+//!   The lower bound on how soon one shard's actions can affect another is
+//!   the *sync quantum*; the schedule stretches it during windows in which
+//!   the whole fleet is out of contact (derived by the runtime from
+//!   `Scenario::contact_windows` plus beacon periodicity — vehicles out of
+//!   mutual radio range cannot interact, so shards run free there).
+//! * [`EpochBarrier`] — a reusable rendezvous for the worker threads of a
+//!   parallel coupled run. Between waits, worker 0 acts as the
+//!   coordinator and performs the serial barrier work; the barrier itself
+//!   never touches simulation state, so it cannot perturb determinism.
+//!
+//! Determinism contract: the schedule is a pure function of its inputs
+//! (never of the shard partition or worker count), and the barrier is
+//! pure synchronization — which is what lets the runtime promise that a
+//! coupled run's outcome is bit-identical at every worker count.
+
+use std::sync::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic epoch-boundary schedule of a coupled sharded run.
+///
+/// Boundaries advance by `fine` (the sync quantum) inside *active*
+/// second-ranges and by `coarse` outside them. Boundaries are aligned so
+/// the schedule is a pure function of `(fine, coarse, active)` — two runs
+/// that share those inputs cross identical boundaries regardless of how
+/// many shards or workers execute them.
+#[derive(Clone, Debug)]
+pub struct EpochSchedule {
+    fine: SimDuration,
+    coarse: SimDuration,
+    /// Sorted, disjoint `[start, end)` second ranges during which any
+    /// cross-shard interaction is possible (fleet in or near contact).
+    active: Vec<(u64, u64)>,
+}
+
+impl EpochSchedule {
+    /// Schedule with the given quanta and active second-ranges. Ranges
+    /// must be sorted and disjoint (the runtime derives them from contact
+    /// windows, which guarantee both). `fine` and `coarse` must be
+    /// positive; `coarse` is clamped up to at least `fine`.
+    pub fn new(fine: SimDuration, coarse: SimDuration, active: Vec<(u64, u64)>) -> Self {
+        assert!(!fine.is_zero(), "sync quantum must be positive");
+        debug_assert!(
+            active.windows(2).all(|w| w[0].1 <= w[1].0),
+            "active ranges must be sorted and disjoint"
+        );
+        let coarse = if coarse < fine { fine } else { coarse };
+        EpochSchedule {
+            fine,
+            coarse,
+            active,
+        }
+    }
+
+    /// A schedule that treats the whole run as active: every boundary is
+    /// one sync quantum apart. The conservative fallback for callers
+    /// without any activity analysis — always sound, never stretched.
+    pub fn uniform(fine: SimDuration) -> Self {
+        Self::new(fine, fine, vec![(0, u64::MAX)])
+    }
+
+    /// The sync quantum (fine epoch length).
+    pub fn quantum(&self) -> SimDuration {
+        self.fine
+    }
+
+    /// True if the second containing `t` falls in an active range.
+    fn is_active(&self, t: SimTime) -> bool {
+        let sec = t.second_bin();
+        // Ranges are few (contact windows per lap); linear scan is fine
+        // and keeps the structure trivially auditable.
+        self.active.iter().any(|&(a, b)| a <= sec && sec < b)
+    }
+
+    /// The first boundary strictly after `t`.
+    ///
+    /// Inside active seconds boundaries sit on the `fine` grid; outside
+    /// they sit on the `coarse` grid, but never skip over the start of an
+    /// upcoming active second (a shard must not free-run into a window
+    /// where another shard's vehicles could reach it).
+    pub fn boundary_after(&self, t: SimTime) -> SimTime {
+        let step = if self.is_active(t) {
+            self.fine
+        } else {
+            self.coarse
+        };
+        let us = t.as_micros();
+        let step_us = step.as_micros();
+        let mut next = SimTime::from_micros((us / step_us + 1) * step_us);
+        if !self.is_active(t) {
+            // Clamp to the next active-range start so lookahead never
+            // crosses into a window that needs fine synchronization.
+            let sec = t.second_bin();
+            if let Some(&(start, _)) = self.active.iter().find(|&&(a, _)| a > sec) {
+                let active_start = SimTime::from_secs(start);
+                if active_start > t && active_start < next {
+                    next = active_start;
+                }
+            }
+        }
+        next
+    }
+
+    /// Every boundary in `(0, horizon]`, in order — the runtime's barrier
+    /// sequence. The final boundary is always `>= horizon` so the last
+    /// epoch is complete.
+    pub fn boundaries(&self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t = self.boundary_after(t);
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// State shared by the participants of an [`EpochBarrier`].
+struct BarrierState {
+    /// Participants that have arrived in the current generation.
+    arrived: usize,
+    /// Generation counter; bumped when the last participant arrives.
+    generation: u64,
+}
+
+/// A reusable N-participant rendezvous for coupled-run worker threads.
+///
+/// Pure synchronization: the last thread to arrive releases the rest and
+/// learns it was last (its cue to run the serial coordinator section in
+/// designs that want one). No simulation data flows through the barrier,
+/// so it cannot introduce nondeterminism — only waiting.
+pub struct EpochBarrier {
+    participants: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl EpochBarrier {
+    /// Barrier for `participants` threads (at least one).
+    pub fn new(participants: usize) -> Self {
+        assert!(participants >= 1, "barrier needs a participant");
+        EpochBarrier {
+            participants,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Block until all participants have called `wait` for this
+    /// generation. Returns `true` on exactly one participant per
+    /// generation (the last to arrive).
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        st.arrived += 1;
+        if st.arrived == self.participants {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                st = self.cv.wait(st).expect("barrier poisoned");
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn uniform_schedule_steps_by_quantum() {
+        let s = EpochSchedule::uniform(SimDuration::from_millis(2));
+        assert_eq!(s.boundary_after(SimTime::ZERO), ms(2));
+        assert_eq!(s.boundary_after(ms(2)), ms(4));
+        assert_eq!(s.boundary_after(SimTime::from_micros(2001)), ms(4));
+        let bs = s.boundaries(ms(10));
+        assert_eq!(bs, vec![ms(2), ms(4), ms(6), ms(8), ms(10)]);
+    }
+
+    #[test]
+    fn quiet_ranges_stretch_epochs() {
+        // Active in seconds [0,1) and [5,7): everything between free-runs
+        // at the coarse quantum.
+        let s = EpochSchedule::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(250),
+            vec![(0, 1), (5, 7)],
+        );
+        assert_eq!(s.boundary_after(SimTime::ZERO), ms(1));
+        // From inside the quiet gap: coarse steps…
+        assert_eq!(s.boundary_after(SimTime::from_secs(2)), ms(2250));
+        // …but never across the next active-range start.
+        assert_eq!(s.boundary_after(ms(4900)), SimTime::from_secs(5));
+        // Back inside an active second: fine again.
+        assert_eq!(s.boundary_after(SimTime::from_secs(5)), ms(5001));
+    }
+
+    #[test]
+    fn boundaries_cover_the_horizon() {
+        let s = EpochSchedule::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(100),
+            vec![(0, 2)],
+        );
+        let bs = s.boundaries(SimTime::from_secs(3));
+        assert!(*bs.last().unwrap() >= SimTime::from_secs(3));
+        // Strictly increasing, no duplicates.
+        assert!(bs.windows(2).all(|w| w[0] < w[1]));
+        // Fine inside the active seconds, coarse after.
+        assert_eq!(bs[0], ms(1));
+        assert!(bs.iter().filter(|&&b| b <= SimTime::from_secs(2)).count() >= 2000);
+        assert!(bs.iter().filter(|&&b| b > SimTime::from_secs(2)).count() <= 11);
+    }
+
+    #[test]
+    fn schedule_is_partition_free() {
+        // The schedule depends only on its inputs — two instances agree
+        // everywhere (the property coupled runs lean on).
+        let a = EpochSchedule::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+            vec![(3, 9)],
+        );
+        let b = EpochSchedule::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+            vec![(3, 9)],
+        );
+        assert_eq!(
+            a.boundaries(SimTime::from_secs(12)),
+            b.boundaries(SimTime::from_secs(12))
+        );
+    }
+
+    #[test]
+    fn barrier_releases_all_and_elects_one_leader() {
+        let barrier = Arc::new(EpochBarrier::new(4));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let rounds = 50;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..rounds {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("barrier participant panicked");
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), rounds);
+    }
+
+    #[test]
+    fn single_participant_barrier_is_trivial() {
+        let b = EpochBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert_eq!(b.participants(), 1);
+    }
+}

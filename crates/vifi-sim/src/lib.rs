@@ -18,19 +18,24 @@
 //! * [`Scheduler`] — clock + queue glued together; the main loop of
 //!   `vifi-runtime` drives one of these.
 //!
-//! The engine is intentionally synchronous and single-threaded: the paper's
-//! experiments are second-to-hour scale packet simulations where determinism
-//! and replayability matter far more than parallel speedup. Seed-level
-//! parallelism (running many independent trials) lives in `vifi-bench`.
+//! The per-queue engine is intentionally synchronous: determinism and
+//! replayability matter far more than raw speed. Parallelism is layered on
+//! top, never baked in — seed-level parallelism (independent trials) lives
+//! in `vifi-bench`, and single-run parallelism uses the conservative
+//! [`epoch`] layer ([`EpochSchedule`] boundaries + [`EpochBarrier`]
+//! rendezvous), which `vifi-runtime`'s coupled sharded mode drives with one
+//! event queue per shard.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod event;
 pub mod rng;
 pub mod sched;
 pub mod time;
 
+pub use epoch::{EpochBarrier, EpochSchedule};
 pub use event::{EventQueue, TimerToken};
 pub use rng::Rng;
 pub use sched::Scheduler;

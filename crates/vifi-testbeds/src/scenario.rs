@@ -260,6 +260,77 @@ impl Scenario {
         }
         windows
     }
+
+    /// Contact-overlap analysis for the coupled-run planner: per
+    /// basestation, the total seconds over one lap during which *any*
+    /// vehicle can hear it above `min_prob` (plus one, so never-visited
+    /// BSes still carry weight). A BS's protocol work — receptions, relay
+    /// decisions, acks — scales with how long vehicles sit in its cell,
+    /// so these weights drive the load-balanced BS→shard assignment.
+    /// Deterministic: a pure function of geometry. Returned in id order.
+    pub fn bs_contact_seconds(
+        &self,
+        link: &PhysicalLinkModel,
+        min_prob: f64,
+    ) -> Vec<(NodeId, u64)> {
+        let vehicles = self.vehicle_ids();
+        let lap_s = self.lap.as_secs();
+        self.bs_ids()
+            .into_iter()
+            .map(|bs| {
+                let mut covered = 0u64;
+                for sec in 0..lap_s {
+                    let t = SimTime::from_secs(sec);
+                    if vehicles
+                        .iter()
+                        .any(|&v| link.slow_prob(bs, v, t) > min_prob)
+                    {
+                        covered += 1;
+                    }
+                }
+                (bs, covered + 1)
+            })
+            .collect()
+    }
+
+    /// The seconds of `[0, horizon_s)` during which cross-shard radio
+    /// interaction is possible: some vehicle is within radio range of a
+    /// basestation or of another vehicle. Each active second is dilated
+    /// by ±`margin_s` (callers pass at least the beacon period plus one
+    /// second, covering intra-second motion and beacon-staleness — the
+    /// lookahead a conservative scheme needs), and the result is merged
+    /// into sorted, disjoint `[start, end)` ranges. Outside these ranges
+    /// the whole fleet is silent air: coupled runs stretch their epochs
+    /// there and shards run free.
+    pub fn active_seconds(
+        &self,
+        link: &PhysicalLinkModel,
+        horizon_s: u64,
+        margin_s: u64,
+    ) -> Vec<(u64, u64)> {
+        let vehicles = self.vehicle_ids();
+        let bs = self.bs_ids();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for sec in 0..horizon_s {
+            let t = SimTime::from_secs(sec);
+            let active = vehicles.iter().enumerate().any(|(i, &v)| {
+                bs.iter().any(|&b| link.slow_prob(b, v, t) > 0.0)
+                    || vehicles[i + 1..]
+                        .iter()
+                        .any(|&w| link.slow_prob(v, w, t) > 0.0)
+            });
+            if !active {
+                continue;
+            }
+            let lo = sec.saturating_sub(margin_s);
+            let hi = (sec + margin_s + 1).min(horizon_s.max(1));
+            match ranges.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => ranges.push((lo, hi)),
+            }
+        }
+        ranges
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +472,46 @@ mod tests {
         }
         // Deterministic plan.
         assert_eq!(groups, s.shard_partition_by_contact(3, &link, 0.1));
+    }
+
+    #[test]
+    fn bs_contact_seconds_reflect_coverage() {
+        let s = crate::vanlan(2);
+        let link = s.build_link_model(&Rng::new(4));
+        let weights = s.bs_contact_seconds(&link, 0.1);
+        assert_eq!(weights.len(), s.bs_ids().len());
+        // Weights are at least the +1 floor and at most lap+1.
+        for &(_, w) in &weights {
+            assert!(w >= 1 && w <= s.lap.as_secs() + 1);
+        }
+        // Some BS must actually see traffic on a campus loop.
+        assert!(weights.iter().any(|&(_, w)| w > 30), "{weights:?}");
+        // Deterministic.
+        assert_eq!(weights, s.bs_contact_seconds(&link, 0.1));
+    }
+
+    #[test]
+    fn active_seconds_cover_contact_windows() {
+        let s = crate::vanlan(1);
+        let link = s.build_link_model(&Rng::new(5));
+        let horizon = s.lap.as_secs();
+        let active = s.active_seconds(&link, horizon, 2);
+        // Sorted, disjoint.
+        assert!(active.windows(2).all(|w| w[0].1 < w[1].0));
+        // Every contact second falls inside an active range (activity is
+        // a superset of vehicle-BS contact).
+        let veh = s.vehicle_ids()[0];
+        for (a, b) in s.contact_windows(veh, &link, 0.1) {
+            for sec in a..b.min(horizon) {
+                assert!(
+                    active.iter().any(|&(lo, hi)| lo <= sec && sec < hi),
+                    "contact second {sec} outside active ranges {active:?}"
+                );
+            }
+        }
+        // The out-of-range leg of the loop must leave quiet air.
+        let covered: u64 = active.iter().map(|(a, b)| b - a).sum();
+        assert!(covered < horizon, "some of the lap must be quiet");
     }
 
     #[test]

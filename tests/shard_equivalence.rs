@@ -4,23 +4,29 @@
 //!
 //! What is enforced, per scenario and across seeds:
 //!
-//! 1. `shards = 1` is **bit-identical to the pre-sharding sequential
-//!    path** (`Simulation::deployment(..).run()`) — the coupled event
-//!    loop is untouched by the sharding seam.
-//! 2. `shards ∈ {2, 4, 8}` produce **identical merged outcomes to each
-//!    other** — the per-vehicle decomposition is keyed by
-//!    `(run_seed, vehicle)`, never by the shard/worker count.
-//! 3. Every parallel execution equals the **sequential reference path**
-//!    (`Simulation::run_sharded_sequential`) — threading introduces no
-//!    nondeterminism.
+//! 1. `shards = 1` (the sequential coupled run, `Simulation::run`) matches
+//!    **recorded golden fingerprints** — the epoch engine's physics is
+//!    pinned against silent drift.
+//! 2. **Coupled mode** (`ShardMode::Coupled`) at `shards ∈ {2, 4, 8}` is
+//!    **bit-identical to the sequential `shards = 1` run** — the
+//!    epoch-synchronized engine preserves the full shared-medium
+//!    contention while splitting the run across shards and worker
+//!    threads; neither the partition nor the worker count may leak into
+//!    the outcome.
+//! 3. **Independent mode** (`ShardMode::Independent`, PR 4's
+//!    contention-dropping decomposition) at `shards ∈ {2, 4, 8}` produces
+//!    identical merged outcomes to each other and to its sequential
+//!    reference path (`Simulation::run_sharded_sequential`) — the
+//!    per-vehicle decomposition is keyed by `(run_seed, vehicle)`, never
+//!    by the shard/worker count.
 //! 4. For single-vehicle scenarios (the paper's setup) sharded runs of
-//!    *any* count are bit-identical to the sequential coupled run.
+//!    *any* count and mode are bit-identical to the sequential run.
 //!
-//! Run with `--test-threads=1` in CI (the `test-shards` leg) so the
+//! Run with `--test-threads=1` in CI (the `test-shards` matrix) so the
 //! sharded executors own the machine while they are measured.
 
 use proptest::prelude::*;
-use vifi::runtime::{RunConfig, Simulation, WorkloadSpec};
+use vifi::runtime::{RunConfig, ShardMode, Simulation, WorkloadSpec};
 use vifi::sim::SimDuration;
 use vifi::testbeds::{dieselnet_fleet, vanlan, Scenario};
 
@@ -47,44 +53,40 @@ fn fleet_cfg(seed: u64, shards: usize, secs: u64) -> RunConfig {
 const SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
 
 #[test]
-fn single_shard_is_bit_identical_to_sequential_path() {
-    // `shards = 1` routes through `Simulation::deployment(..).run()`
-    // itself, so equality here is structural; what actually pins "the
-    // coupled event loop is untouched" against future drift are the
-    // golden fingerprints below, recorded from the pre-sharding
-    // sequential path. If a deliberate physics change lands, regenerate
-    // them (the failure message prints the new values) and explain the
-    // change in the commit.
+fn sequential_run_matches_golden_fingerprints() {
+    // These pin the coupled physics (the epoch engine at one shard)
+    // against silent drift. If a deliberate physics change lands,
+    // regenerate them (the failure message prints the new values) and
+    // explain the change in the commit. Last regenerated in PR 5: the
+    // coupled loop moved onto the epoch-synchronized engine (per-link
+    // sampling streams, epoch-batched MAC placement, canonical log
+    // replay) — see docs/ARCHITECTURE.md "Sharded runs".
     let golden: [(u64, [u64; 5]); 2] = [
         (
             0, // vanlan(8)
             [
-                0x6fe52ab1ad4f4676,
-                0xd4b20fe084156809,
-                0x0df798cbd60888d5,
-                0x20169e41a7578204,
-                0xb35b0b929a705280,
+                0x93d0e1c6d7d2110c,
+                0xb7cf654f6d88d146,
+                0x840ff8d0ade04cbb,
+                0x0b33f01e2b7bb424,
+                0xd1ae2e27d22db399,
             ],
         ),
         (
             1, // dieselnet_fleet(16, 42)
             [
-                0x4d39a301a75bdedf,
-                0xfbc2bf6eb2b89415,
-                0x31b42c49d780f77e,
-                0x269b10c35c9aeaed,
-                0xd561d6ab5da1bdab,
+                0xa5792d51363a318a,
+                0x60132e26b30fe57c,
+                0x459e943d5668c525,
+                0x01d2483da075f2ae,
+                0x06bb65cd4bb22fd1,
             ],
         ),
     ];
     for ((name, scenario), (_, expected)) in fleet_scenarios().into_iter().zip(golden) {
         for (seed, want) in SEEDS.into_iter().zip(expected) {
             let cfg = fleet_cfg(seed, 1, 15);
-            let sequential = Simulation::deployment(&scenario, cfg.clone())
-                .run()
-                .fingerprint();
-            let sharded = Simulation::run_sharded(&scenario, cfg).fingerprint();
-            assert_eq!(sharded, sequential, "{name} seed {seed}");
+            let sequential = Simulation::deployment(&scenario, cfg).run().fingerprint();
             assert_eq!(
                 sequential, want,
                 "{name} seed {seed}: coupled-path fingerprint drifted from \
@@ -95,7 +97,46 @@ fn single_shard_is_bit_identical_to_sequential_path() {
 }
 
 #[test]
-fn shard_counts_2_4_8_are_bit_identical_to_each_other() {
+fn coupled_shards_2_4_8_are_bit_identical_to_sequential() {
+    // The tentpole guarantee: ShardMode::Coupled preserves the shared
+    // medium exactly — at {2, 4, 8} shards (and whatever worker threads
+    // the host grants), the merged outcome equals the sequential
+    // `shards = 1` run bit for bit, on both 16-vehicle-class fleets,
+    // across ≥ 5 seeds.
+    for (name, scenario) in fleet_scenarios() {
+        for seed in SEEDS {
+            let sequential = Simulation::deployment(&scenario, fleet_cfg(seed, 1, 15))
+                .run()
+                .fingerprint();
+            for shards in [2usize, 4, 8] {
+                let cfg = RunConfig {
+                    shard_mode: ShardMode::Coupled,
+                    ..fleet_cfg(seed, shards, 15)
+                };
+                let fp = Simulation::run_sharded(&scenario, cfg).fingerprint();
+                assert_eq!(fp, sequential, "{name} seed {seed} coupled shards {shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn coupled_outcome_is_invariant_to_worker_count() {
+    // Same partition, different executors: every shard on the calling
+    // thread vs. real worker threads behind the epoch barrier.
+    let scenario = vanlan(8);
+    let cfg = RunConfig {
+        shard_mode: ShardMode::Coupled,
+        ..fleet_cfg(29, 4, 15)
+    };
+    let (serial, timing) = Simulation::run_coupled_timed(&scenario, cfg.clone(), Some(1));
+    assert_eq!(timing.per_shard.len(), 4);
+    let (threaded, _) = Simulation::run_coupled_timed(&scenario, cfg, None);
+    assert_eq!(serial.fingerprint(), threaded.fingerprint());
+}
+
+#[test]
+fn independent_shard_counts_2_4_8_are_bit_identical_to_each_other() {
     for (name, scenario) in fleet_scenarios() {
         let mut per_seed = Vec::new();
         for seed in SEEDS {
@@ -116,20 +157,54 @@ fn shard_counts_2_4_8_are_bit_identical_to_each_other() {
 }
 
 #[test]
+fn independent_mode_really_differs_from_coupled() {
+    // The two modes answer different questions: Independent drops
+    // cross-vehicle contention, so on a contending fleet its numbers must
+    // differ from the coupled physics (if they ever coincided bit-for-bit
+    // the mode split would be vacuous).
+    let scenario = vanlan(8);
+    let coupled = Simulation::run_sharded(
+        &scenario,
+        RunConfig {
+            shard_mode: ShardMode::Coupled,
+            ..fleet_cfg(11, 4, 15)
+        },
+    )
+    .fingerprint();
+    let independent = Simulation::run_sharded(&scenario, fleet_cfg(11, 4, 15)).fingerprint();
+    assert_ne!(
+        coupled, independent,
+        "independent mode must actually drop contention"
+    );
+}
+
+#[test]
 fn auto_shards_match_explicit_counts() {
-    // `shards = 0` (auto) selects the decomposed semantics regardless of
-    // the host's core count, so its outcome equals any explicit >= 2.
+    // `shards = 0` (auto) resolves to the host's core count floored at
+    // two; in both modes the outcome equals any explicit count >= 2.
     let scenario = vanlan(8);
     let auto = Simulation::run_sharded(&scenario, fleet_cfg(21, 0, 15)).fingerprint();
     let explicit = Simulation::run_sharded(&scenario, fleet_cfg(21, 4, 15)).fingerprint();
     assert_eq!(auto, explicit);
+    let auto = Simulation::run_sharded(
+        &scenario,
+        RunConfig {
+            shard_mode: ShardMode::Coupled,
+            ..fleet_cfg(21, 0, 15)
+        },
+    )
+    .fingerprint();
+    let sequential = Simulation::deployment(&scenario, fleet_cfg(21, 1, 15))
+        .run()
+        .fingerprint();
+    assert_eq!(auto, sequential, "coupled auto == sequential");
 }
 
 #[test]
 fn single_vehicle_scenarios_shard_to_the_sequential_run() {
     // The paper's one-instrumented-vehicle setup: sharding can only move
-    // the run to another core, so any shard count replays the coupled
-    // sequential run bit-for-bit — non-fleet and fleet form alike.
+    // the run to other cores, so any shard count in either mode replays
+    // the sequential run bit-for-bit.
     let scenario = vanlan(1);
     for seed in [5u64, 6, 7] {
         let cfg = RunConfig {
@@ -150,7 +225,19 @@ fn single_vehicle_scenarios_shard_to_the_sequential_run() {
                 },
             )
             .fingerprint();
-            assert_eq!(fp, sequential, "seed {seed} shards {shards}");
+            assert_eq!(fp, sequential, "seed {seed} independent shards {shards}");
+        }
+        for shards in [2usize, 4] {
+            let fp = Simulation::run_sharded(
+                &scenario,
+                RunConfig {
+                    shards,
+                    shard_mode: ShardMode::Coupled,
+                    ..cfg.clone()
+                },
+            )
+            .fingerprint();
+            assert_eq!(fp, sequential, "seed {seed} coupled shards {shards}");
         }
     }
 }
@@ -158,8 +245,8 @@ fn single_vehicle_scenarios_shard_to_the_sequential_run() {
 #[test]
 fn merged_outcome_shape_matches_sequential_fleet_shape() {
     // Same vehicles, same ordering, same counter relationships as the
-    // coupled fleet run — only the physics differs (no cross-vehicle
-    // contention in the decomposed mode).
+    // coupled fleet run — only the physics differs in Independent mode
+    // (no cross-vehicle contention).
     let scenario = dieselnet_fleet(16, 42);
     let sharded = Simulation::run_sharded(&scenario, fleet_cfg(31, 4, 15));
     let coupled = Simulation::run_sharded(&scenario, fleet_cfg(31, 1, 15));
@@ -186,8 +273,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// Property over arbitrary seeds: parallel executions at co-prime
-    /// shard counts and the sequential reference all merge to the same
-    /// bits on a mid-sized fleet.
+    /// shard counts and the sequential references all merge to the same
+    /// bits on a mid-sized fleet, in both modes.
     #[test]
     fn sharded_outcome_is_a_pure_function_of_seed(seed in 1u64..1_000_000) {
         let scenario = vanlan(4);
@@ -202,5 +289,15 @@ proptest! {
         let replay =
             Simulation::run_sharded(&scenario, fleet_cfg(seed, 2, 10)).fingerprint();
         prop_assert_eq!(replay, reference);
+        // Coupled: the parallel run equals the sequential coupled run.
+        let sequential = Simulation::deployment(&scenario, fleet_cfg(seed, 1, 10))
+            .run()
+            .fingerprint();
+        let coupled = Simulation::run_sharded(
+            &scenario,
+            RunConfig { shard_mode: ShardMode::Coupled, ..fleet_cfg(seed, 3, 10) },
+        )
+        .fingerprint();
+        prop_assert_eq!(coupled, sequential, "coupled seed {}", seed);
     }
 }
