@@ -23,6 +23,7 @@
 use vifi_bench::harness::{BenchConfig, Harness};
 use vifi_core::config::Coordination;
 use vifi_core::prob::{expected_relays, relay_probability, PreparedRelay, RelayInputs};
+use vifi_faults::FaultPlan;
 use vifi_metrics::{sessions_from_ratios, SessionDef, SlotSeries};
 use vifi_phy::gilbert::GeParams;
 use vifi_phy::pathloss::{ShadowField, ShadowSampler};
@@ -111,6 +112,31 @@ fn bench_fleet_sharded(h: &mut Harness) {
         Simulation::run_coupled_timed(
             &scenario,
             std::hint::black_box(coupled_cfg.clone()),
+            Some(1),
+        )
+        .0
+        .events
+    });
+    // The same coupled run under a full synthesized fault plan (BS churn,
+    // beacon suppression, partitions, spikes, wired outages at 0.6
+    // intensity) — tracks what the fault-gating predicates and the
+    // barrier-side partition/spike/retry filtering cost per event. The
+    // unfaulted benches above stay on the `faults.is_empty()` fast path,
+    // so a regression here is isolated to the fault machinery.
+    let faulted_cfg = RunConfig {
+        faults: FaultPlan::synthesize(
+            0.6,
+            7,
+            &scenario.bs_ids(),
+            &scenario.vehicle_ids(),
+            SimDuration::from_secs(2),
+        ),
+        ..coupled_cfg
+    };
+    h.bench("fleet_run_16bus_faulted", || {
+        Simulation::run_coupled_timed(
+            &scenario,
+            std::hint::black_box(faulted_cfg.clone()),
             Some(1),
         )
         .0

@@ -28,10 +28,11 @@
 use std::time::Instant;
 
 use vifi_bench::{
-    banner, median_session_secs, parallel_map_seeds, print_table, run_coupled_fleet_deployment,
-    run_fleet_deployment, run_sharded_fleet_deployment, save_json, CoupledScalingRow, Scale,
-    ShardScalingRow, VifiConfig,
+    banner, interruptions, median_session_secs, parallel_map_seeds, print_table,
+    run_coupled_fleet_deployment, run_faulted_fleet_deployment, run_fleet_deployment,
+    run_sharded_fleet_deployment, save_json, CoupledScalingRow, Scale, ShardScalingRow, VifiConfig,
 };
+use vifi_faults::FaultPlan;
 use vifi_runtime::workload::aggregate_cbr;
 use vifi_runtime::{RunOutcome, WorkloadSpec};
 use vifi_sim::{Rng, SimDuration};
@@ -43,6 +44,9 @@ const FLEET_SIZES: [u32; 4] = [2, 4, 8, 16];
 /// Shard counts profiled on the largest fleet (1 = the sequential
 /// coupled run the speedups are measured against).
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Fault-intensity grid for the robustness axis (0 = healthy baseline).
+const FAULT_INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 /// One vehicle's row of the report.
 struct VehicleRow {
@@ -374,6 +378,131 @@ fn coupled_scaling(
     })
 }
 
+/// One (intensity, protocol) cell of the robustness axis, seed-averaged.
+struct FaultRow {
+    intensity: f64,
+    protocol: &'static str,
+    ratio: f64,
+    disrupted_s: f64,
+    interruptions: f64,
+    bs_restarts: f64,
+    evictions: f64,
+}
+
+/// The fleet-wide 1 s combined delivery ratio below which a second counts
+/// as disrupted. Fleets spend much of a lap out of coverage, so the
+/// healthy fleet-wide ratio hovers around 0.15–0.25; 0.1 is comfortably
+/// below the healthy floor (a handful of seconds per 300 s run) while
+/// fault-driven outages push whole windows under it.
+const DISRUPTION_RATIO: f64 = 0.1;
+
+/// Sweep basestation-churn fault intensity on one fleet, ViFi against the
+/// hard-handoff BRR baseline (both liveness-blacklisted so the comparison
+/// isolates diversity, not the failover heuristic). Reports seed-averaged
+/// delivery ratio, disruption (seconds of fleet-wide 1 s delivery below
+/// [`DISRUPTION_RATIO`], and distinct interruptions), and fault-machinery
+/// counters.
+fn fault_sweep(
+    label: &str,
+    scenario: &Scenario,
+    duration: SimDuration,
+    seeds: u64,
+) -> serde_json::Value {
+    let protocols: [(&'static str, VifiConfig); 2] = [
+        ("ViFi", VifiConfig::default().with_blacklist()),
+        ("BRR", VifiConfig::brr_baseline().with_blacklist()),
+    ];
+    let mut rows: Vec<FaultRow> = Vec::new();
+    for &intensity in &FAULT_INTENSITIES {
+        for (name, vifi) in &protocols {
+            let outs: Vec<RunOutcome> = parallel_map_seeds(seeds, |seed| {
+                let run_seed = 1000 + seed;
+                let plan = FaultPlan::synthesize_bs_churn(
+                    intensity,
+                    run_seed,
+                    &scenario.bs_ids(),
+                    duration,
+                );
+                run_faulted_fleet_deployment(
+                    scenario,
+                    vifi.clone(),
+                    vec![WorkloadSpec::paper_cbr()],
+                    duration,
+                    run_seed,
+                    plan,
+                )
+            });
+            let mean = |f: &dyn Fn(&RunOutcome) -> f64| {
+                outs.iter().map(f).sum::<f64>() / outs.len() as f64
+            };
+            let disruption = |o: &RunOutcome| {
+                let agg = aggregate_cbr(o.vehicles.iter().map(|v| &v.report));
+                agg.combined_ratios(SimDuration::from_secs(1), duration)
+            };
+            rows.push(FaultRow {
+                intensity,
+                protocol: name,
+                ratio: mean(&|o| {
+                    aggregate_cbr(o.vehicles.iter().map(|v| &v.report)).delivery_ratio()
+                }),
+                disrupted_s: mean(&|o| {
+                    disruption(o)
+                        .iter()
+                        .filter(|&&r| r < DISRUPTION_RATIO)
+                        .count() as f64
+                }),
+                interruptions: mean(&|o| interruptions(&disruption(o), DISRUPTION_RATIO) as f64),
+                bs_restarts: mean(&|o| o.faults.bs_restarts as f64),
+                evictions: mean(&|o| o.faults.blacklist_evictions as f64),
+            });
+        }
+    }
+    print_table(
+        &format!(
+            "{label} — fault sweep ({} vehicles, BS churn, {seeds} seed(s))",
+            scenario.vehicle_ids().len()
+        ),
+        &[
+            "intensity",
+            "protocol",
+            "ratio",
+            "disrupted s",
+            "interrupts",
+            "restarts",
+            "evictions",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.2}", r.intensity),
+                    r.protocol.to_string(),
+                    format!("{:.3}", r.ratio),
+                    format!("{:.1}", r.disrupted_s),
+                    format!("{:.1}", r.interruptions),
+                    format!("{:.1}", r.bs_restarts),
+                    format!("{:.1}", r.evictions),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    serde_json::json!({
+        "testbed": label,
+        "vehicles": scenario.vehicle_ids().len(),
+        "duration_s": duration.as_secs(),
+        "intensities": FAULT_INTENSITIES.to_vec(),
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "intensity": r.intensity,
+            "protocol": r.protocol,
+            "delivery_ratio_mean": r.ratio,
+            "disrupted_s_mean": r.disrupted_s,
+            "interruptions_mean": r.interruptions,
+            "bs_restarts_mean": r.bs_restarts,
+            "blacklist_evictions_mean": r.evictions,
+        })).collect::<Vec<_>>(),
+    })
+}
+
 fn main() {
     let scale = Scale::from_args();
     banner("fleet_sweep", &scale);
@@ -397,15 +526,23 @@ fn main() {
         coupled_scaling("VanLAN", &vanlan_big, duration, &vanlan_rows),
         coupled_scaling("DieselNet-Fleet", &diesel_big, duration, &diesel_rows),
     ];
+    // Robustness axis: delivery and disruption against fault intensity on
+    // the issue's two fleets (vanlan(8), dieselnet_fleet(16)).
+    let fault_sweep_json = vec![
+        fault_sweep("VanLAN", &vanlan(8), duration, seeds),
+        fault_sweep("DieselNet-Fleet", &diesel_big, duration, seeds),
+    ];
     save_json(
         "fleet_sweep",
         &serde_json::json!({
             "workload": "paper_cbr",
             "fleet_sizes": FLEET_SIZES.to_vec(),
             "shard_counts": SHARD_COUNTS.to_vec(),
+            "fault_intensities": FAULT_INTENSITIES.to_vec(),
             "testbeds": [vanlan_json, diesel_json],
             "shard_scaling": [vanlan_shards, diesel_shards],
             "coupled_scaling": coupled_scaling_json,
+            "fault_sweep": fault_sweep_json,
         }),
     );
 }

@@ -143,6 +143,40 @@ pub fn run_fleet_deployment(
     Simulation::deployment(scenario, cfg).run()
 }
 
+/// Run one fleet deployment under a deterministic fault plan (see
+/// [`vifi_faults::FaultPlan`]): same knobs as [`run_fleet_deployment`]
+/// plus the schedule of basestation crashes, beacon suppressions,
+/// backplane partitions/spikes and wired outages to inject.
+pub fn run_faulted_fleet_deployment(
+    scenario: &Scenario,
+    vifi: VifiConfig,
+    workloads: Vec<WorkloadSpec>,
+    duration: SimDuration,
+    seed: u64,
+    faults: vifi_faults::FaultPlan,
+) -> RunOutcome {
+    assert!(
+        !workloads.is_empty(),
+        "fleet runs need at least one workload"
+    );
+    let wired_delay = wired_delay_for(&workloads[0]);
+    assert!(
+        workloads.iter().all(|w| wired_delay_for(w) == wired_delay),
+        "wired_delay is one per-run knob: a fleet must be all-VoIP \
+         (wired_delay 0, the scorer adds the 40 ms budget) or VoIP-free"
+    );
+    let cfg = RunConfig {
+        vifi,
+        fleet_workloads: workloads,
+        duration,
+        seed,
+        wired_delay,
+        faults,
+        ..RunConfig::default()
+    };
+    Simulation::deployment(scenario, cfg).run()
+}
+
 /// Run one fleet deployment sharded across `shards` workers (see
 /// [`vifi_runtime::RunConfig::shards`]; `1` = the sequential coupled
 /// loop), returning the merged outcome plus per-shard wall-clock

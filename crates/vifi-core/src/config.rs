@@ -6,6 +6,35 @@
 
 use vifi_sim::SimDuration;
 
+/// Parameters of the basestation blacklist (graceful degradation under
+/// infrastructure failure; see `crate::blacklist`).
+///
+/// Disabled by default — the paper's protocol has no blacklist, so
+/// unfaulted physics is untouched unless a run opts in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlacklistParams {
+    /// Master switch. Off = the estimator alone governs anchor choice.
+    pub enabled: bool,
+    /// How long the current anchor may stay silent (no beacon heard)
+    /// before the vehicle blacklists it and re-selects.
+    pub silence_timeout: SimDuration,
+    /// First blacklist period; doubles per consecutive strike.
+    pub backoff_base: SimDuration,
+    /// Blacklist period ceiling.
+    pub backoff_max: SimDuration,
+}
+
+impl Default for BlacklistParams {
+    fn default() -> Self {
+        BlacklistParams {
+            enabled: false,
+            silence_timeout: SimDuration::from_millis(400),
+            backoff_base: SimDuration::from_secs(1),
+            backoff_max: SimDuration::from_secs(30),
+        }
+    }
+}
+
 /// Which auxiliary-coordination formulation to run (§4.4 guidelines G1–G3
 /// and the three ablations of §5.5.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -98,6 +127,9 @@ pub struct VifiConfig {
     /// Base size of a beacon frame (grows with embedded probability
     /// entries).
     pub beacon_base_bytes: u32,
+    /// Basestation blacklisting on unresponsiveness (fault tolerance;
+    /// default off, preserving the paper's protocol exactly).
+    pub blacklist: BlacklistParams,
 }
 
 impl Default for VifiConfig {
@@ -121,6 +153,7 @@ impl Default for VifiConfig {
             data_header_bytes: 24,
             ack_bytes: 40,
             beacon_base_bytes: 60,
+            blacklist: BlacklistParams::default(),
         }
     }
 }
@@ -150,6 +183,13 @@ impl VifiConfig {
         self
     }
 
+    /// Enable basestation blacklisting with the default fault-tolerance
+    /// parameters (for faulted runs; see `crate::blacklist`).
+    pub fn with_blacklist(mut self) -> Self {
+        self.blacklist.enabled = true;
+        self
+    }
+
     /// Sanity-check parameter interactions.
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.alpha), "alpha out of range");
@@ -166,6 +206,16 @@ impl VifiConfig {
             self.estimate_window.as_micros() % self.beacon_period.as_micros() == 0,
             "estimate window should hold a whole number of beacons"
         );
+        if self.blacklist.enabled {
+            assert!(
+                !self.blacklist.silence_timeout.is_zero() && !self.blacklist.backoff_base.is_zero(),
+                "blacklist periods must be positive"
+            );
+            assert!(
+                self.blacklist.backoff_base <= self.blacklist.backoff_max,
+                "blacklist backoff bounds inverted"
+            );
+        }
     }
 
     /// Beacons expected per estimation window.
@@ -194,6 +244,10 @@ mod tests {
         let link = VifiConfig::default().without_retx();
         assert_eq!(link.max_retx, 0);
         assert!(link.diversity);
+        assert!(!link.blacklist.enabled, "blacklist defaults off");
+        let bl = VifiConfig::default().with_blacklist();
+        assert!(bl.blacklist.enabled);
+        bl.validate();
     }
 
     #[test]

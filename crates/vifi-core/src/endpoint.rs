@@ -23,6 +23,7 @@ use vifi_sim::{Rng, SimDuration, SimTime};
 
 use crate::beacon::{BeaconPayload, ProbView, VehicleInfo};
 use crate::bitmap::{RxBitmap, WireBitmap};
+use crate::blacklist::Blacklist;
 use crate::config::VifiConfig;
 use crate::ids::{Direction, PacketId};
 use crate::prob::{PreparedRelayOwned, RelayInputs};
@@ -250,6 +251,8 @@ pub struct Endpoint {
     anchor: Option<NodeId>,
     prev_anchor: Option<NodeId>,
     anchor_epoch: u64,
+    /// Unresponsive-BS blacklist (inert unless `cfg.blacklist.enabled`).
+    blacklist: Blacklist,
 
     // ---- BS state ----
     vehicles: HashMap<NodeId, VehicleView>,
@@ -295,6 +298,7 @@ impl Endpoint {
             cfg.neighbor_timeout,
         );
         let retx = RetxTimer::from_config(&cfg);
+        let blacklist = Blacklist::new(cfg.blacklist);
         Endpoint {
             me,
             role,
@@ -311,6 +315,7 @@ impl Endpoint {
             anchor: None,
             prev_anchor: None,
             anchor_epoch: 0,
+            blacklist,
             vehicles: HashMap::new(),
             contenders: Vec::new(),
             internet_buf: VecDeque::new(),
@@ -349,6 +354,12 @@ impl Endpoint {
     /// Number of buffered relay candidates (BS role).
     pub fn contender_count(&self) -> usize {
         self.contenders.len()
+    }
+
+    /// Anchors evicted by the unresponsiveness blacklist (0 unless
+    /// `cfg.blacklist.enabled`).
+    pub fn blacklist_evictions(&self) -> u64 {
+        self.blacklist.evictions
     }
 
     fn is_bs(&self, n: NodeId) -> bool {
@@ -585,24 +596,47 @@ impl Endpoint {
     }
 
     /// Re-evaluate the anchor by BRR over beacon reception (§4.3: "Our
-    /// implementation uses BRR").
+    /// implementation uses BRR"). With the blacklist enabled, a silent
+    /// current anchor is first evicted (timeout + exponential backoff)
+    /// and blacklisted candidates are skipped — unless *every* live BS is
+    /// blacklisted, in which case the best of them is used anyway rather
+    /// than going dark.
     fn refresh_anchor(&mut self, now: SimTime) -> Vec<Action> {
+        if let Some(cur) = self.anchor {
+            self.blacklist.check_anchor(cur, now);
+        }
         let neighbors = self.view.live_neighbors(now);
         let mut best: Option<(NodeId, f64)> = None;
+        let mut best_any: Option<(NodeId, f64)> = None;
         for (id, p) in neighbors {
             if !self.is_bs(id) {
+                continue;
+            }
+            if best_any.map(|(_, bp)| p > bp).unwrap_or(true) {
+                best_any = Some((id, p));
+            }
+            if self.blacklist.is_blacklisted(id, now) {
                 continue;
             }
             if best.map(|(_, bp)| p > bp).unwrap_or(true) {
                 best = Some((id, p));
             }
         }
+        let cur_blacklisted = self
+            .anchor
+            .map(|cur| self.blacklist.is_blacklisted(cur, now))
+            .unwrap_or(false);
+        let best = best.or(best_any);
         let new_anchor = match (best, self.anchor) {
             (None, _) => None,
             (Some((b, _)), None) => Some(b),
             (Some((b, bp)), Some(cur)) => {
                 if b == cur {
                     Some(cur)
+                } else if cur_blacklisted {
+                    // The estimator still favours the silent anchor; the
+                    // blacklist overrules it and fails over immediately.
+                    Some(b)
                 } else {
                     let cur_p = self.view.incoming_prob(cur, now);
                     if bp > cur_p {
@@ -644,6 +678,9 @@ impl Endpoint {
 
     fn on_beacon(&mut self, b: &BeaconPayload, now: SimTime) -> Vec<Action> {
         self.view.on_beacon(self.me, b, now);
+        if self.is_bs(b.node) {
+            self.blacklist.on_beacon(b.node, now);
+        }
         let mut actions = Vec::new();
         if self.role == Role::Bs {
             if let Some(info) = &b.vehicle {
@@ -1512,6 +1549,64 @@ mod tests {
         }
         assert!(saw_switch);
         assert_eq!(veh.anchor(), Some(BS_B));
+    }
+
+    /// Drive a vehicle past an anchor death: converge with two BSes, kill
+    /// the current anchor, keep the survivor beaconing, and report how
+    /// many milliseconds of silence pass before the vehicle switches.
+    fn failover_latency_ms(cfg: VifiConfig) -> Option<u64> {
+        let mut veh = vehicle(cfg);
+        let mut a = bs(BS_A, VifiConfig::default());
+        let mut b = bs(BS_B, VifiConfig::default());
+        converge(&mut [&mut veh, &mut a, &mut b], 3);
+        let dead = veh.anchor().expect("converged to an anchor");
+        let (mut survivor, survivor_id) = if dead == BS_A { (b, BS_B) } else { (a, BS_A) };
+        let death_ms = 3000u64;
+        for tick in 0..40 {
+            let now = t(death_ms + tick * 100);
+            let (bb, _, _) = survivor.make_beacon(now);
+            veh.on_frame(&bb, now);
+            let _ = veh.make_beacon(now);
+            if veh.anchor() == Some(survivor_id) {
+                return Some(tick * 100);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn blacklist_fails_over_within_the_timeout() {
+        let cfg = VifiConfig::default().with_blacklist();
+        let timeout_ms = cfg.blacklist.silence_timeout.as_micros() / 1000;
+        let with_bl = failover_latency_ms(cfg).expect("blacklist must fail over");
+        // Re-association happens within the blacklist timeout plus two
+        // beacon periods of slack (the check runs on the beacon cadence).
+        assert!(
+            with_bl <= timeout_ms + 200,
+            "failover took {with_bl} ms, timeout is {timeout_ms} ms"
+        );
+        // Non-vacuity: the plain estimator is strictly slower to abandon
+        // the dead anchor (the lag the blacklist exists to fix).
+        let without = failover_latency_ms(VifiConfig::default())
+            .expect("estimator eventually fails over too");
+        assert!(
+            without > with_bl,
+            "blacklist ({with_bl} ms) must beat the estimator ({without} ms)"
+        );
+    }
+
+    #[test]
+    fn blacklist_eviction_counter_tracks() {
+        let cfg = VifiConfig::default().with_blacklist();
+        let mut veh = vehicle(cfg);
+        let mut a = bs(BS_A, VifiConfig::default());
+        converge(&mut [&mut veh, &mut a], 2);
+        assert_eq!(veh.blacklist_evictions(), 0);
+        // A dies; silence accumulates past the timeout.
+        for tick in 20..40 {
+            let _ = veh.make_beacon(t(tick * 100));
+        }
+        assert!(veh.blacklist_evictions() >= 1);
     }
 
     #[test]

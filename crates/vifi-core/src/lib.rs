@@ -34,6 +34,7 @@
 
 pub mod beacon;
 pub mod bitmap;
+pub mod blacklist;
 pub mod config;
 pub mod endpoint;
 pub mod ids;
@@ -42,7 +43,8 @@ pub mod retx;
 
 pub use beacon::{BeaconPayload, ProbEstimator, ProbView, VehicleInfo};
 pub use bitmap::RxBitmap;
-pub use config::{Coordination, VifiConfig};
+pub use blacklist::Blacklist;
+pub use config::{BlacklistParams, Coordination, VifiConfig};
 pub use endpoint::{Action, DataFrame, Endpoint, Role, StatEvent, VifiPayload};
 pub use ids::{Direction, PacketId};
 pub use prob::{relay_probability, PreparedRelay, PreparedRelayOwned, RelayContext, RelayInputs};

@@ -1,0 +1,150 @@
+//! Failure-hardened BRR: the §3 estimator wrapped with the liveness
+//! blacklist from `vifi-core`.
+//!
+//! The `brr_estimator_lags_reality` test in [`crate::policy`] documents
+//! BRR's failure mode under infrastructure death: the exponential average
+//! decays instead of tracking, so a client stays associated with a
+//! crashed basestation for seconds. [`BlacklistingBrr`] composes the
+//! unchanged [`PolicyState`] estimator with a [`vifi_core::Blacklist`]:
+//! when the association in force has been silent past the blacklist
+//! timeout the BS is evicted immediately (with exponential backoff before
+//! re-probing), and the estimator re-selects among the survivors. The
+//! estimator itself — and [`Policy::all`]'s pinned set of six paper
+//! policies — is untouched; this is a wrapper, not a seventh policy.
+
+use vifi_core::{Blacklist, BlacklistParams};
+use vifi_phy::NodeId;
+use vifi_sim::SimTime;
+
+use crate::policy::{Policy, PolicyState, SecondObs};
+
+/// BRR with liveness blacklisting layered on top (see the module docs).
+#[derive(Clone, Debug)]
+pub struct BlacklistingBrr {
+    inner: PolicyState,
+    blacklist: Blacklist,
+    current: Option<usize>,
+}
+
+impl BlacklistingBrr {
+    /// Fresh state for `bs_count` basestations. `params.enabled` is
+    /// forced on — an inert blacklist would make the wrapper pointless.
+    pub fn new(bs_count: usize, params: BlacklistParams) -> Self {
+        let params = BlacklistParams {
+            enabled: true,
+            ..params
+        };
+        BlacklistingBrr {
+            inner: PolicyState::new(Policy::Brr, bs_count),
+            blacklist: Blacklist::new(params),
+            current: None,
+        }
+    }
+
+    /// The association the wrapper wants for the upcoming second.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Anchors evicted for silence so far (observability counter).
+    pub fn evictions(&self) -> u64 {
+        self.blacklist.evictions
+    }
+
+    /// Feed one second of observations; updates the association decision.
+    /// Seconds map onto blacklist time as `now = end of the observed
+    /// second`.
+    pub fn observe(&mut self, obs: &SecondObs) {
+        let now = SimTime::from_secs(obs.sec as u64 + 1);
+        for (b, &ratio) in obs.down_ratio.iter().enumerate() {
+            if ratio > 0.0 {
+                self.blacklist.on_beacon(NodeId(b as u32), now);
+            }
+        }
+        self.inner.observe(obs);
+        if let Some(cur) = self.current {
+            self.blacklist.check_anchor(NodeId(cur as u32), now);
+        }
+        // Re-select around blacklisted BSes; if everything usable is
+        // blacklisted, fall back to the plain estimator's choice (some
+        // association beats none — mirrors the endpoint's fallback).
+        self.current = self
+            .inner
+            .best_brr_where(|b| !self.blacklist.is_blacklisted(NodeId(b as u32), now))
+            .or_else(|| self.inner.current());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_phy::Point;
+
+    fn obs(sec: usize, down: Vec<f64>, rssi: Vec<Option<f64>>) -> SecondObs {
+        let n = down.len();
+        SecondObs {
+            sec,
+            down_ratio: down,
+            up_ratio: vec![0.0; n],
+            mean_rssi: rssi,
+            pos: Point::new(0.0, 0.0),
+        }
+    }
+
+    #[test]
+    fn blacklist_abandons_dead_bs_faster_than_plain_brr() {
+        // The exact scenario of `brr_estimator_lags_reality`: BS 0 at a
+        // steady 1.0 for ten seconds, BS 1 at 0.45, then BS 0 dies.
+        let mut plain = PolicyState::new(Policy::Brr, 2);
+        let mut hardened = BlacklistingBrr::new(2, BlacklistParams::default());
+        for s in 0..10 {
+            let o = obs(s, vec![1.0, 0.45], vec![Some(-60.0), Some(-70.0)]);
+            plain.observe(&o);
+            hardened.observe(&o);
+        }
+        assert_eq!(plain.current(), Some(0));
+        assert_eq!(hardened.current(), Some(0));
+        // First silent second: plain BRR's average is still 0.5 > 0.45 and
+        // it stays on the corpse; the blacklist sees a full second of
+        // silence (past the 400 ms timeout), evicts, and re-selects.
+        let dead = obs(10, vec![0.0, 0.45], vec![None, Some(-70.0)]);
+        plain.observe(&dead);
+        hardened.observe(&dead);
+        assert_eq!(plain.current(), Some(0), "estimator lag keeps dead BS");
+        assert_eq!(hardened.current(), Some(1), "blacklist fails over now");
+        assert_eq!(hardened.evictions(), 1);
+    }
+
+    #[test]
+    fn recovered_bs_is_reselected_after_backoff() {
+        let mut st = BlacklistingBrr::new(2, BlacklistParams::default());
+        for s in 0..10 {
+            st.observe(&obs(s, vec![1.0, 0.45], vec![Some(-60.0), Some(-70.0)]));
+        }
+        // Dead for three seconds: evicted, stays off it.
+        for s in 10..13 {
+            st.observe(&obs(s, vec![0.0, 0.45], vec![None, Some(-70.0)]));
+            assert_eq!(st.current(), Some(1), "second {s}");
+        }
+        // BS 0 comes back. The 1 s base backoff has expired by now, and
+        // once its average climbs back above BS 1's it is selected again.
+        for s in 13..20 {
+            st.observe(&obs(s, vec![1.0, 0.45], vec![Some(-60.0), Some(-70.0)]));
+        }
+        assert_eq!(st.current(), Some(0), "recovered BS wins again");
+    }
+
+    #[test]
+    fn all_candidates_blacklisted_falls_back_to_estimator() {
+        let mut st = BlacklistingBrr::new(1, BlacklistParams::default());
+        for s in 0..5 {
+            st.observe(&obs(s, vec![1.0], vec![Some(-60.0)]));
+        }
+        assert_eq!(st.current(), Some(0));
+        // The only BS dies: it gets blacklisted, but with nothing else to
+        // use the wrapper keeps the estimator's pick instead of None.
+        st.observe(&obs(5, vec![0.0], vec![None]));
+        assert!(st.evictions() >= 1);
+        assert_eq!(st.current(), Some(0), "some association beats none");
+    }
+}

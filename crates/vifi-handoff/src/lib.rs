@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod failover;
 pub mod history;
 pub mod policy;
 pub mod replay;
 
+pub use failover::BlacklistingBrr;
 pub use history::HistoryDb;
 pub use policy::{Policy, PolicyState};
 pub use replay::{evaluate, evaluate_with_history, generate_probe_log, EvalOutcome, ProbeLog};

@@ -167,10 +167,18 @@ impl PolicyState {
     }
 
     fn best_brr(&self) -> Option<usize> {
+        self.best_brr_where(|_| true)
+    }
+
+    /// The best BS by averaged beacon reception ratio among those `allow`
+    /// admits (never-heard BSes are never selected). This is the hook the
+    /// failure-hardened wrapper ([`crate::failover::BlacklistingBrr`])
+    /// uses to re-select around blacklisted basestations.
+    pub fn best_brr_where(&self, allow: impl Fn(usize) -> bool) -> Option<usize> {
         let mut best = None;
         let mut best_v = 0.0;
         for (b, &v) in self.avg_brr.iter().enumerate() {
-            if self.heard[b] && v > best_v {
+            if self.heard[b] && v > best_v && allow(b) {
                 best_v = v;
                 best = Some(b);
             }

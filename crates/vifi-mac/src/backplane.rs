@@ -25,6 +25,14 @@ pub struct BackplaneParams {
     /// Maximum backlog (bytes queued but not yet serialized) before
     /// messages are dropped.
     pub max_backlog_bytes: u64,
+    /// Bounded retry for messages lost to partitions or loss spikes
+    /// (fault tolerance): how many times a lost message is re-submitted
+    /// before it is dropped for good. 0 (the default) disables retry —
+    /// the paper's backplane has none, so unfaulted runs are untouched.
+    pub retry_limit: u32,
+    /// Base retry delay; doubles per attempt (deterministic exponential
+    /// backoff).
+    pub retry_backoff: SimDuration,
 }
 
 impl Default for BackplaneParams {
@@ -34,7 +42,23 @@ impl Default for BackplaneParams {
             capacity_bps: 5_000_000,
             latency: SimDuration::from_millis(8),
             max_backlog_bytes: 256 * 1024,
+            retry_limit: 0,
+            retry_backoff: SimDuration::from_millis(25),
         }
+    }
+}
+
+impl BackplaneParams {
+    /// Deterministic retry schedule: the delay before attempt number
+    /// `attempt` (1-based — attempt 0 is the original send), or `None`
+    /// once the bounded retry budget is exhausted. The delay doubles per
+    /// attempt: `backoff · 2^(attempt-1)`.
+    pub fn retry_delay(&self, attempt: u32) -> Option<SimDuration> {
+        if attempt == 0 || attempt > self.retry_limit {
+            return None;
+        }
+        let exp = (attempt - 1).min(16);
+        Some(self.retry_backoff * (1u64 << exp))
     }
 }
 
@@ -178,7 +202,29 @@ mod tests {
             capacity_bps,
             latency: SimDuration::from_millis(10),
             max_backlog_bytes: 10_000,
+            ..BackplaneParams::default()
         })
+    }
+
+    #[test]
+    fn retry_schedule_is_bounded_exponential() {
+        let p = BackplaneParams {
+            retry_limit: 3,
+            retry_backoff: SimDuration::from_millis(25),
+            ..BackplaneParams::default()
+        };
+        assert_eq!(p.retry_delay(0), None, "attempt 0 is the original send");
+        assert_eq!(p.retry_delay(1), Some(SimDuration::from_millis(25)));
+        assert_eq!(p.retry_delay(2), Some(SimDuration::from_millis(50)));
+        assert_eq!(p.retry_delay(3), Some(SimDuration::from_millis(100)));
+        assert_eq!(p.retry_delay(4), None, "budget exhausted");
+    }
+
+    #[test]
+    fn retry_disabled_by_default() {
+        let p = BackplaneParams::default();
+        assert_eq!(p.retry_limit, 0);
+        assert_eq!(p.retry_delay(1), None);
     }
 
     #[test]
@@ -308,6 +354,7 @@ mod tests {
             capacity_bps: 0,
             latency: SimDuration::ZERO,
             max_backlog_bytes: 1,
+            ..BackplaneParams::default()
         });
     }
 }

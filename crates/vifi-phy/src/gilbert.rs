@@ -43,7 +43,7 @@
 use vifi_sim::{Rng, SimDuration, SimTime};
 
 /// Parameters of the Gilbert–Elliott fade process.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GeParams {
     /// Mean sojourn in the Good state.
     pub mean_good: SimDuration,

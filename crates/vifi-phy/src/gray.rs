@@ -20,7 +20,7 @@
 use vifi_sim::{Rng, SimDuration, SimTime};
 
 /// Parameters of the gray-period process.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GrayParams {
     /// Mean duration of Normal phases.
     pub mean_normal: SimDuration,

@@ -51,7 +51,7 @@ use vifi_phy::{LinkModel, NodeId};
 use vifi_sim::{EpochBarrier, EpochSchedule, Rng, Scheduler, SimTime, TimerToken};
 
 use crate::logging::RunLog;
-use crate::sim::{RunConfig, RunOutcome, VehicleOutcome};
+use crate::sim::{FaultStats, RunConfig, RunOutcome, VehicleOutcome};
 use crate::workload::{build_driver, Driver, HostApi, HostCmd};
 
 /// A link model the engine can hand to worker threads.
@@ -78,6 +78,9 @@ enum Ev {
     WiredUpArrive { payload: Bytes, radio_exit: SimTime },
     /// Workload tick for this vehicle's driver.
     AppTick { chan: u8 },
+    /// End of a fault-plan crash window: this lane's node restarts with a
+    /// fresh endpoint (crashed state is lost, like a real reboot).
+    FaultUp,
 }
 
 /// One vehicle's workload host: its driver, RNG stream, and counters.
@@ -99,6 +102,12 @@ struct NodeCell {
     /// Per-lane sequence for buffered cross-barrier emissions (canonical
     /// tie-break: a lane's emissions replay in emission order).
     emit_seq: u64,
+    /// How many times this node restarted after a crash window (also the
+    /// fork label of the next restart's RNG stream).
+    restarts: u64,
+    /// Blacklist evictions accumulated by endpoints this cell already
+    /// discarded on restart.
+    carried_evictions: u64,
 }
 
 /// A buffered packet-log mutation, replayed in `(at, lane, seq)` order at
@@ -165,6 +174,9 @@ struct BpSend {
     bytes: u32,
     msg: BackplaneMsg,
     lane_seq: u64,
+    /// Which delivery attempt this is (0 = the original send; bumped by
+    /// the bounded-retry machinery when a partition or spike eats it).
+    attempt: u32,
 }
 
 /// A cross-lane message buffered during an epoch.
@@ -221,6 +233,10 @@ struct Shard {
     /// `(frame handle, receiver)`.
     reports: Vec<(TxHandle, NodeId)>,
     salvaged: u64,
+    /// Fault-degradation counters for events on this shard's own lanes
+    /// (summed across shards at the end; each event belongs to exactly
+    /// one lane, so the sum is partition-invariant).
+    faults: FaultStats,
     /// Wall-clock this shard spent executing epochs + resolving
     /// receptions — the per-shard cost a dedicated core would bear.
     wall: Duration,
@@ -320,6 +336,15 @@ struct Coordinator {
     serial_wall: Duration,
     /// Monotone namespace counter for coordinator-emitted drop ops.
     drop_seq: u64,
+    /// Loss draws for backplane spike windows. Only consumed while a
+    /// spike is active, in canonical batch order, in the single-threaded
+    /// barrier section — so the stream is identical for every partition
+    /// and untouched by unfaulted runs.
+    fault_rng: Rng,
+    /// Backplane messages awaiting their retry instant.
+    retries: Vec<BpSend>,
+    /// Coordinator-side fault counters (backplane drops and retries).
+    tally: FaultStats,
 }
 
 struct Engine {
@@ -336,6 +361,10 @@ struct Engine {
     workers: usize,
     /// The instrumented vehicle (first vehicle; owns the packet log).
     v0: NodeId,
+    /// Fast path: true when the fault plan schedules anything at all.
+    faulted: bool,
+    /// The run's root RNG (restart streams fork from it on demand).
+    rng: Rng,
 }
 
 impl Engine {
@@ -422,6 +451,8 @@ impl Engine {
                         wakeup_token: None,
                         host: hosts.remove(&n),
                         emit_seq: 0,
+                        restarts: 0,
+                        carried_evictions: 0,
                     },
                 );
             }
@@ -436,6 +467,7 @@ impl Engine {
                 log_ops: Vec::new(),
                 reports: Vec::new(),
                 salvaged: 0,
+                faults: FaultStats::default(),
                 wall: Duration::ZERO,
             }));
         }
@@ -452,8 +484,12 @@ impl Engine {
             log_ops: Vec::new(),
             serial_wall: Duration::ZERO,
             drop_seq: 0,
+            fault_rng: rng.fork_named("fault-bp"),
+            retries: Vec::new(),
+            tally: FaultStats::default(),
         };
         let workers = workers.clamp(1, partition.lanes.len());
+        let faulted = !cfg.faults.is_empty();
         Engine {
             cfg,
             vehicles,
@@ -466,6 +502,8 @@ impl Engine {
             staged: RwLock::new(Staged::default()),
             workers,
             v0,
+            faulted,
+            rng,
         }
     }
 
@@ -478,14 +516,27 @@ impl Engine {
         // the per-event loop's behavior at the tail.
         let final_next = SimTime::from_micros(horizon.as_micros() + 1);
 
-        // Seed every shard: beacons for every lane, then drivers, both in
-        // lane order.
+        // Seed every shard: beacons for every lane, then fault-plan
+        // restarts, then drivers — all in lane order. A restart fires at
+        // the end of each crash window: while the window is open the pure
+        // fault predicates keep the node inert, and the `FaultUp` event
+        // is the single stateful step (a fresh endpoint).
         for shard in &self.shards {
             let mut sh = shard.lock().expect("shard");
             for i in 0..sh.nodes.len() {
                 let n = sh.nodes[i];
                 let at = self.beacons.next_after(n, SimTime::ZERO);
                 sh.sched.at(at, (n, Ev::Beacon));
+            }
+            if self.faulted {
+                for i in 0..sh.nodes.len() {
+                    let n = sh.nodes[i];
+                    for w in self.cfg.faults.crash_windows(n) {
+                        if w.end < horizon {
+                            sh.sched.at(w.end, (n, Ev::FaultUp));
+                        }
+                    }
+                }
             }
             for i in 0..sh.nodes.len() {
                 let n = sh.nodes[i];
@@ -649,6 +700,16 @@ impl Engine {
         };
 
         // ---- backplane batch, canonical sender order per instant ----
+        // Fault retries that came due during this epoch rejoin the batch
+        // (their retry instant is the sort key, so ordering stays
+        // canonical across partitions).
+        if !coord.retries.is_empty() {
+            let (due, later): (Vec<BpSend>, Vec<BpSend>) = std::mem::take(&mut coord.retries)
+                .into_iter()
+                .partition(|s| s.t <= b);
+            coord.retries = later;
+            bp.extend(due);
+        }
         bp.sort_by_key(|s| (s.t, s.from.label(), s.lane_seq));
         let mut rest = bp;
         while !rest.is_empty() {
@@ -657,12 +718,40 @@ impl Engine {
             let tail = rest.split_off(split);
             let batch = rest;
             rest = tail;
+            // Fault filtering before capacity: a partition severs the
+            // path outright; a latency/loss spike eats each message with
+            // probability `loss` and delays the survivors. Losers go to
+            // the bounded-retry machinery.
+            let mut sends: Vec<(BpSend, Option<vifi_sim::SimDuration>)> =
+                Vec::with_capacity(batch.len());
+            if self.faulted {
+                let spike = self.cfg.faults.spike_at(t);
+                for send in batch {
+                    if self.cfg.faults.partitioned(send.from, send.to, t) {
+                        self.bp_fault_failure(&mut coord, send, t, true);
+                    } else if let Some(sp) = spike {
+                        if coord.fault_rng.chance(sp.loss) {
+                            self.bp_fault_failure(&mut coord, send, t, false);
+                        } else {
+                            sends.push((send, Some(sp.extra_latency)));
+                        }
+                    } else {
+                        sends.push((send, None));
+                    }
+                }
+            } else {
+                sends.extend(batch.into_iter().map(|s| (s, None)));
+            }
             let sizes: Vec<(NodeId, NodeId, u32)> =
-                batch.iter().map(|s| (s.from, s.to, s.bytes)).collect();
+                sends.iter().map(|(s, _)| (s.from, s.to, s.bytes)).collect();
             let slots = coord.backplane.send_batch(&sizes, t);
-            for (send, slot) in batch.into_iter().zip(slots) {
+            for ((send, extra), slot) in sends.into_iter().zip(slots) {
                 match slot {
                     Some(arrival) => {
+                        let arrival = match extra {
+                            Some(d) => arrival + d,
+                            None => arrival,
+                        };
                         // Never earlier than the barrier that routes it
                         // (only reachable when the backplane latency is
                         // shorter than the epoch that buffered the send).
@@ -679,29 +768,7 @@ impl Engine {
                             ),
                         );
                     }
-                    None => {
-                        // Drops are scoped to the instrumented vehicle's
-                        // traffic, like the per-event loop's accounting.
-                        let veh = match &send.msg {
-                            BackplaneMsg::RelayData(d) => self.flow_vehicle(d.flow_src, d.flow_dst),
-                            BackplaneMsg::SalvageRequest { vehicle, .. }
-                            | BackplaneMsg::SalvageData { vehicle, .. } => *vehicle,
-                        };
-                        if veh == self.v0 {
-                            let relay = match &send.msg {
-                                BackplaneMsg::RelayData(d) => Some((d.id, send.from)),
-                                _ => None,
-                            };
-                            coord.drop_seq += 1;
-                            let seq = SEQ_BARRIER + coord.drop_seq;
-                            coord.log_ops.push(LogOp {
-                                at: send.t,
-                                lane: send.from.label(),
-                                seq,
-                                op: LogOpKind::BackplaneDrop { relay },
-                            });
-                        }
-                    }
+                    None => self.log_bp_drop(&mut coord, &send),
                 }
             }
         }
@@ -727,6 +794,13 @@ impl Engine {
                     at,
                     ..
                 } => {
+                    if self.faulted && self.cfg.faults.wired_out(vehicle, at) {
+                        // Upstream wired outage: the anchor delivered the
+                        // packet off the air, but the wired path toward
+                        // this vehicle's Internet peer is out.
+                        coord.tally.wired_drops += 1;
+                        continue;
+                    }
                     let deliver = (at + self.cfg.wired_delay).max(b);
                     let mut sh = self.shards[self.owner[&vehicle]].lock().expect("shard");
                     sh.sched.at(
@@ -760,6 +834,13 @@ impl Engine {
         for tx in &staged.resolvable {
             for idx in 0..sh.nodes.len() {
                 let rx = sh.nodes[idx];
+                if self.faulted && self.cfg.faults.bs_down(rx, tx.end) {
+                    // A crashed node's radio hears nothing; skipping the
+                    // sample is a pure decision of `(rx, end)`, so every
+                    // partition consumes its per-link streams identically.
+                    sh.faults.rx_dropped_down += 1;
+                    continue;
+                }
                 if kernel::sample_reception(sh.link.as_mut(), tx, rx, sense).is_some() {
                     sh.sched.at(tx.end, (rx, Ev::Rx(tx.frame.payload.clone())));
                     sh.reports.push((tx.handle, rx));
@@ -863,11 +944,20 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn dispatch(&self, sh: &mut Shard, lane: NodeId, ev: Ev, now: SimTime) {
+        // Crashed nodes are inert: a pure predicate of `(lane, now)`, so
+        // every partition gates identically without shared state.
+        let down = self.faulted && self.cfg.faults.bs_down(lane, now);
         match ev {
             Ev::Beacon => self.on_beacon_due(sh, lane, now),
             Ev::TxDone => {
                 let cell = sh.cells.get_mut(&lane).expect("cell");
                 cell.iface_busy = false;
+                if down {
+                    // A frame already in the air when the node crashed
+                    // finishes airing, but nothing new starts.
+                    cell.pending_beacon = None;
+                    return;
+                }
                 if let Some((payload, bytes)) = cell.pending_beacon.take() {
                     self.start_tx(sh, lane, payload, bytes, now);
                 }
@@ -886,11 +976,49 @@ impl Engine {
             Ev::Wakeup => {
                 let cell = sh.cells.get_mut(&lane).expect("cell");
                 cell.wakeup_token = None;
+                if down {
+                    return;
+                }
                 let acts = cell.endpoint.on_wakeup(now);
                 self.handle_actions(sh, lane, acts, now);
                 self.pump(sh, lane, now);
             }
+            Ev::FaultUp => {
+                // The crash window just closed: the node reboots with a
+                // fresh endpoint (volatile protocol state is gone) on a
+                // restart-specific RNG stream.
+                let role = if self.is_bs(lane) {
+                    Role::Bs
+                } else {
+                    Role::Vehicle
+                };
+                let cell = sh.cells.get_mut(&lane).expect("cell");
+                cell.carried_evictions += cell.endpoint.blacklist_evictions();
+                cell.restarts += 1;
+                let ep_rng = self
+                    .rng
+                    .fork(0x5EED_2000 + lane.label())
+                    .fork(cell.restarts);
+                cell.endpoint = Endpoint::new(
+                    lane,
+                    role,
+                    self.cfg.vifi.clone(),
+                    self.bs_ids.clone(),
+                    ep_rng,
+                );
+                cell.iface_busy = false;
+                cell.pending_beacon = None;
+                if let Some(tok) = cell.wakeup_token.take() {
+                    sh.sched.cancel(tok);
+                }
+                sh.faults.bs_restarts += 1;
+                self.pump(sh, lane, now);
+            }
             Ev::BackplaneArrive { from, msg } => {
+                if down {
+                    sh.faults.backplane_dropped_down += 1;
+                    return;
+                }
                 if let BackplaneMsg::RelayData(d) = &msg {
                     // An upstream relay reaching the anchor's process
                     // counts as having reached the destination.
@@ -939,6 +1067,12 @@ impl Engine {
                 }
             }
             Ev::AnchorDown { vehicle, payload } => {
+                if down {
+                    // Downstream payload handed to an anchor that crashed:
+                    // lost, like a packet inside a dead basestation.
+                    sh.faults.wired_drops += 1;
+                    return;
+                }
                 sh.cells.get_mut(&lane).expect("cell").endpoint.send_app(
                     payload,
                     Some(vehicle),
@@ -961,6 +1095,15 @@ impl Engine {
     }
 
     fn on_beacon_due(&self, sh: &mut Shard, lane: NodeId, now: SimTime) {
+        if self.faulted && self.cfg.faults.beacon_suppressed(lane, now) {
+            // Crashed or suppressed: no beacon airs and the endpoint's
+            // beacon-side state is untouched, but the beacon clock keeps
+            // ticking so the node resumes on schedule.
+            sh.faults.beacons_suppressed += 1;
+            let next = self.beacons.next_after(lane, now);
+            sh.sched.at(next, (lane, Ev::Beacon));
+            return;
+        }
         let (payload, bytes, acts) = sh
             .cells
             .get_mut(&lane)
@@ -1061,6 +1204,7 @@ impl Engine {
                         bytes,
                         msg,
                         lane_seq,
+                        attempt: 0,
                     });
                 }
                 Action::Stat(ev) => self.on_stat(sh, lane, ev, now),
@@ -1166,6 +1310,12 @@ impl Engine {
                     self.pump(sh, lane, now);
                 }
                 HostCmd::SendDownstream(bytes) => {
+                    if self.faulted && self.cfg.faults.wired_out(lane, now) {
+                        // Wired outage toward this vehicle: the Internet
+                        // side's packet never reaches the wired edge.
+                        sh.faults.wired_drops += 1;
+                        continue;
+                    }
                     // Lane-local wired hop: the payload reaches this
                     // vehicle's wired side after the configured delay.
                     sh.sched.at(
@@ -1183,6 +1333,52 @@ impl Engine {
     // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
+
+    /// A backplane message lost to a partition or spike: schedule a retry
+    /// if the bounded-retry budget allows, else drop it for good.
+    fn bp_fault_failure(&self, coord: &mut Coordinator, send: BpSend, t: SimTime, partition: bool) {
+        if let Some(delay) = self.cfg.backplane.retry_delay(send.attempt + 1) {
+            coord.tally.bp_retries += 1;
+            coord.retries.push(BpSend {
+                t: t + delay,
+                attempt: send.attempt + 1,
+                ..send
+            });
+            return;
+        }
+        if partition {
+            coord.tally.bp_partition_drops += 1;
+        } else {
+            coord.tally.bp_spike_drops += 1;
+        }
+        self.log_bp_drop(coord, &send);
+    }
+
+    /// Account a finally-dropped backplane message in the packet log —
+    /// scoped to the instrumented vehicle's traffic, like the per-event
+    /// loop's capacity accounting.
+    fn log_bp_drop(&self, coord: &mut Coordinator, send: &BpSend) {
+        let veh = match &send.msg {
+            BackplaneMsg::RelayData(d) => self.flow_vehicle(d.flow_src, d.flow_dst),
+            BackplaneMsg::SalvageRequest { vehicle, .. }
+            | BackplaneMsg::SalvageData { vehicle, .. } => *vehicle,
+        };
+        if veh != self.v0 {
+            return;
+        }
+        let relay = match &send.msg {
+            BackplaneMsg::RelayData(d) => Some((d.id, send.from)),
+            _ => None,
+        };
+        coord.drop_seq += 1;
+        let seq = SEQ_BARRIER + coord.drop_seq;
+        coord.log_ops.push(LogOp {
+            at: send.t,
+            lane: send.from.label(),
+            seq,
+            op: LogOpKind::BackplaneDrop { relay },
+        });
+    }
 
     fn next_emit_seq(&self, sh: &mut Shard, lane: NodeId) -> u64 {
         let cell = sh.cells.get_mut(&lane).expect("cell");
@@ -1266,6 +1462,14 @@ impl Engine {
 
         let events: u64 = shards.iter().map(|s| s.sched.dispatched()).sum();
         let salvaged: u64 = shards.iter().map(|s| s.salvaged).sum();
+        let mut faults = coord.tally;
+        for sh in &shards {
+            faults.absorb(&sh.faults);
+            for cell in sh.cells.values() {
+                faults.blacklist_evictions +=
+                    cell.endpoint.blacklist_evictions() + cell.carried_evictions;
+            }
+        }
         let timing = CoupledTiming {
             per_shard: shards.iter().map(|s| s.wall).collect(),
             serial: coord.serial_wall,
@@ -1278,6 +1482,7 @@ impl Engine {
             salvaged,
             events,
             frames_tx: coord.medium.tx_count,
+            faults,
             log,
         };
         (outcome, timing)

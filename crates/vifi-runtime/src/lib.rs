@@ -104,7 +104,7 @@ pub use engine::CoupledTiming;
 pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use logging::{PerfectRelayOutcome, RunLog, Table1, Table2Row};
 pub use sim::{
-    plan_shards, RunConfig, RunOutcome, ShardAssignment, ShardMode, ShardPlan, ShardTiming,
-    Simulation, VehicleOutcome,
+    plan_shards, FaultStats, RunConfig, RunOutcome, ShardAssignment, ShardMode, ShardPlan,
+    ShardTiming, Simulation, VehicleOutcome,
 };
 pub use workload::{aggregate_cbr, CbrStats, TcpStats, VoipStats, WorkloadReport, WorkloadSpec};

@@ -58,6 +58,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use vifi_core::VifiConfig;
+use vifi_faults::{ChannelOverrides, FaultPlan};
 use vifi_mac::{BackplaneParams, MacParams};
 use vifi_phy::{NodeId, NodeKind};
 use vifi_sim::{EpochSchedule, Rng, SimDuration};
@@ -118,6 +119,17 @@ pub struct RunConfig {
     pub shards: usize,
     /// Decomposition semantics when `shards >= 2`; see [`ShardMode`].
     pub shard_mode: ShardMode,
+    /// Seeded fault schedule (basestation crashes, beacon suppression,
+    /// backplane partitions/spikes, wired outages). Empty (the default)
+    /// means an unfaulted run — bit-identical to a config predating the
+    /// field. Fault events are applied at canonical points of the epoch
+    /// engine, so a faulted outcome is invariant to [`ShardMode`], shard
+    /// count and worker count exactly like an unfaulted one.
+    pub faults: FaultPlan,
+    /// Scenario-level channel-process overrides (gray-period and
+    /// Gilbert–Elliott parameters). `None`s (the default) keep the radio
+    /// profile's own parameters.
+    pub channel: ChannelOverrides,
 }
 
 impl Default for RunConfig {
@@ -133,6 +145,8 @@ impl Default for RunConfig {
             wired_delay: SimDuration::from_millis(10),
             shards: 1,
             shard_mode: ShardMode::Independent,
+            faults: FaultPlan::default(),
+            channel: ChannelOverrides::default(),
         }
     }
 }
@@ -171,6 +185,69 @@ pub struct RunOutcome {
     pub events: u64,
     /// Total wireless frames transmitted.
     pub frames_tx: u64,
+    /// Degradation observability: what the fault schedule actually did to
+    /// this run (all-zero for unfaulted runs).
+    pub faults: FaultStats,
+}
+
+/// Observability counters for fault injection and graceful degradation —
+/// how often the [`RunConfig::faults`] schedule bit, and how the stack
+/// absorbed it. Part of the outcome fingerprint, so the equivalence suite
+/// pins fault behaviour across shard/worker counts too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Basestations restarted at the end of a crash window.
+    pub bs_restarts: u64,
+    /// Beacons skipped because the sender was down or suppressed.
+    pub beacons_suppressed: u64,
+    /// Wireless receptions voided because the receiver was down.
+    pub rx_dropped_down: u64,
+    /// Backplane deliveries voided because an endpoint was down.
+    pub backplane_dropped_down: u64,
+    /// Backplane messages dropped after exhausting retries in a partition.
+    pub bp_partition_drops: u64,
+    /// Backplane messages lost to a latency/loss spike.
+    pub bp_spike_drops: u64,
+    /// Backplane retransmissions scheduled by the bounded-retry machinery.
+    pub bp_retries: u64,
+    /// Wired-path packets dropped during a wired outage.
+    pub wired_drops: u64,
+    /// Anchors evicted by the vehicle-side blacklist.
+    pub blacklist_evictions: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another shard's (or run's) counters into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.bs_restarts += other.bs_restarts;
+        self.beacons_suppressed += other.beacons_suppressed;
+        self.rx_dropped_down += other.rx_dropped_down;
+        self.backplane_dropped_down += other.backplane_dropped_down;
+        self.bp_partition_drops += other.bp_partition_drops;
+        self.bp_spike_drops += other.bp_spike_drops;
+        self.bp_retries += other.bp_retries;
+        self.wired_drops += other.wired_drops;
+        self.blacklist_evictions += other.blacklist_evictions;
+    }
+
+    /// Total backplane messages lost to injected faults.
+    pub fn bp_drops(&self) -> u64 {
+        self.bp_partition_drops + self.bp_spike_drops
+    }
+}
+
+impl Fingerprintable for FaultStats {
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.push_u64(self.bs_restarts);
+        fp.push_u64(self.beacons_suppressed);
+        fp.push_u64(self.rx_dropped_down);
+        fp.push_u64(self.backplane_dropped_down);
+        fp.push_u64(self.bp_partition_drops);
+        fp.push_u64(self.bp_spike_drops);
+        fp.push_u64(self.bp_retries);
+        fp.push_u64(self.wired_drops);
+        fp.push_u64(self.blacklist_evictions);
+    }
 }
 
 /// The engine's sync quantum while any vehicle is (or may soon be) in
@@ -245,6 +322,7 @@ impl Simulation {
         let cfg = self.cfg.clone();
         let horizon_s = cfg.duration.as_secs() + 1;
         let margin = Self::activity_margin_s(&cfg);
+        let channel = cfg.channel;
         match &self.kind {
             SimKind::Deployment { scenario } => {
                 let probe = scenario.build_link_model(&Rng::new(cfg.seed));
@@ -256,7 +334,14 @@ impl Simulation {
                     vehicles: scenario.vehicle_ids(),
                     bs_ids: scenario.bs_ids(),
                     link_factory: Box::new(move || {
-                        Box::new(scenario.build_link_model(&Rng::new(seed)))
+                        let mut link = scenario.build_link_model(&Rng::new(seed));
+                        if let Some(g) = channel.gray {
+                            link = link.with_gray_params(g);
+                        }
+                        if let Some(ge) = channel.ge {
+                            link = link.with_ge_params(ge);
+                        }
+                        Box::new(link)
                     }),
                     schedule,
                     partition,
@@ -288,7 +373,11 @@ impl Simulation {
                     vehicles: vec![probe.vehicle],
                     bs_ids: probe.bs_ids.clone(),
                     link_factory: Box::new(move || {
-                        Box::new(TraceSimSetup::from_trace(&trace, &Rng::new(seed)).link)
+                        let mut link = TraceSimSetup::from_trace(&trace, &Rng::new(seed)).link;
+                        if let Some(ge) = channel.ge {
+                            link = link.with_ge_params(ge);
+                        }
+                        Box::new(link)
                     }),
                     schedule,
                     partition,
@@ -497,6 +586,10 @@ fn run_micro_shard(
     shard_id: u32,
 ) -> RunOutcome {
     let (sub, mapping) = scenario.with_vehicle_subset(&[vehicle]);
+    // Forward-map the fault plan into the sub-scenario's id space; faults
+    // aimed at vehicles outside this micro-shard drop out.
+    let forward: HashMap<NodeId, NodeId> = mapping.iter().copied().collect();
+    let sub_faults = cfg.faults.remap(|n| forward.get(&n).copied());
     let sub_cfg = RunConfig {
         vifi: cfg.vifi.clone(),
         workload: cfg.workload.clone(),
@@ -512,6 +605,8 @@ fn run_micro_shard(
         wired_delay: cfg.wired_delay,
         shards: 1,
         shard_mode: cfg.shard_mode,
+        faults: sub_faults,
+        channel: cfg.channel,
     };
     let mut out = Simulation::deployment_shard(&sub, sub_cfg, shard_id).run();
     // Map sub-scenario ids back to the parent's (identity whenever the
@@ -538,6 +633,7 @@ fn merge_shard_outcomes(mut parts: Vec<(usize, RunOutcome)>) -> RunOutcome {
     let mut salvaged = 0;
     let mut events = 0;
     let mut frames_tx = 0;
+    let mut faults = FaultStats::default();
     let mut log = None;
     for (fleet_index, part) in parts {
         debug_assert_eq!(part.vehicles.len(), 1, "micro-shards host one vehicle");
@@ -545,6 +641,7 @@ fn merge_shard_outcomes(mut parts: Vec<(usize, RunOutcome)>) -> RunOutcome {
         salvaged += part.salvaged;
         events += part.events;
         frames_tx += part.frames_tx;
+        faults.absorb(&part.faults);
         if fleet_index == 0 {
             log = Some(part.log);
         }
@@ -558,6 +655,7 @@ fn merge_shard_outcomes(mut parts: Vec<(usize, RunOutcome)>) -> RunOutcome {
         salvaged,
         events,
         frames_tx,
+        faults,
         log: log.expect("fleet index 0 carries the packet log"),
     }
 }
@@ -787,6 +885,7 @@ impl Fingerprintable for RunOutcome {
         fp.push_u64(self.unroutable_down);
         fp.push_u64(self.events);
         fp.push_u64(self.frames_tx);
+        self.faults.fingerprint_into(fp);
     }
 }
 

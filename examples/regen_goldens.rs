@@ -1,0 +1,26 @@
+//! One-off: print the sequential golden fingerprints pinned by
+//! `tests/shard_equivalence.rs`.
+
+use vifi::runtime::{RunConfig, Simulation, WorkloadSpec};
+use vifi::sim::SimDuration;
+use vifi::testbeds::{dieselnet_fleet, vanlan};
+
+fn main() {
+    for (name, scenario) in [
+        ("vanlan(8)", vanlan(8)),
+        ("dieselnet_fleet(16, 42)", dieselnet_fleet(16, 42)),
+    ] {
+        println!("{name}:");
+        for seed in [11u64, 12, 13, 14, 15] {
+            let cfg = RunConfig {
+                fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+                duration: SimDuration::from_secs(15),
+                seed,
+                shards: 1,
+                ..RunConfig::default()
+            };
+            let fp = Simulation::deployment(&scenario, cfg).run().fingerprint();
+            println!("    {fp:#018x},");
+        }
+    }
+}

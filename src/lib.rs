@@ -43,6 +43,9 @@ pub use vifi_phy as phy;
 /// 802.11-like broadcast MAC, medium and inter-BS backplane.
 pub use vifi_mac as mac;
 
+/// Seeded, deterministic fault-injection plans.
+pub use vifi_faults as faults;
+
 /// Synthetic VanLAN / DieselNet testbeds and beacon traces.
 pub use vifi_testbeds as testbeds;
 

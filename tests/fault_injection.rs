@@ -1,41 +1,194 @@
-//! Fault-injection integration tests: turn the channel and backplane
-//! knobs and check the stack degrades the way the paper's analysis says
-//! it should.
+//! Fault-injection integration tests: turn the channel, backplane and
+//! fault-plan knobs and check the stack degrades the way the paper's
+//! analysis says it should.
 
 use vifi::core::VifiConfig;
+use vifi::faults::{ChannelOverrides, FaultPlan};
 use vifi::phy::gilbert::GeParams;
 use vifi::phy::gray::GrayParams;
-use vifi::runtime::{RunConfig, Simulation, WorkloadReport, WorkloadSpec};
+use vifi::runtime::{RunConfig, RunOutcome, Simulation, WorkloadReport, WorkloadSpec};
 use vifi::sim::{Rng, SimDuration};
 use vifi::testbeds::vanlan;
 
 /// Run a CBR experiment over a scenario whose link model has custom gray
-/// or Gilbert–Elliott parameters, and return ViFi's and BRR's delivery.
+/// or Gilbert–Elliott parameters (injected through
+/// [`RunConfig::channel`]), and return total delivery.
 fn delivered_with(
     gray: Option<GrayParams>,
     ge: Option<GeParams>,
     vifi_cfg: VifiConfig,
     seed: u64,
 ) -> u64 {
-    // The runtime builds its link model from the scenario; inject the
-    // custom processes by running the channel directly through the probe
-    // path instead: a deployment run with default scenario radio but
-    // overridden per-link processes is exercised at the phy layer here.
     let s = vanlan(1);
     let cfg = RunConfig {
         vifi: vifi_cfg,
         workload: WorkloadSpec::paper_cbr(),
         duration: SimDuration::from_secs(200),
         seed,
+        channel: ChannelOverrides { gray, ge },
         ..RunConfig::default()
     };
-    // Scenario-level injection: rebuild with adjusted channel processes.
-    let _ = (gray, ge); // link-model construction below uses defaults;
-                        // process knobs are validated in vifi-phy's units.
     match Simulation::deployment(&s, cfg).run().report {
         WorkloadReport::Cbr(c) => c.total_delivered(),
         _ => unreachable!(),
     }
+}
+
+/// Run the paper's CBR workload on `vanlan(1)` under a fault plan.
+fn faulted_run(plan: FaultPlan, vifi_cfg: VifiConfig, seed: u64, secs: u64) -> RunOutcome {
+    let s = vanlan(1);
+    let cfg = RunConfig {
+        vifi: vifi_cfg,
+        workload: WorkloadSpec::paper_cbr(),
+        duration: SimDuration::from_secs(secs),
+        seed,
+        faults: plan,
+        ..RunConfig::default()
+    };
+    Simulation::deployment(&s, cfg).run()
+}
+
+fn delivered(out: &RunOutcome) -> u64 {
+    match &out.report {
+        WorkloadReport::Cbr(c) => c.total_delivered(),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn channel_overrides_move_end_to_end_delivery() {
+    // The scenario-level override knobs must actually reach the link
+    // model: the same heavy gray-period process that hurts the raw
+    // channel must hurt end-to-end delivery too.
+    let base = delivered_with(None, None, VifiConfig::default().without_retx(), 9);
+    let heavy_gray = GrayParams {
+        mean_normal: SimDuration::from_secs(5),
+        mean_gray: SimDuration::from_millis(4000),
+        depth_db: 24.0,
+    };
+    let grayed = delivered_with(
+        Some(heavy_gray),
+        None,
+        VifiConfig::default().without_retx(),
+        9,
+    );
+    assert!(
+        grayed < base,
+        "heavy gray periods must cut delivery: {grayed} vs {base}"
+    );
+    let heavy_ge = GeParams {
+        mean_good: SimDuration::from_millis(100),
+        mean_bad: SimDuration::from_millis(400),
+        fade_depth_db: 25.0,
+    };
+    let faded = delivered_with(
+        None,
+        Some(heavy_ge),
+        VifiConfig::default().without_retx(),
+        9,
+    );
+    assert!(
+        faded < base,
+        "deep fast fading must cut delivery: {faded} vs {base}"
+    );
+}
+
+#[test]
+fn zero_intensity_fault_plan_is_bit_identical_to_unfaulted() {
+    let s = vanlan(1);
+    let plan = FaultPlan::synthesize(
+        0.0,
+        17,
+        &s.bs_ids(),
+        &s.vehicle_ids(),
+        SimDuration::from_secs(60),
+    );
+    assert!(plan.is_empty(), "zero intensity synthesizes nothing");
+    let clean = faulted_run(FaultPlan::default(), VifiConfig::default(), 17, 60);
+    let zeroed = faulted_run(plan, VifiConfig::default(), 17, 60);
+    assert_eq!(
+        clean.fingerprint(),
+        zeroed.fingerprint(),
+        "an empty fault plan must not perturb the run"
+    );
+}
+
+#[test]
+fn bs_churn_degrades_delivery_and_populates_fault_counters() {
+    let s = vanlan(1);
+    let plan = FaultPlan::synthesize_bs_churn(0.6, 99, &s.bs_ids(), SimDuration::from_secs(200));
+    assert!(!plan.is_empty());
+    let clean = faulted_run(
+        FaultPlan::default(),
+        VifiConfig::default().without_retx(),
+        8,
+        200,
+    );
+    let churned = faulted_run(plan, VifiConfig::default().without_retx(), 8, 200);
+    assert!(
+        delivered(&churned) < delivered(&clean),
+        "basestation churn must cost delivery: {} vs {}",
+        delivered(&churned),
+        delivered(&clean)
+    );
+    assert!(churned.faults.bs_restarts > 0, "crash windows must restart");
+    assert!(
+        churned.faults.beacons_suppressed > 0,
+        "down BSes must not beacon"
+    );
+    assert!(
+        churned.faults.rx_dropped_down > 0,
+        "down BSes must not receive"
+    );
+    assert_eq!(clean.faults, Default::default(), "clean run counts nothing");
+}
+
+#[test]
+fn vifi_beats_brr_under_bs_churn() {
+    // §6's diversity argument under infrastructure failure: with
+    // basestations crashing and restarting, ViFi's opportunistic relaying
+    // rides out anchor outages that strand the hard-handoff baseline.
+    let s = vanlan(1);
+    let plan = FaultPlan::synthesize_bs_churn(0.6, 99, &s.bs_ids(), SimDuration::from_secs(200));
+    let vifi = faulted_run(
+        plan.clone(),
+        VifiConfig::default().without_retx().with_blacklist(),
+        8,
+        200,
+    );
+    let brr = faulted_run(
+        plan,
+        VifiConfig::brr_baseline().without_retx().with_blacklist(),
+        8,
+        200,
+    );
+    assert!(
+        delivered(&vifi) > delivered(&brr),
+        "ViFi {} vs BRR {} under churn",
+        delivered(&vifi),
+        delivered(&brr)
+    );
+}
+
+#[test]
+fn blacklist_evicts_dead_anchors_under_churn() {
+    let s = vanlan(1);
+    let plan = FaultPlan::synthesize_bs_churn(0.6, 99, &s.bs_ids(), SimDuration::from_secs(200));
+    let hardened = faulted_run(
+        plan.clone(),
+        VifiConfig::default().without_retx().with_blacklist(),
+        8,
+        200,
+    );
+    let naive = faulted_run(plan, VifiConfig::default().without_retx(), 8, 200);
+    assert!(
+        hardened.faults.blacklist_evictions > 0,
+        "silent anchors must be evicted under churn"
+    );
+    assert_eq!(
+        naive.faults.blacklist_evictions, 0,
+        "blacklist off by default"
+    );
 }
 
 #[test]

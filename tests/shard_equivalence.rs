@@ -26,6 +26,7 @@
 //! sharded executors own the machine while they are measured.
 
 use proptest::prelude::*;
+use vifi::faults::FaultPlan;
 use vifi::runtime::{RunConfig, ShardMode, Simulation, WorkloadSpec};
 use vifi::sim::SimDuration;
 use vifi::testbeds::{dieselnet_fleet, vanlan, Scenario};
@@ -52,34 +53,55 @@ fn fleet_cfg(seed: u64, shards: usize, secs: u64) -> RunConfig {
 /// ≥ 5 seeds, per the issue.
 const SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
 
+/// A fleet config carrying a full synthesized fault plan (BS churn,
+/// beacon suppression, wired outages, backplane partitions and spikes) at
+/// substantial intensity. The plan is a pure function of the seed and the
+/// scenario's node sets, so every executor under test derives the same
+/// schedule.
+fn faulted_fleet_cfg(scenario: &Scenario, seed: u64, shards: usize, secs: u64) -> RunConfig {
+    let duration = SimDuration::from_secs(secs);
+    RunConfig {
+        faults: FaultPlan::synthesize(
+            0.6,
+            seed,
+            &scenario.bs_ids(),
+            &scenario.vehicle_ids(),
+            duration,
+        ),
+        ..fleet_cfg(seed, shards, secs)
+    }
+}
+
 #[test]
 fn sequential_run_matches_golden_fingerprints() {
     // These pin the coupled physics (the epoch engine at one shard)
     // against silent drift. If a deliberate physics change lands,
-    // regenerate them (the failure message prints the new values) and
-    // explain the change in the commit. Last regenerated in PR 5: the
-    // coupled loop moved onto the epoch-synchronized engine (per-link
-    // sampling streams, epoch-batched MAC placement, canonical log
-    // replay) — see docs/ARCHITECTURE.md "Sharded runs".
+    // regenerate them (the failure message prints the new values, or run
+    // `cargo run --release --example regen_goldens`) and explain the
+    // change in the commit. Last regenerated in PR 7: the fault-injection
+    // subsystem added `FaultStats` to `RunOutcome::fingerprint` (all-zero
+    // counters on unfaulted runs, but part of the hashed bytes) — the
+    // physics itself is unchanged, which the equivalence tests above
+    // continue to prove.
     let golden: [(u64, [u64; 5]); 2] = [
         (
             0, // vanlan(8)
             [
-                0x93d0e1c6d7d2110c,
-                0xb7cf654f6d88d146,
-                0x840ff8d0ade04cbb,
-                0x0b33f01e2b7bb424,
-                0xd1ae2e27d22db399,
+                0xcf140c1d42d9368c,
+                0xe50914b9bc3dbc06,
+                0x5a5855c433d74d1b,
+                0x88105f1357ec44a4,
+                0x4a4304dd2d5cd9b9,
             ],
         ),
         (
             1, // dieselnet_fleet(16, 42)
             [
-                0xa5792d51363a318a,
-                0x60132e26b30fe57c,
-                0x459e943d5668c525,
-                0x01d2483da075f2ae,
-                0x06bb65cd4bb22fd1,
+                0x402356ba73be90ca,
+                0x349bd88447a068fc,
+                0x027ef1400bd4a0c5,
+                0x1300c6338a9b826e,
+                0xbf918adb23de44f1,
             ],
         ),
     ];
@@ -267,6 +289,101 @@ fn merged_outcome_shape_matches_sequential_fleet_shape() {
     for v in &sharded.vehicles {
         assert!(v.report.as_cbr().unwrap().total_sent() > 0);
     }
+}
+
+#[test]
+fn faulted_coupled_shards_2_4_8_are_bit_identical_to_sequential() {
+    // The robustness tentpole: every fault event — crash/restart windows,
+    // suppressed beacons, partition and spike losses, retry re-sends —
+    // crosses the epoch barrier in canonical order, so a faulted coupled
+    // run is bit-identical to the faulted sequential run at any shard
+    // count, on both fleets, across ≥ 5 seeds.
+    for (name, scenario) in fleet_scenarios() {
+        for seed in SEEDS {
+            let cfg = faulted_fleet_cfg(&scenario, seed, 1, 15);
+            let sequential = Simulation::deployment(&scenario, cfg).run();
+            assert!(
+                sequential.faults.bs_restarts > 0,
+                "{name} seed {seed}: fault machinery must actually engage"
+            );
+            let sequential = sequential.fingerprint();
+            for shards in [2usize, 4, 8] {
+                let cfg = RunConfig {
+                    shard_mode: ShardMode::Coupled,
+                    ..faulted_fleet_cfg(&scenario, seed, shards, 15)
+                };
+                let fp = Simulation::run_sharded(&scenario, cfg).fingerprint();
+                assert_eq!(
+                    fp, sequential,
+                    "{name} seed {seed} faulted coupled shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_coupled_outcome_is_invariant_to_worker_count() {
+    // Fault handling must not depend on which thread runs a shard: the
+    // serial executor and real worker threads agree bit for bit.
+    for (name, scenario) in fleet_scenarios() {
+        let cfg = RunConfig {
+            shard_mode: ShardMode::Coupled,
+            ..faulted_fleet_cfg(&scenario, 37, 4, 15)
+        };
+        let (serial, _) = Simulation::run_coupled_timed(&scenario, cfg.clone(), Some(1));
+        let (threaded, _) = Simulation::run_coupled_timed(&scenario, cfg, None);
+        assert_eq!(
+            serial.fingerprint(),
+            threaded.fingerprint(),
+            "{name}: faulted worker invariance"
+        );
+    }
+}
+
+#[test]
+fn faulted_independent_shard_counts_are_bit_identical_to_each_other() {
+    // Independent mode remaps the plan onto each micro-shard's densified
+    // node ids; the decomposition stays a pure function of
+    // `(run_seed, vehicle)` even with faults in play.
+    for (name, scenario) in fleet_scenarios() {
+        for seed in SEEDS {
+            let reference = Simulation::run_sharded_sequential(
+                &scenario,
+                faulted_fleet_cfg(&scenario, seed, 2, 15),
+            )
+            .fingerprint();
+            for shards in [2usize, 4, 8] {
+                let fp = Simulation::run_sharded(
+                    &scenario,
+                    faulted_fleet_cfg(&scenario, seed, shards, 15),
+                )
+                .fingerprint();
+                assert_eq!(
+                    fp, reference,
+                    "{name} seed {seed} faulted independent shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_differ_from_unfaulted_runs() {
+    // Non-vacuity for the whole faulted suite: the synthesized plan must
+    // actually perturb the physics, in both modes.
+    let scenario = vanlan(8);
+    let clean = Simulation::deployment(&scenario, fleet_cfg(11, 1, 15))
+        .run()
+        .fingerprint();
+    let faulted = Simulation::deployment(&scenario, faulted_fleet_cfg(&scenario, 11, 1, 15))
+        .run()
+        .fingerprint();
+    assert_ne!(clean, faulted, "faults must perturb the coupled run");
+    let clean = Simulation::run_sharded(&scenario, fleet_cfg(11, 4, 15)).fingerprint();
+    let faulted =
+        Simulation::run_sharded(&scenario, faulted_fleet_cfg(&scenario, 11, 4, 15)).fingerprint();
+    assert_ne!(clean, faulted, "faults must perturb the independent run");
 }
 
 proptest! {
