@@ -30,7 +30,7 @@ use vifi_phy::pathloss::{ShadowField, ShadowSampler};
 use vifi_phy::{GilbertElliott, Point};
 use vifi_runtime::{RunConfig, ShardMode, Simulation, WorkloadSpec};
 use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
-use vifi_testbeds::dieselnet_fleet;
+use vifi_testbeds::{dieselnet_fleet, vanlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -141,6 +141,25 @@ fn bench_fleet_sharded(h: &mut Harness) {
         )
         .0
         .events
+    });
+    // A city-scale coupled run: 64 vans through the parallel
+    // audibility-partitioned barrier (collect → probe → split → place →
+    // merge each epoch). Tracks the partitioner and group-placement cost
+    // per event at the batch sizes a dense fleet actually produces —
+    // where a regression in the PR 7 barrier machinery would land.
+    let city = vanlan(64);
+    let city_cfg = RunConfig {
+        fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+        duration: SimDuration::from_secs(2),
+        seed: 7,
+        shards: 2,
+        shard_mode: ShardMode::Coupled,
+        ..RunConfig::default()
+    };
+    h.bench("fleet_run_64van_coupled", || {
+        Simulation::run_coupled_timed(&city, std::hint::black_box(city_cfg.clone()), Some(1))
+            .0
+            .events
     });
 }
 

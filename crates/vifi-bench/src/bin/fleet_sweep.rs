@@ -24,6 +24,11 @@
 //!   pure core scaling of the *trustworthy* numbers; its
 //!   `cost_vs_independent` prices what keeping the shared medium costs
 //!   over the Independent shortcut.
+//!
+//! A third axis, `city_coupled_scaling`, profiles the coupled mode on
+//! city-scale fleets (vanlan(64), dieselnet_fleet(128)) at up to 16
+//! shards — the regime the parallel audibility-partitioned barrier
+//! targets.
 
 use std::time::Instant;
 
@@ -44,6 +49,10 @@ const FLEET_SIZES: [u32; 4] = [2, 4, 8, 16];
 /// Shard counts profiled on the largest fleet (1 = the sequential
 /// coupled run the speedups are measured against).
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shard counts for the city-scale coupled axis (PR 7's parallel
+/// audibility-partitioned barrier is sized for these fleets).
+const CITY_SHARD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// Fault-intensity grid for the robustness axis (0 = healthy baseline).
 const FAULT_INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
@@ -301,11 +310,12 @@ fn coupled_scaling(
     scenario: &Scenario,
     duration: SimDuration,
     independent: &[ShardScalingRow],
+    counts: &[usize],
 ) -> serde_json::Value {
     const PASSES: usize = 2;
     let mut seq_critical_ms = 0.0;
     let mut rows: Vec<CoupledScalingRow> = Vec::new();
-    for &shards in &SHARD_COUNTS {
+    for &shards in counts {
         // Min-merge across passes by critical path, like the Independent
         // axis: shared-host contention only inflates timings.
         let mut best: Option<vifi_runtime::CoupledTiming> = None;
@@ -523,8 +533,36 @@ fn main() {
     let (vanlan_shards, vanlan_rows) = shard_scaling("VanLAN", &vanlan_big, duration);
     let (diesel_shards, diesel_rows) = shard_scaling("DieselNet-Fleet", &diesel_big, duration);
     let coupled_scaling_json = vec![
-        coupled_scaling("VanLAN", &vanlan_big, duration, &vanlan_rows),
-        coupled_scaling("DieselNet-Fleet", &diesel_big, duration, &diesel_rows),
+        coupled_scaling("VanLAN", &vanlan_big, duration, &vanlan_rows, &SHARD_COUNTS),
+        coupled_scaling(
+            "DieselNet-Fleet",
+            &diesel_big,
+            duration,
+            &diesel_rows,
+            &SHARD_COUNTS,
+        ),
+    ];
+    // City-scale coupled axis: 64/128-vehicle fleets at up to 16 shards —
+    // what the parallel audibility-partitioned barrier buys. No
+    // Independent reference here (the decomposition answers a different
+    // question and the fleets are heavy); shorter horizon for the same
+    // reason.
+    let city_duration = SimDuration::from_secs(60 * scale.laps.max(1) as u64);
+    let city_scaling_json = vec![
+        coupled_scaling(
+            "VanLAN-city",
+            &vanlan(64),
+            city_duration,
+            &[],
+            &CITY_SHARD_COUNTS,
+        ),
+        coupled_scaling(
+            "DieselNet-city",
+            &dieselnet_fleet(128, 42),
+            city_duration,
+            &[],
+            &CITY_SHARD_COUNTS,
+        ),
     ];
     // Robustness axis: delivery and disruption against fault intensity on
     // the issue's two fleets (vanlan(8), dieselnet_fleet(16)).
@@ -538,10 +576,12 @@ fn main() {
             "workload": "paper_cbr",
             "fleet_sizes": FLEET_SIZES.to_vec(),
             "shard_counts": SHARD_COUNTS.to_vec(),
+            "city_shard_counts": CITY_SHARD_COUNTS.to_vec(),
             "fault_intensities": FAULT_INTENSITIES.to_vec(),
             "testbeds": [vanlan_json, diesel_json],
             "shard_scaling": [vanlan_shards, diesel_shards],
             "coupled_scaling": coupled_scaling_json,
+            "city_coupled_scaling": city_scaling_json,
             "fault_sweep": fault_sweep_json,
         }),
     );

@@ -33,4 +33,7 @@ pub mod medium;
 pub use backplane::{Backplane, BackplaneParams};
 pub use beacon::BeaconSchedule;
 pub use frame::{Frame, MacParams};
-pub use medium::{Placement, Reception, ResolvableTx, SharedMediumService, TxHandle, TxRequest};
+pub use medium::{
+    PartitionProbes, PlacedGroup, Placement, PlacementGroup, Reception, ResolvableTx,
+    SharedMediumService, TxHandle, TxRequest,
+};

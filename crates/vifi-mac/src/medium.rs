@@ -226,6 +226,151 @@ struct Transmission<P> {
     resolved: bool,
 }
 
+/// The directed audibility probes that determine one batch's partition,
+/// planned by [`SharedMediumService::partition_probes`]. Each probe is a
+/// single pure `LinkModel::quality_hint` evaluation at the barrier
+/// instant; probes are independent of each other and of all simulation
+/// state, so a worker pool can evaluate disjoint ranges concurrently
+/// (with any link-model instance built from the run's configuration) and
+/// hand the boolean results back to
+/// [`SharedMediumService::split_batch_resolved`].
+pub struct PartitionProbes {
+    /// Node universe: the batch's unique senders first, then sources of
+    /// still-live windows (each node once).
+    nodes: Vec<NodeId>,
+    /// `(a, b, tx, rx)`: evaluating `quality_hint(tx, rx, at) > sense`
+    /// decides whether universe nodes `a` and `b` join one component.
+    probes: Vec<(usize, usize, NodeId, NodeId)>,
+    /// Length of the sender prefix of `nodes`. Both the sender prefix and
+    /// the live-source suffix are sorted by label, so node→index lookups
+    /// are two binary searches instead of a linear scan.
+    n_senders: usize,
+}
+
+impl PartitionProbes {
+    /// Number of probes to evaluate.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when no probes are needed (zero or one possible component).
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Evaluate probe `k`: is its transmitter audible to its receiver at
+    /// `at` under `sense_threshold`? Pure; any instance of the run's link
+    /// model gives the same answer.
+    pub fn eval(&self, k: usize, at: SimTime, link: &dyn LinkModel, sense_threshold: f64) -> bool {
+        let (_, _, tx, rx) = self.probes[k];
+        link.quality_hint(tx, rx, at) > sense_threshold
+    }
+}
+
+/// One audibility-independent slice of an epoch batch, produced by
+/// [`SharedMediumService::split_batch`]: the group's requests (with their
+/// canonical batch indices), the live windows its senders can sense, and
+/// the senders' own backoff streams, moved out of the service so the
+/// group can be placed on any thread. No sender in this group can sense
+/// any window or sender outside it at the barrier instant, so placing
+/// groups in any order — or concurrently — reproduces
+/// [`SharedMediumService::place_batch`] bit for bit once the results are
+/// merged back in canonical order.
+pub struct PlacementGroup<P> {
+    /// `(canonical batch index, request)`, ascending by index.
+    requests: Vec<(usize, TxRequest<P>)>,
+    /// Live windows whose source belongs to this group's component.
+    windows: Vec<kernel::TxWindow>,
+    /// Per-sender backoff streams, moved out of the service.
+    backoff: Vec<(NodeId, Rng)>,
+    /// Directed audibility verdicts `(tx, rx)` inside this component at
+    /// the barrier instant — the partition probes already answered every
+    /// `quality_hint` question the group's carrier-sense scan can ask
+    /// (window sources and senders are all component members), so
+    /// placement itself needs no link model at all.
+    audible: Vec<(NodeId, NodeId)>,
+    /// The request at canonical index `i` gets handle `handle_base + i` —
+    /// exactly the handle serial placement would have assigned it.
+    handle_base: u64,
+    params: MacParams,
+}
+
+/// The output of [`PlacementGroup::place`], ready for
+/// [`SharedMediumService::merge_placed`].
+pub struct PlacedGroup<P> {
+    transmissions: Vec<(usize, Transmission<P>)>,
+    placements: Vec<(usize, Placement)>,
+    backoff: Vec<(NodeId, Rng)>,
+}
+
+impl<P: Clone> PlacementGroup<P> {
+    /// Number of requests in the group.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the group holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Place this group's requests: the same carrier-sense / DIFS /
+    /// backoff loop as [`SharedMediumService::place_batch`], restricted to
+    /// the group's own windows. Pure with respect to the service (the
+    /// group owns every mutable stream it needs) and link-free: the
+    /// carrier-sense verdicts [`kernel::free_at`] would have asked
+    /// `quality_hint` for were all answered by the partition probes at
+    /// the same instant, so this is window arithmetic only — runnable on
+    /// any worker thread.
+    pub fn place(mut self, at: SimTime) -> PlacedGroup<P> {
+        let mut transmissions = Vec::with_capacity(self.requests.len());
+        let mut placements = Vec::with_capacity(self.requests.len());
+        let cw = self.params.cw_slots;
+        for (idx, req) in self.requests {
+            let src = req.frame.src;
+            // `kernel::free_at` with the quality-hint filter replaced by
+            // the probe answers — same windows, same instant, same
+            // verdicts, bit-identical free instant.
+            let mut free = at;
+            for w in &self.windows {
+                if w.end > at
+                    && w.src != src
+                    && w.end > free
+                    && self.audible.contains(&(w.src, src))
+                {
+                    free = w.end;
+                }
+            }
+            let draw = self
+                .backoff
+                .iter_mut()
+                .find(|(n, _)| *n == src)
+                .map(|(_, r)| r.below(cw))
+                .expect("split_batch moves every sender's backoff stream into its group");
+            let start = free + self.params.difs + self.params.slot * draw;
+            let end = start + self.params.airtime(req.frame.size_bytes);
+            let handle = TxHandle(self.handle_base + idx as u64);
+            self.windows.push(kernel::TxWindow { src, start, end });
+            transmissions.push((
+                idx,
+                Transmission {
+                    handle,
+                    frame: req.frame,
+                    start,
+                    end,
+                    resolved: false,
+                },
+            ));
+            placements.push((idx, Placement { handle, start, end }));
+        }
+        PlacedGroup {
+            transmissions,
+            placements,
+            backoff: self.backoff,
+        }
+    }
+}
+
 /// The broadcast wireless medium: global transmission state plus the
 /// epoch-batched placement/resolution machinery (see the module docs).
 pub struct SharedMediumService<P> {
@@ -382,6 +527,286 @@ impl<P: Clone> SharedMediumService<P> {
                 break;
             }
         }
+    }
+
+    /// Plan the audibility probes whose answers partition one epoch's
+    /// batch at barrier instant `at`. The probe set is the carrier-sense
+    /// relation [`kernel::free_at`] evaluates, restricted to the pairs
+    /// that can matter: between two senders either direction couples
+    /// their placements (one defers behind the other's new window), and a
+    /// live window couples to a sender only in the window→sender
+    /// direction (live sources place nothing). Windows ending at or
+    /// before `at` are already over and probe nothing. Every batch
+    /// placement floors at `at`, so audibility evaluated at `at` is
+    /// exactly the audibility placement will see.
+    pub fn partition_probes(&self, requests: &[TxRequest<P>], at: SimTime) -> PartitionProbes {
+        let mut senders: Vec<NodeId> = requests.iter().map(|r| r.frame.src).collect();
+        senders.sort_unstable_by_key(|n| n.label());
+        senders.dedup();
+        let n_senders = senders.len();
+        let mut nodes = senders;
+        let mut lives: Vec<NodeId> = self
+            .live
+            .iter()
+            .filter(|t| t.end > at)
+            .map(|t| t.frame.src)
+            .collect();
+        lives.sort_unstable_by_key(|n| n.label());
+        lives.dedup();
+        // `nodes` is the sorted sender list here, so exclusion is a
+        // binary search per live source rather than a linear scan.
+        lives.retain(|l| {
+            nodes
+                .binary_search_by_key(&l.label(), |n| n.label())
+                .is_err()
+        });
+        nodes.extend(lives);
+        let n_live = nodes.len() - n_senders;
+        let mut probes =
+            Vec::with_capacity(n_senders * n_senders.saturating_sub(1) + n_live * n_senders);
+        for a in 0..n_senders {
+            for b in (a + 1)..n_senders {
+                probes.push((a, b, nodes[a], nodes[b]));
+                probes.push((a, b, nodes[b], nodes[a]));
+            }
+        }
+        for l in n_senders..nodes.len() {
+            for s in 0..n_senders {
+                probes.push((s, l, nodes[l], nodes[s]));
+            }
+        }
+        PartitionProbes {
+            nodes,
+            probes,
+            n_senders,
+        }
+    }
+
+    /// Partition one epoch's batch into audibility-independent groups of
+    /// canonical request indices (each group ascending, groups ordered by
+    /// smallest member). Two senders land in the same group when either
+    /// can sense the other at `at` — directly or through a chain of
+    /// audible senders / live windows (the symmetric-transitive closure
+    /// of the carrier-sense predicate, which is exactly what makes
+    /// cross-group windows irrelevant to placement).
+    pub fn partition_batch(
+        &self,
+        requests: &[TxRequest<P>],
+        at: SimTime,
+        link: &dyn LinkModel,
+    ) -> Vec<Vec<usize>> {
+        let probes = self.partition_probes(requests, at);
+        let audible: Vec<bool> = (0..probes.len())
+            .map(|k| probes.eval(k, at, link, self.params.sense_threshold))
+            .collect();
+        let (groups, _, _) = self.components(requests, at, &probes, &audible);
+        groups
+    }
+
+    /// The partition core: union-find over the evaluated probes. Returns
+    /// the index groups, per group the indices into `self.live` of its
+    /// component's still-live windows (live sources audible to no sender
+    /// form senderless components and are dropped — their windows cannot
+    /// defer anyone), and per group the audible directed pairs among its
+    /// members. This runs on the serial coordinator path every epoch, so
+    /// node lookups are binary searches over the probe universe's two
+    /// sorted segments and the root→group map is a plain vector.
+    #[allow(clippy::type_complexity)]
+    fn components(
+        &self,
+        requests: &[TxRequest<P>],
+        at: SimTime,
+        probes: &PartitionProbes,
+        audible: &[bool],
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<Vec<(NodeId, NodeId)>>) {
+        assert_eq!(audible.len(), probes.probes.len());
+        let nodes = &probes.nodes;
+        let n_senders = probes.n_senders;
+        let node_index = |id: NodeId| -> usize {
+            let label = id.label();
+            nodes[..n_senders]
+                .binary_search_by_key(&label, |n| n.label())
+                .or_else(|_| {
+                    nodes[n_senders..]
+                        .binary_search_by_key(&label, |n| n.label())
+                        .map(|i| i + n_senders)
+                })
+                .expect("node in partition universe")
+        };
+        let mut parent: Vec<usize> = (0..nodes.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for (k, &(a, b, _, _)) in probes.probes.iter().enumerate() {
+            if audible[k] {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        // Groups keyed by component root, ordered by smallest canonical
+        // request index — a deterministic order independent of how the
+        // union-find happened to pick roots.
+        const NO_GROUP: usize = usize::MAX;
+        let mut group_of_root: Vec<usize> = vec![NO_GROUP; nodes.len()];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (idx, req) in requests.iter().enumerate() {
+            let root = find(&mut parent, node_index(req.frame.src));
+            if group_of_root[root] == NO_GROUP {
+                group_of_root[root] = groups.len();
+                groups.push(Vec::new());
+            }
+            groups[group_of_root[root]].push(idx);
+        }
+        let mut live_windows: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+        for (i, t) in self.live.iter().enumerate() {
+            if t.end > at {
+                let root = find(&mut parent, node_index(t.frame.src));
+                let g = group_of_root[root];
+                if g != NO_GROUP {
+                    live_windows[g].push(i);
+                }
+            }
+        }
+        // Route each audible verdict to its component's group (every
+        // probe receiver is a sender, so an audible probe's component
+        // always carries requests).
+        let mut pairs: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); groups.len()];
+        for (k, &(a, _, tx, rx)) in probes.probes.iter().enumerate() {
+            if audible[k] {
+                let root = find(&mut parent, a);
+                let g = group_of_root[root];
+                if g != NO_GROUP {
+                    pairs[g].push((tx, rx));
+                }
+            }
+        }
+        (groups, live_windows, pairs)
+    }
+
+    /// Split one epoch's batch into [`PlacementGroup`]s that can be
+    /// placed concurrently, evaluating the partition probes inline — the
+    /// single-threaded convenience over
+    /// [`Self::split_batch_resolved`].
+    pub fn split_batch(
+        &mut self,
+        requests: Vec<TxRequest<P>>,
+        at: SimTime,
+        link: &dyn LinkModel,
+    ) -> Vec<PlacementGroup<P>> {
+        let probes = self.partition_probes(&requests, at);
+        let audible: Vec<bool> = (0..probes.len())
+            .map(|k| probes.eval(k, at, link, self.params.sense_threshold))
+            .collect();
+        self.split_batch_resolved(requests, at, &probes, &audible)
+    }
+
+    /// Split one epoch's batch into [`PlacementGroup`]s given the
+    /// already-evaluated partition probes (from
+    /// [`Self::partition_probes`], possibly evaluated concurrently).
+    /// `requests` must be in canonical `(t_req, src)` order, exactly as
+    /// for [`Self::place_batch`]. The service commits the batch here —
+    /// handles and `tx_count` advance, and each sender's backoff stream
+    /// moves into its group — so every returned group must be placed and
+    /// the results handed back to [`Self::merge_placed`] before the next
+    /// batch.
+    pub fn split_batch_resolved(
+        &mut self,
+        requests: Vec<TxRequest<P>>,
+        at: SimTime,
+        probes: &PartitionProbes,
+        audible: &[bool],
+    ) -> Vec<PlacementGroup<P>> {
+        debug_assert!(
+            requests
+                .windows(2)
+                .all(|w| (w[0].t_req, w[0].frame.src.label())
+                    <= (w[1].t_req, w[1].frame.src.label())),
+            "requests must arrive in canonical (t_req, src) order"
+        );
+        let (index_groups, live_windows, pairs) = self.components(&requests, at, probes, audible);
+        let handle_base = self.next_handle;
+        self.next_handle += requests.len() as u64;
+        self.tx_count += requests.len() as u64;
+        let mut slots: Vec<Option<TxRequest<P>>> = requests.into_iter().map(Some).collect();
+        index_groups
+            .into_iter()
+            .zip(live_windows.into_iter().zip(pairs))
+            .map(|(indices, (live_idx, audible))| {
+                let requests: Vec<(usize, TxRequest<P>)> = indices
+                    .iter()
+                    .map(|&i| (i, slots[i].take().expect("each index appears once")))
+                    .collect();
+                let windows: Vec<kernel::TxWindow> = live_idx
+                    .iter()
+                    .map(|&i| {
+                        let t = &self.live[i];
+                        kernel::TxWindow {
+                            src: t.frame.src,
+                            start: t.start,
+                            end: t.end,
+                        }
+                    })
+                    .collect();
+                let mut backoff = Vec::new();
+                for (_, req) in &requests {
+                    let src = req.frame.src;
+                    if !backoff.iter().any(|(n, _)| *n == src) {
+                        let stream = self
+                            .backoff
+                            .remove(&src)
+                            .unwrap_or_else(|| self.backoff_root.fork(src.label()));
+                        backoff.push((src, stream));
+                    }
+                }
+                PlacementGroup {
+                    requests,
+                    windows,
+                    backoff,
+                    audible,
+                    handle_base,
+                    params: self.params,
+                }
+            })
+            .collect()
+    }
+
+    /// Merge placed groups back into the service: restore the backoff
+    /// streams, insert the transmissions in handle (= canonical batch)
+    /// order, and return the placements in canonical batch order — the
+    /// exact state and output [`Self::place_batch`] produces for the same
+    /// batch. Runs the `resense_on_defer` post-pass here when enabled:
+    /// the pass re-evaluates audibility at deferred starts (not at the
+    /// barrier), so it must see the whole merged batch.
+    pub fn merge_placed(
+        &mut self,
+        groups: Vec<PlacedGroup<P>>,
+        at: SimTime,
+        link: &dyn LinkModel,
+    ) -> Vec<Placement> {
+        let batch_lo = self.live.len();
+        let mut transmissions = Vec::new();
+        let mut indexed = Vec::new();
+        for g in groups {
+            for (node, rng) in g.backoff {
+                self.backoff.insert(node, rng);
+            }
+            transmissions.extend(g.transmissions);
+            indexed.extend(g.placements);
+        }
+        transmissions.sort_by_key(|(idx, _)| *idx);
+        self.live.extend(transmissions.into_iter().map(|(_, t)| t));
+        indexed.sort_by_key(|(idx, _)| *idx);
+        let mut placements: Vec<Placement> = indexed.into_iter().map(|(_, p)| p).collect();
+        if self.params.resense_on_defer {
+            self.resense_batch(batch_lo, at, link, &mut placements);
+        }
+        placements
     }
 
     /// Drain every placed transmission whose airtime ends before

@@ -231,3 +231,173 @@ proptest! {
         prop_assert_eq!(quiet_rx, busy_rx, "disjoint traffic changed reception sampling");
     }
 }
+
+/// A two-batch setup for the audibility partitioner: batch 1 (every node,
+/// large frames) leaves live windows on the medium; batch 2 (even-labelled
+/// nodes) is the one being partitioned at `at`, while the odd nodes'
+/// still-running windows act as live sources.
+#[allow(clippy::type_complexity)]
+fn two_batch_setup(
+    topo: &Topology,
+    seed: u64,
+    gap_us: u64,
+) -> (
+    TraceLinkModel,
+    SharedMediumService<u32>,
+    Vec<(NodeId, SimTime, SimTime)>,
+    Vec<TxRequest<u32>>,
+    SimTime,
+) {
+    let link = build_link(topo, seed);
+    let mut med: SharedMediumService<u32> =
+        SharedMediumService::new(MacParams::default(), &Rng::new(seed));
+    let first: Vec<TxRequest<u32>> = (0..topo.n)
+        .map(|i| TxRequest {
+            frame: Frame::new(NodeId(i), 1500, i),
+            t_req: SimTime::from_micros(i as u64),
+        })
+        .collect();
+    let srcs: Vec<NodeId> = first.iter().map(|r| r.frame.src).collect();
+    let placed = med.place_batch(first, SimTime::ZERO, &link);
+    let live: Vec<(NodeId, SimTime, SimTime)> = srcs
+        .iter()
+        .zip(&placed)
+        .map(|(&s, p)| (s, p.start, p.end))
+        .collect();
+    let at = SimTime::from_micros(gap_us);
+    let second: Vec<TxRequest<u32>> = (0..topo.n)
+        .step_by(2)
+        .map(|i| TxRequest {
+            frame: Frame::new(NodeId(i), 400 + 30 * i, i),
+            t_req: at + vifi_sim::SimDuration::from_micros(i as u64),
+        })
+        .collect();
+    (link, med, live, second, at)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The audibility partitioner is an exact cover: every request index
+    /// appears in exactly one group, indices ascend within each group, and
+    /// groups are ordered by their first (canonically smallest) index.
+    #[test]
+    fn partition_covers_batch_exactly_once(
+        topo in topology_strategy(),
+        seed in 1u64..10_000,
+        gap_us in 500u64..3000,
+    ) {
+        let (link, med, _, second, at) = two_batch_setup(&topo, seed, gap_us);
+        let total = second.len();
+        let groups = med.partition_batch(&second, at, &link);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..total).collect::<Vec<_>>(), "cover is not exact");
+        for g in &groups {
+            prop_assert!(!g.is_empty(), "empty group emitted");
+            prop_assert!(g.windows(2).all(|w| w[0] < w[1]), "indices must ascend within a group");
+        }
+        let firsts: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+        prop_assert!(
+            firsts.windows(2).all(|w| w[0] < w[1]),
+            "groups must be ordered by first canonical index"
+        );
+    }
+
+    /// Cross-group independence: two senders placed in different groups are
+    /// outside each other's interference horizon at the partition instant
+    /// (inaudible in both directions), and no still-live window's source is
+    /// audible to senders in two different groups — the condition that
+    /// makes per-group placement order-free.
+    #[test]
+    fn cross_group_nodes_are_mutually_inaudible(
+        topo in topology_strategy(),
+        seed in 1u64..10_000,
+        gap_us in 500u64..3000,
+    ) {
+        let (link, med, live, second, at) = two_batch_setup(&topo, seed, gap_us);
+        let sense = MacParams::default().sense_threshold;
+        let groups = med.partition_batch(&second, at, &link);
+        let senders: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|g| g.iter().map(|&i| second[i].frame.src).collect())
+            .collect();
+        for gi in 0..senders.len() {
+            for gj in (gi + 1)..senders.len() {
+                for &a in &senders[gi] {
+                    for &b in &senders[gj] {
+                        prop_assert!(
+                            link.quality_hint(a, b, at) <= sense
+                                && link.quality_hint(b, a, at) <= sense,
+                            "{a:?} and {b:?} are in different groups yet within \
+                             each other's interference horizon at {at:?}"
+                        );
+                    }
+                }
+            }
+        }
+        let batch_srcs: Vec<NodeId> = second.iter().map(|r| r.frame.src).collect();
+        for &(l, _, end) in &live {
+            if end <= at || batch_srcs.contains(&l) {
+                continue;
+            }
+            let heard_in: Vec<usize> = (0..senders.len())
+                .filter(|&g| senders[g].iter().any(|&s| link.quality_hint(l, s, at) > sense))
+                .collect();
+            prop_assert!(
+                heard_in.len() <= 1,
+                "live source {l:?} is audible to senders of groups {heard_in:?}; \
+                 those groups must have merged"
+            );
+        }
+    }
+
+    /// Group-parallel placement is bit-identical to the whole-batch path:
+    /// splitting a batch into audibility groups, placing each group
+    /// independently (in reverse group order, to prove order freedom) and
+    /// merging back produces the same placements, the same live windows and
+    /// overlap snapshots, and the same sampled receptions as a single
+    /// `place_batch` call on an identically-seeded service.
+    #[test]
+    fn group_parallel_placement_matches_place_batch(
+        topo in topology_strategy(),
+        seed in 1u64..10_000,
+        gap_us in 500u64..3000,
+    ) {
+        let (mut link_a, mut med_a, _, second, at) = two_batch_setup(&topo, seed, gap_us);
+        let (mut link_b, mut med_b, _, _, _) = two_batch_setup(&topo, seed, gap_us);
+        let sense = MacParams::default().sense_threshold;
+
+        let whole = med_a.place_batch(second.clone(), at, &link_a);
+        let groups = med_b.split_batch(second, at, &link_b);
+        let mut placed: Vec<_> = groups.into_iter().map(|g| g.place(at)).collect();
+        placed.reverse();
+        let merged = med_b.merge_placed(placed, at, &link_b);
+
+        let fp = |p: &vifi_mac::Placement| (p.handle, p.start, p.end);
+        prop_assert_eq!(
+            whole.iter().map(fp).collect::<Vec<_>>(),
+            merged.iter().map(fp).collect::<Vec<_>>(),
+            "placements diverged between whole-batch and group-parallel paths"
+        );
+
+        let ra = med_a.drain_resolvable(SimTime::MAX);
+        let rb = med_b.drain_resolvable(SimTime::MAX);
+        prop_assert_eq!(ra.len(), rb.len());
+        for (ta, tb) in ra.iter().zip(&rb) {
+            prop_assert_eq!(ta.handle, tb.handle);
+            prop_assert_eq!(ta.frame.src, tb.frame.src);
+            prop_assert_eq!((ta.start, ta.end), (tb.start, tb.end));
+            prop_assert_eq!(&ta.overlapping, &tb.overlapping, "overlap snapshots diverged");
+            let rx_a: Vec<_> = kernel::resolve_receptions(&mut link_a, ta, sense)
+                .into_iter()
+                .map(|r| (r.rx, r.rssi_dbm.to_bits()))
+                .collect();
+            let rx_b: Vec<_> = kernel::resolve_receptions(&mut link_b, tb, sense)
+                .into_iter()
+                .map(|r| (r.rx, r.rssi_dbm.to_bits()))
+                .collect();
+            prop_assert_eq!(rx_a, rx_b, "reception sampling diverged");
+        }
+    }
+}

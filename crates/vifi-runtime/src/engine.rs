@@ -37,6 +37,8 @@
 //! is the point: sharded coupled runs keep it.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -45,7 +47,8 @@ use vifi_core::endpoint::BackplaneMsg;
 use vifi_core::{Action, Direction, Endpoint, PacketId, Role, StatEvent, VifiPayload};
 use vifi_mac::medium::kernel;
 use vifi_mac::{
-    Backplane, BeaconSchedule, Frame, ResolvableTx, SharedMediumService, TxHandle, TxRequest,
+    Backplane, BeaconSchedule, Frame, PartitionProbes, PlacedGroup, PlacementGroup, ResolvableTx,
+    SharedMediumService, TxHandle, TxRequest,
 };
 use vifi_phy::{LinkModel, NodeId};
 use vifi_sim::{EpochBarrier, EpochSchedule, Rng, Scheduler, SimTime, TimerToken};
@@ -260,6 +263,31 @@ struct Staged {
     resolvable: Vec<ResolvableTx<VifiPayload>>,
 }
 
+/// Staging area the parallel barrier phases hand work through. The
+/// leader fills it in the collect/split phases (behind the write lock);
+/// workers read it concurrently to evaluate audibility probes and place
+/// groups, claiming work through the engine's shared cursor.
+#[derive(Default)]
+struct BarrierScratch {
+    /// The epoch's sorted transmission batch, awaiting the split phase.
+    requests: Vec<TxRequest<VifiPayload>>,
+    /// Frame metas in batch order (consumed by the merge phase).
+    metas: Vec<FrameMeta>,
+    /// Batch senders in batch order (for the staged placements).
+    senders: Vec<NodeId>,
+    /// Backplane sends and cross-lane messages awaiting the route phase.
+    bp: Vec<BpSend>,
+    xs: Vec<XMsg>,
+    /// The barrier instant the batch places at.
+    at: SimTime,
+    /// Audibility probe plan for the batch partition (collect → probe
+    /// phase), and the workers' answers (probe → split phase).
+    probes: Option<PartitionProbes>,
+    audible: Vec<AtomicBool>,
+    /// Placement jobs (split → place phase); each taken exactly once.
+    jobs: Vec<Mutex<Option<PlacementGroup<VifiPayload>>>>,
+}
+
 /// The node partition of an engine run: per shard, the lanes it owns.
 #[derive(Clone, Debug)]
 pub(crate) struct EnginePartition {
@@ -358,6 +386,13 @@ struct Engine {
     owner: HashMap<NodeId, usize>,
     coord: Mutex<Coordinator>,
     staged: RwLock<Staged>,
+    /// Parallel-barrier staging (probe plan, placement jobs).
+    scratch: RwLock<BarrierScratch>,
+    /// Work-claim cursor for the probe and place phases (reset by the
+    /// leader while every other worker is parked at the next wait).
+    cursor: AtomicUsize,
+    /// Placed groups accumulated by the place phase, merged canonically.
+    placed: Mutex<Vec<(usize, PlacedGroup<VifiPayload>)>>,
     workers: usize,
     /// The instrumented vehicle (first vehicle; owns the packet log).
     v0: NodeId,
@@ -500,6 +535,9 @@ impl Engine {
             owner,
             coord: Mutex::new(coord),
             staged: RwLock::new(Staged::default()),
+            scratch: RwLock::new(BarrierScratch::default()),
+            cursor: AtomicUsize::new(0),
+            placed: Mutex::new(Vec::new()),
             workers,
             v0,
             faulted,
@@ -549,7 +587,10 @@ impl Engine {
         if self.workers <= 1 {
             // Serial executor: identical phases, no thread handoff. The
             // per-shard walls measured here are what each shard would cost
-            // on a core of its own.
+            // on a core of its own — the parallel probe/place phases are
+            // therefore timed in per-shard slices rotated by epoch index,
+            // exactly the work each shard's core would absorb in a
+            // threaded run with balanced assignment.
             for (bi, &b) in boundaries.iter().enumerate() {
                 for shard in &self.shards {
                     let mut sh = shard.lock().expect("shard");
@@ -558,7 +599,37 @@ impl Engine {
                     sh.wall += t0.elapsed();
                 }
                 let next = boundaries.get(bi + 1).map(|&n| n.min(horizon));
-                self.barrier_serial_pre(b, next.unwrap_or(final_next));
+                self.barrier_collect(b);
+                {
+                    let scratch = self.scratch.read().expect("scratch");
+                    if let Some(probes) = scratch.probes.as_ref() {
+                        let (total, n) = (probes.len(), self.shards.len());
+                        for j in 0..n {
+                            let (lo, hi) = (j * total / n, (j + 1) * total / n);
+                            if lo == hi {
+                                continue;
+                            }
+                            // Rotate wall attribution by epoch so small
+                            // batches don't pile onto shard 0's core.
+                            let mut sh = self.shards[(j + bi) % n].lock().expect("shard");
+                            let t0 = Instant::now();
+                            self.eval_probes(&scratch, lo..hi, sh.link.as_ref());
+                            sh.wall += t0.elapsed();
+                        }
+                    }
+                }
+                self.barrier_split(b);
+                {
+                    let scratch = self.scratch.read().expect("scratch");
+                    for i in 0..scratch.jobs.len() {
+                        let n = self.shards.len();
+                        let mut sh = self.shards[(i + bi) % n].lock().expect("shard");
+                        let t0 = Instant::now();
+                        self.place_job(&scratch, i);
+                        sh.wall += t0.elapsed();
+                    }
+                }
+                self.barrier_merge_route(b, next.unwrap_or(final_next));
                 for shard in &self.shards {
                     let mut sh = shard.lock().expect("shard");
                     let t0 = Instant::now();
@@ -596,7 +667,33 @@ impl Engine {
                             }
                             let next = boundaries.get(bi + 1).map(|&n| n.min(horizon));
                             if barrier.wait() {
-                                engine.barrier_serial_pre(b, next.unwrap_or(final_next));
+                                engine.barrier_collect(b);
+                            }
+                            barrier.wait();
+                            // Parallel audibility probes, then parallel
+                            // group placement — each worker drains the
+                            // shared cursor with its own shard's link
+                            // (quality_hint is pure and
+                            // instance-independent, so any instance
+                            // gives bit-identical answers).
+                            {
+                                let mut sh = engine.shards[my_shards[0]].lock().expect("shard");
+                                let t0 = Instant::now();
+                                engine.drain_probes(sh.link.as_ref());
+                                sh.wall += t0.elapsed();
+                            }
+                            if barrier.wait() {
+                                engine.barrier_split(b);
+                            }
+                            barrier.wait();
+                            {
+                                let mut sh = engine.shards[my_shards[0]].lock().expect("shard");
+                                let t0 = Instant::now();
+                                engine.drain_jobs();
+                                sh.wall += t0.elapsed();
+                            }
+                            if barrier.wait() {
+                                engine.barrier_merge_route(b, next.unwrap_or(final_next));
                             }
                             barrier.wait();
                             for &si in &my_shards {
@@ -641,10 +738,12 @@ impl Engine {
     // Barrier phases
     // ------------------------------------------------------------------
 
-    /// Serial pre-resolution phase at boundary `b`: collect outboxes,
-    /// place the epoch's transmission batch, drain resolvable frames,
-    /// resolve the backplane batch, and route cross-lane messages.
-    fn barrier_serial_pre(&self, b: SimTime, next: SimTime) {
+    /// Leader phase 1: collect every shard's outbox, sort the epoch's
+    /// transmission batch into canonical order, snapshot frame metas, and
+    /// plan the audibility probes the batch partition needs. Publishes
+    /// the batch in the scratch area and resets the work cursor — legal
+    /// because every other worker is parked at the following wait.
+    fn barrier_collect(&self, b: SimTime) {
         let t0 = Instant::now();
         let mut coord = self.coord.lock().expect("coordinator");
 
@@ -661,7 +760,7 @@ impl Engine {
             coord.log_ops.append(&mut ops);
         }
 
-        // ---- place the transmission batch in canonical order ----
+        // ---- canonical batch order + aux snapshots ----
         requests.sort_by_key(|r| (r.t_req, r.frame.src.label()));
         // Aux snapshots for the instrumented vehicle's source data frames
         // (cross-lane read — legal here: every shard is parked).
@@ -683,9 +782,128 @@ impl Engine {
             })
             .collect();
         let senders: Vec<NodeId> = requests.iter().map(|r| r.frame.src).collect();
+        let probes = (!requests.is_empty()).then(|| coord.medium.partition_probes(&requests, b));
+        let audible = probes
+            .as_ref()
+            .map(|p| (0..p.len()).map(|_| AtomicBool::new(false)).collect())
+            .unwrap_or_default();
+        *self.scratch.write().expect("scratch") = BarrierScratch {
+            requests,
+            metas,
+            senders,
+            bp,
+            xs,
+            at: b,
+            probes,
+            audible,
+            jobs: Vec::new(),
+        };
+        self.cursor.store(0, Ordering::SeqCst);
+        coord.serial_wall += t0.elapsed();
+    }
+
+    /// Parallel phase 2 helper: evaluate one range of audibility probes
+    /// against `link` (any instance — `quality_hint` is pure and
+    /// instance-independent) and record the audible ones.
+    fn eval_probes(&self, scratch: &BarrierScratch, range: Range<usize>, link: &dyn LinkModel) {
+        let probes = scratch.probes.as_ref().expect("probe plan published");
+        let sense = self.cfg.mac.sense_threshold;
+        for k in range {
+            if probes.eval(k, scratch.at, link, sense) {
+                scratch.audible[k].store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Parallel phase 2, threaded form: claim probe chunks through the
+    /// shared cursor until the plan is exhausted.
+    fn drain_probes(&self, link: &dyn LinkModel) {
+        const CHUNK: usize = 8;
+        let scratch = self.scratch.read().expect("scratch");
+        let Some(probes) = scratch.probes.as_ref() else {
+            return;
+        };
+        loop {
+            let lo = self.cursor.fetch_add(CHUNK, Ordering::SeqCst);
+            if lo >= probes.len() {
+                break;
+            }
+            self.eval_probes(&scratch, lo..(lo + CHUNK).min(probes.len()), link);
+        }
+    }
+
+    /// Leader phase 3: union the probe answers into the batch partition
+    /// and split the batch into placement jobs. Resets the cursor for the
+    /// place phase (workers are parked at the following wait).
+    fn barrier_split(&self, b: SimTime) {
+        let t0 = Instant::now();
+        let mut coord = self.coord.lock().expect("coordinator");
+        let mut scratch = self.scratch.write().expect("scratch");
+        let requests = std::mem::take(&mut scratch.requests);
+        if let Some(probes) = scratch.probes.take() {
+            let audible: Vec<bool> = scratch
+                .audible
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .collect();
+            let groups = coord
+                .medium
+                .split_batch_resolved(requests, b, &probes, &audible);
+            scratch.jobs = groups.into_iter().map(|g| Mutex::new(Some(g))).collect();
+        }
+        self.cursor.store(0, Ordering::SeqCst);
+        coord.serial_wall += t0.elapsed();
+    }
+
+    /// Parallel phase 4 helper: place one claimed job (pure window
+    /// arithmetic — the probes already answered every carrier-sense
+    /// question, so no link model is involved).
+    fn place_job(&self, scratch: &BarrierScratch, i: usize) {
+        let job = scratch.jobs[i]
+            .lock()
+            .expect("job")
+            .take()
+            .expect("each job claimed exactly once");
+        let placed = job.place(scratch.at);
+        self.placed.lock().expect("placed").push((i, placed));
+    }
+
+    /// Parallel phase 4, threaded form: claim placement jobs through the
+    /// shared cursor until none remain.
+    fn drain_jobs(&self) {
+        let scratch = self.scratch.read().expect("scratch");
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::SeqCst);
+            if i >= scratch.jobs.len() {
+                break;
+            }
+            self.place_job(&scratch, i);
+        }
+    }
+
+    /// Leader phase 5: merge the placed groups back into the medium in
+    /// canonical order, drain resolvable frames, stage the resolution
+    /// inputs, resolve the backplane batch, and route cross-lane
+    /// messages — the serial tail of the old one-piece barrier.
+    fn barrier_merge_route(&self, b: SimTime, next: SimTime) {
+        let t0 = Instant::now();
+        let mut coord = self.coord.lock().expect("coordinator");
+        let mut scratch = self.scratch.write().expect("scratch");
+        let metas = std::mem::take(&mut scratch.metas);
+        let senders = std::mem::take(&mut scratch.senders);
+        let mut bp = std::mem::take(&mut scratch.bp);
+        let mut xs = std::mem::take(&mut scratch.xs);
+        scratch.jobs.clear();
+        drop(scratch);
+        let mut placed_groups = std::mem::take(&mut *self.placed.lock().expect("placed"));
+        placed_groups.sort_by_key(|(i, _)| *i);
         let placements = {
             let Coordinator { medium, link, .. } = &mut *coord;
-            medium.place_batch(requests, b, link.as_ref())
+            medium.merge_placed(
+                placed_groups.into_iter().map(|(_, g)| g).collect(),
+                b,
+                link.as_ref(),
+            )
         };
         for (p, m) in placements.iter().zip(metas) {
             coord.meta.insert(p.handle, m);

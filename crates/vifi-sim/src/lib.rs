@@ -35,7 +35,7 @@ pub mod rng;
 pub mod sched;
 pub mod time;
 
-pub use epoch::{EpochBarrier, EpochSchedule};
+pub use epoch::{EpochBarrier, EpochSchedule, HierarchicalSchedule, NestedEpochBarrier};
 pub use event::{EventQueue, TimerToken};
 pub use rng::Rng;
 pub use sched::Scheduler;

@@ -78,7 +78,7 @@ fn sequential_run_matches_golden_fingerprints() {
     // against silent drift. If a deliberate physics change lands,
     // regenerate them (the failure message prints the new values, or run
     // `cargo run --release --example regen_goldens`) and explain the
-    // change in the commit. Last regenerated in PR 7: the fault-injection
+    // change in the commit. Last regenerated in PR 6: the fault-injection
     // subsystem added `FaultStats` to `RunOutcome::fingerprint` (all-zero
     // counters on unfaulted runs, but part of the hashed bytes) — the
     // physics itself is unchanged, which the equivalence tests above
@@ -384,6 +384,105 @@ fn faulted_runs_differ_from_unfaulted_runs() {
     let faulted =
         Simulation::run_sharded(&scenario, faulted_fleet_cfg(&scenario, 11, 4, 15)).fingerprint();
     assert_ne!(clean, faulted, "faults must perturb the independent run");
+}
+
+/// City-scale fleets: the scenarios PR 7's parallel audibility-partitioned
+/// barrier is sized for. Names contain `city` so the CI `test-shards`
+/// matrix can route these legs (`--test-threads=1`, filter `city`).
+fn city_scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("vanlan(64)", vanlan(64)),
+        ("dieselnet_fleet(128, 42)", dieselnet_fleet(128, 42)),
+    ]
+}
+
+/// ≥ 3 seeds for the city legs, per the issue.
+const CITY_SEEDS: [u64; 3] = [51, 52, 53];
+
+/// Short horizon: a city run costs ~16× a vanlan(8) run per simulated
+/// second, and each scenario/seed pair below runs five executors.
+const CITY_SECS: u64 = 8;
+
+#[test]
+fn city_coupled_shards_2_4_8_16_are_bit_identical_to_sequential() {
+    // The tentpole guarantee at city scale: the parallel barrier
+    // (audibility-partitioned probe + placement phases on the worker
+    // pool) must not leak the shard count, the group structure, or the
+    // worker count into the outcome — at 2/4/8/16 shards the merged run
+    // equals the sequential one bit for bit on 64- and 128-vehicle
+    // fleets, across ≥ 3 seeds.
+    for (name, scenario) in city_scenarios() {
+        for seed in CITY_SEEDS {
+            let sequential = Simulation::deployment(&scenario, fleet_cfg(seed, 1, CITY_SECS))
+                .run()
+                .fingerprint();
+            for shards in [2usize, 4, 8, 16] {
+                let cfg = RunConfig {
+                    shard_mode: ShardMode::Coupled,
+                    ..fleet_cfg(seed, shards, CITY_SECS)
+                };
+                let fp = Simulation::run_sharded(&scenario, cfg).fingerprint();
+                assert_eq!(
+                    fp, sequential,
+                    "{name} seed {seed} city coupled shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn city_faulted_coupled_runs_are_bit_identical_to_sequential() {
+    // Faults at intensity 0.5 on the city fleets: every crash window,
+    // suppressed beacon and backplane loss still crosses the parallel
+    // barrier in canonical order.
+    for (name, scenario) in city_scenarios() {
+        for seed in CITY_SEEDS {
+            let faulted = |shards: usize| RunConfig {
+                faults: FaultPlan::synthesize(
+                    0.5,
+                    seed,
+                    &scenario.bs_ids(),
+                    &scenario.vehicle_ids(),
+                    SimDuration::from_secs(CITY_SECS),
+                ),
+                ..fleet_cfg(seed, shards, CITY_SECS)
+            };
+            let sequential = Simulation::deployment(&scenario, faulted(1)).run();
+            assert!(
+                sequential.faults.bs_restarts > 0,
+                "{name} seed {seed}: city fault machinery must actually engage"
+            );
+            let sequential = sequential.fingerprint();
+            for shards in [4usize, 16] {
+                let cfg = RunConfig {
+                    shard_mode: ShardMode::Coupled,
+                    ..faulted(shards)
+                };
+                let fp = Simulation::run_sharded(&scenario, cfg).fingerprint();
+                assert_eq!(
+                    fp, sequential,
+                    "{name} seed {seed} city faulted coupled shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn city_coupled_outcome_is_invariant_to_worker_count() {
+    // The serial executor (analytic timing) and real worker threads run
+    // the same 8-wait barrier schedule; at city scale they must still
+    // agree bit for bit.
+    let scenario = vanlan(64);
+    let cfg = RunConfig {
+        shard_mode: ShardMode::Coupled,
+        ..fleet_cfg(57, 8, CITY_SECS)
+    };
+    let (serial, timing) = Simulation::run_coupled_timed(&scenario, cfg.clone(), Some(1));
+    assert_eq!(timing.per_shard.len(), 8);
+    let (threaded, _) = Simulation::run_coupled_timed(&scenario, cfg, None);
+    assert_eq!(serial.fingerprint(), threaded.fingerprint());
 }
 
 proptest! {
