@@ -30,7 +30,7 @@ use vifi_phy::pathloss::{ShadowField, ShadowSampler};
 use vifi_phy::{GilbertElliott, Point};
 use vifi_runtime::{RunConfig, ShardMode, Simulation, WorkloadSpec};
 use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
-use vifi_testbeds::{dieselnet_fleet, vanlan};
+use vifi_testbeds::{dieselnet_fleet, metro, vanlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -160,6 +160,30 @@ fn bench_fleet_sharded(h: &mut Harness) {
         Simulation::run_coupled_timed(&city, std::hint::black_box(city_cfg.clone()), Some(1))
             .0
             .events
+    });
+    // A multi-cluster metro run through the nested epoch hierarchy: four
+    // radio-disjoint districts, each walking its own fine schedule and
+    // cluster pipeline, rendezvousing at coarse boundaries for backplane
+    // routing. Tracks the cluster decomposition, per-cluster medium
+    // placement and the two-level barrier loop — where a regression in
+    // the hierarchical engine would land.
+    let metro_scenario = metro(4, 4, 7);
+    let metro_cfg = RunConfig {
+        fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+        duration: SimDuration::from_secs(2),
+        seed: 7,
+        shards: 2,
+        shard_mode: ShardMode::Coupled,
+        ..RunConfig::default()
+    };
+    h.bench("fleet_run_metro_coupled", || {
+        Simulation::run_coupled_timed(
+            &metro_scenario,
+            std::hint::black_box(metro_cfg.clone()),
+            Some(1),
+        )
+        .0
+        .events
     });
 }
 

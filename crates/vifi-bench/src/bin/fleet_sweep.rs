@@ -28,7 +28,9 @@
 //! A third axis, `city_coupled_scaling`, profiles the coupled mode on
 //! city-scale fleets (vanlan(64), dieselnet_fleet(128)) at up to 16
 //! shards — the regime the parallel audibility-partitioned barrier
-//! targets.
+//! targets. A fourth, `metro_coupled_scaling`, A/Bs the nested epoch
+//! hierarchy against the flat schedule on the multi-cluster
+//! `metro(4, 16, 42)` scenario at the same shard counts.
 
 use std::time::Instant;
 
@@ -39,9 +41,9 @@ use vifi_bench::{
 };
 use vifi_faults::FaultPlan;
 use vifi_runtime::workload::aggregate_cbr;
-use vifi_runtime::{RunOutcome, WorkloadSpec};
+use vifi_runtime::{RunConfig, RunOutcome, ShardMode, Simulation, WorkloadSpec};
 use vifi_sim::{Rng, SimDuration};
-use vifi_testbeds::{dieselnet_fleet, vanlan, Scenario};
+use vifi_testbeds::{dieselnet_fleet, metro, vanlan, Scenario};
 
 /// Fleet sizes of the sweep (the acceptance grid).
 const FLEET_SIZES: [u32; 4] = [2, 4, 8, 16];
@@ -388,6 +390,110 @@ fn coupled_scaling(
     })
 }
 
+/// Metro axis: the nested epoch hierarchy against the flat single-level
+/// schedule on a multi-cluster scenario, per shard count. Both modes are
+/// measured with every shard on the calling thread (`workers = Some(1)`),
+/// so critical paths are honest regardless of host cores. The payoff the
+/// axis demonstrates: nested runs confine fine barriers to each cluster's
+/// own pipeline and only serialize fleet-wide at coarse boundaries, so
+/// their serial wall — and with it the critical path at high shard
+/// counts — shrinks relative to flat runs, which serialize the whole
+/// fleet every fine epoch. (The two modes are distinct coupling models;
+/// each is individually bit-identical across shard counts, which the
+/// `metro` equivalence legs prove.)
+fn metro_coupled_scaling(
+    scenario: &Scenario,
+    duration: SimDuration,
+    counts: &[usize],
+) -> serde_json::Value {
+    const PASSES: usize = 2;
+    let measure = |shards: usize, flat: bool| -> vifi_runtime::CoupledTiming {
+        let mut best: Option<vifi_runtime::CoupledTiming> = None;
+        for _ in 0..PASSES {
+            let cfg = RunConfig {
+                fleet_workloads: vec![WorkloadSpec::paper_cbr()],
+                duration,
+                seed: 1000,
+                shards,
+                shard_mode: ShardMode::Coupled,
+                flat_epochs: flat,
+                ..RunConfig::default()
+            };
+            let (out, timing) = Simulation::run_coupled_timed(scenario, cfg, Some(1));
+            assert_eq!(out.vehicles.len(), scenario.vehicle_ids().len());
+            let better = best
+                .as_ref()
+                .map(|b| timing.critical_path() < b.critical_path())
+                .unwrap_or(true);
+            if better {
+                best = Some(timing);
+            }
+        }
+        best.expect("at least one pass")
+    };
+    let ms = |t: &vifi_runtime::CoupledTiming| t.critical_path().as_secs_f64() * 1e3;
+    let (mut seq_nested_ms, mut seq_flat_ms) = (0.0f64, 0.0f64);
+    let mut rows = Vec::new();
+    for &shards in counts {
+        let nested = measure(shards, false);
+        let flat = measure(shards, true);
+        let (nested_ms, flat_ms) = (ms(&nested), ms(&flat));
+        if shards == 1 {
+            seq_nested_ms = nested_ms;
+            seq_flat_ms = flat_ms;
+        }
+        rows.push(serde_json::json!({
+            "shards": shards,
+            "nested_critical_path_ms": nested_ms,
+            "nested_serial_ms": nested.serial.as_secs_f64() * 1e3,
+            "nested_speedup_vs_sequential": seq_nested_ms / nested_ms.max(1e-9),
+            "flat_critical_path_ms": flat_ms,
+            "flat_serial_ms": flat.serial.as_secs_f64() * 1e3,
+            "flat_speedup_vs_sequential": seq_flat_ms / flat_ms.max(1e-9),
+            "nested_vs_flat": flat_ms / nested_ms.max(1e-9),
+        }));
+    }
+    print_table(
+        &format!(
+            "Metro — nested vs flat coupled scaling ({} vehicles, {} clusters)",
+            scenario.vehicle_ids().len(),
+            scenario
+                .contact_clusters(&scenario.build_link_model(&Rng::new(1000)))
+                .len(),
+        ),
+        &[
+            "shards",
+            "nested ms",
+            "nested speedup",
+            "flat ms",
+            "flat speedup",
+            "nested/flat",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r["shards"].as_u64().expect("row shards").to_string(),
+                    format!("{:.0}", r["nested_critical_path_ms"].as_f64().unwrap()),
+                    format!(
+                        "{:.2}x",
+                        r["nested_speedup_vs_sequential"].as_f64().unwrap()
+                    ),
+                    format!("{:.0}", r["flat_critical_path_ms"].as_f64().unwrap()),
+                    format!("{:.2}x", r["flat_speedup_vs_sequential"].as_f64().unwrap()),
+                    format!("{:.2}x", r["nested_vs_flat"].as_f64().unwrap()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    serde_json::json!({
+        "testbed": "Metro",
+        "vehicles": scenario.vehicle_ids().len(),
+        "duration_s": duration.as_secs(),
+        "rows": rows,
+    })
+}
+
 /// One (intensity, protocol) cell of the robustness axis, seed-averaged.
 struct FaultRow {
     intensity: f64,
@@ -564,6 +670,10 @@ fn main() {
             &CITY_SHARD_COUNTS,
         ),
     ];
+    // Metro axis: nested hierarchy vs flat schedule on the four-district
+    // multi-cluster scenario — the regime the nested barriers are for.
+    let metro_scaling_json =
+        metro_coupled_scaling(&metro(4, 16, 42), city_duration, &CITY_SHARD_COUNTS);
     // Robustness axis: delivery and disruption against fault intensity on
     // the issue's two fleets (vanlan(8), dieselnet_fleet(16)).
     let fault_sweep_json = vec![
@@ -582,6 +692,7 @@ fn main() {
             "shard_scaling": [vanlan_shards, diesel_shards],
             "coupled_scaling": coupled_scaling_json,
             "city_coupled_scaling": city_scaling_json,
+            "metro_coupled_scaling": metro_scaling_json,
             "fault_sweep": fault_sweep_json,
         }),
     );

@@ -51,7 +51,10 @@ use vifi_mac::{
     SharedMediumService, TxHandle, TxRequest,
 };
 use vifi_phy::{LinkModel, NodeId};
-use vifi_sim::{EpochBarrier, EpochSchedule, Rng, Scheduler, SimTime, TimerToken};
+use vifi_sim::{
+    EpochBarrier, EpochSchedule, HierarchicalSchedule, NestedEpochBarrier, Rng, Scheduler, SimTime,
+    TimerToken,
+};
 
 use crate::logging::RunLog;
 use crate::sim::{FaultStats, RunConfig, RunOutcome, VehicleOutcome};
@@ -341,6 +344,14 @@ pub(crate) struct EngineSetup {
     /// partition irrelevant.
     pub link_factory: Box<dyn Fn() -> EngineLink>,
     pub schedule: EpochSchedule,
+    /// Hierarchical epoch schedule for multi-cluster scenarios; `Some`
+    /// switches the engine into nested-barrier mode (see the module
+    /// docs). Must come with a matching `clusters` decomposition.
+    pub hierarchy: Option<HierarchicalSchedule>,
+    /// The contact-cluster decomposition behind `hierarchy`: every node
+    /// in exactly one cluster, clusters radio-disjoint. Empty when the
+    /// run is flat.
+    pub clusters: Vec<Vec<NodeId>>,
     pub partition: EnginePartition,
     /// Base scheduler-shard id (micro-shards of an Independent run stamp
     /// their queues so timer tokens stay distinct across sub-runs).
@@ -352,6 +363,26 @@ pub(crate) struct EngineSetup {
 /// Run the engine to completion.
 pub(crate) fn run(setup: EngineSetup) -> (RunOutcome, CoupledTiming) {
     Engine::build(setup).run()
+}
+
+/// Per-cluster radio runtime of a nested (hierarchical) run: the
+/// cluster's own shared-medium service, link-model instance, frame metas
+/// and buffered instrumentation ops. Clusters are radio-disjoint, so each
+/// cluster's fine barriers only ever touch its own `ClusterRt` — that is
+/// what lets clusters synchronize without stalling each other. Every
+/// cluster's medium forks its backoff streams from the same `"mac"` root
+/// (per-node streams are keyed by node label, so the split changes
+/// nothing), and handles are namespaced per cluster via
+/// [`SharedMediumService::with_handle_base`] so they stay globally
+/// unique.
+struct ClusterRt {
+    medium: SharedMediumService<VifiPayload>,
+    link: EngineLink,
+    meta: HashMap<TxHandle, FrameMeta>,
+    /// Resolution ops of this cluster's frames, appended to the global
+    /// log stream (cluster-index order) at outcome assembly — canonical
+    /// because the final `(at, lane, seq)` sort is partition-blind.
+    log_ops: Vec<LogOp>,
 }
 
 /// Globally shared, barrier-serial state.
@@ -400,6 +431,16 @@ struct Engine {
     faulted: bool,
     /// The run's root RNG (restart streams fork from it on demand).
     rng: Rng,
+    /// Nested mode (multi-cluster scenarios): the two-level schedule and
+    /// the cluster machinery. `None` runs the flat single-level barrier
+    /// loop, byte-for-byte the pre-hierarchy engine.
+    hierarchy: Option<HierarchicalSchedule>,
+    /// Which cluster owns each node (nested mode only).
+    cluster_of: HashMap<NodeId, usize>,
+    /// Per-cluster radio runtimes (nested mode only).
+    cluster_rts: Vec<Mutex<ClusterRt>>,
+    /// Shards hosting each cluster, ascending (nested mode only).
+    cluster_shards: Vec<Vec<usize>>,
 }
 
 impl Engine {
@@ -410,6 +451,8 @@ impl Engine {
             bs_ids,
             link_factory,
             schedule,
+            hierarchy,
+            clusters,
             partition,
             base_shard_id,
             workers,
@@ -523,6 +566,44 @@ impl Engine {
             retries: Vec::new(),
             tally: FaultStats::default(),
         };
+        // Nested-mode cluster machinery. The decomposition and schedule
+        // are pure functions of the scenario, so the sequential run and
+        // every sharded run build identical cluster runtimes — the
+        // medium split is invisible to placement because clusters are
+        // radio-disjoint and per-node backoff streams fork by label from
+        // the same root as the flat medium.
+        let mut cluster_of = HashMap::new();
+        let mut cluster_rts = Vec::with_capacity(clusters.len());
+        let mut cluster_shards = vec![Vec::new(); clusters.len()];
+        if let Some(h) = &hierarchy {
+            assert_eq!(
+                h.clusters(),
+                clusters.len(),
+                "hierarchy and decomposition must agree"
+            );
+            for (c, members) in clusters.iter().enumerate() {
+                for &n in members {
+                    let prev = cluster_of.insert(n, c);
+                    assert!(prev.is_none(), "node {n:?} in two clusters");
+                }
+                cluster_rts.push(Mutex::new(ClusterRt {
+                    medium: SharedMediumService::new(cfg.mac, &rng.fork_named("mac"))
+                        .with_handle_base((c as u64) << 48),
+                    link: link_factory(),
+                    meta: HashMap::new(),
+                    log_ops: Vec::new(),
+                }));
+            }
+            for (s, lane_nodes) in partition.lanes.iter().enumerate() {
+                for n in lane_nodes {
+                    let c = *cluster_of.get(n).expect("every node has a cluster");
+                    let hosts: &mut Vec<usize> = &mut cluster_shards[c];
+                    if hosts.last() != Some(&s) {
+                        hosts.push(s);
+                    }
+                }
+            }
+        }
         let workers = workers.clamp(1, partition.lanes.len());
         let faulted = !cfg.faults.is_empty();
         Engine {
@@ -542,10 +623,17 @@ impl Engine {
             v0,
             faulted,
             rng,
+            hierarchy,
+            cluster_of,
+            cluster_rts,
+            cluster_shards,
         }
     }
 
     fn run(self) -> (RunOutcome, CoupledTiming) {
+        if self.hierarchy.is_some() {
+            return self.run_nested();
+        }
         let horizon = SimTime::ZERO + self.cfg.duration;
         let boundaries = self.schedule.boundaries(horizon);
         // Drain floor for the final barrier: only frames whose airtime
@@ -553,36 +641,7 @@ impl Engine {
         // still in the air when the run ends leaves no record, matching
         // the per-event loop's behavior at the tail.
         let final_next = SimTime::from_micros(horizon.as_micros() + 1);
-
-        // Seed every shard: beacons for every lane, then fault-plan
-        // restarts, then drivers — all in lane order. A restart fires at
-        // the end of each crash window: while the window is open the pure
-        // fault predicates keep the node inert, and the `FaultUp` event
-        // is the single stateful step (a fresh endpoint).
-        for shard in &self.shards {
-            let mut sh = shard.lock().expect("shard");
-            for i in 0..sh.nodes.len() {
-                let n = sh.nodes[i];
-                let at = self.beacons.next_after(n, SimTime::ZERO);
-                sh.sched.at(at, (n, Ev::Beacon));
-            }
-            if self.faulted {
-                for i in 0..sh.nodes.len() {
-                    let n = sh.nodes[i];
-                    for w in self.cfg.faults.crash_windows(n) {
-                        if w.end < horizon {
-                            sh.sched.at(w.end, (n, Ev::FaultUp));
-                        }
-                    }
-                }
-            }
-            for i in 0..sh.nodes.len() {
-                let n = sh.nodes[i];
-                if sh.cells[&n].host.is_some() {
-                    self.with_driver(&mut sh, n, SimTime::ZERO, |d, api| d.start(api));
-                }
-            }
-        }
+        self.seed_shards(horizon);
 
         if self.workers <= 1 {
             // Serial executor: identical phases, no thread handoff. The
@@ -719,6 +778,407 @@ impl Engine {
         }
 
         self.assemble_outcome(horizon)
+    }
+
+    /// Seed every shard: beacons for every lane, then fault-plan
+    /// restarts, then drivers — all in lane order. A restart fires at
+    /// the end of each crash window: while the window is open the pure
+    /// fault predicates keep the node inert, and the `FaultUp` event
+    /// is the single stateful step (a fresh endpoint).
+    fn seed_shards(&self, horizon: SimTime) {
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard");
+            for i in 0..sh.nodes.len() {
+                let n = sh.nodes[i];
+                let at = self.beacons.next_after(n, SimTime::ZERO);
+                sh.sched.at(at, (n, Ev::Beacon));
+            }
+            if self.faulted {
+                for i in 0..sh.nodes.len() {
+                    let n = sh.nodes[i];
+                    for w in self.cfg.faults.crash_windows(n) {
+                        if w.end < horizon {
+                            sh.sched.at(w.end, (n, Ev::FaultUp));
+                        }
+                    }
+                }
+            }
+            for i in 0..sh.nodes.len() {
+                let n = sh.nodes[i];
+                if sh.cells[&n].host.is_some() {
+                    self.with_driver(&mut sh, n, SimTime::ZERO, |d, api| d.start(api));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Nested executor (multi-cluster scenarios)
+    // ------------------------------------------------------------------
+
+    /// The nested-barrier run loop: each cluster walks its own fine
+    /// schedule against its own radio runtime, and the whole fleet
+    /// rendezvouses only at coarse boundaries, where the thin backplane
+    /// coupling (wired hops, partitions, spikes) resolves in canonical
+    /// order. Outcomes are a pure function of `(config, seed, hierarchy)`
+    /// — identical at every shard and worker count — because every phase
+    /// below runs at schedule-determined instants in schedule-determined
+    /// order, exactly like the flat loop.
+    fn run_nested(self) -> (RunOutcome, CoupledTiming) {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        let hierarchy = self.hierarchy.as_ref().expect("nested run");
+        let bounds = hierarchy.boundaries(horizon);
+        let final_next = SimTime::from_micros(horizon.as_micros() + 1);
+        let cluster_bounds: Vec<Vec<SimTime>> = (0..hierarchy.clusters())
+            .map(|c| hierarchy.cluster_boundaries(c, horizon))
+            .collect();
+        self.seed_shards(horizon);
+
+        if self.workers <= 1 {
+            // Serial nested executor: every shard executes to each union
+            // boundary, then the due clusters' pipelines run in cluster
+            // order, then (at coarse instants) the global rendezvous —
+            // the same per-shard event interleaving the threaded
+            // executor produces.
+            for (i, &(t, mask, is_coarse)) in bounds.iter().enumerate() {
+                let coarse = is_coarse || i + 1 == bounds.len();
+                for shard in &self.shards {
+                    let mut sh = shard.lock().expect("shard");
+                    let t0 = Instant::now();
+                    self.exec_epoch(&mut sh, t.min(horizon), false);
+                    sh.wall += t0.elapsed();
+                }
+                for (c, cb) in cluster_bounds.iter().enumerate() {
+                    if mask & (1 << c) != 0 {
+                        self.cluster_pipeline(c, t, next_boundary(cb, t, horizon, final_next));
+                    }
+                }
+                if coarse {
+                    self.global_coarse(t);
+                }
+            }
+        } else {
+            self.run_nested_threaded(&bounds, &cluster_bounds, horizon, final_next);
+        }
+
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard");
+            let t0 = Instant::now();
+            self.exec_epoch(&mut sh, horizon, true);
+            sh.wall += t0.elapsed();
+        }
+        self.assemble_outcome(horizon)
+    }
+
+    /// The threaded nested executor. Clusters that share a shard are
+    /// grouped (a shard's events must be executed by exactly one worker);
+    /// groups are packed into `min(workers, groups)` supergroups, each
+    /// with its own slice of the worker pool and its own cluster barrier
+    /// in a [`NestedEpochBarrier`] — so a supergroup's fine boundaries
+    /// never stall the others, and only coarse boundaries synchronize the
+    /// whole pool.
+    fn run_nested_threaded(
+        &self,
+        bounds: &[(SimTime, u64, bool)],
+        cluster_bounds: &[Vec<SimTime>],
+        horizon: SimTime,
+        final_next: SimTime,
+    ) {
+        let nc = cluster_bounds.len();
+        // Group clusters that share a shard (union-find over clusters).
+        let mut parent: Vec<usize> = (0..nc).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut shard_cluster: HashMap<usize, usize> = HashMap::new();
+        for (c, hosts) in self.cluster_shards.iter().enumerate() {
+            for &s in hosts {
+                match shard_cluster.get(&s) {
+                    Some(&d) => {
+                        let (a, b) = (find(&mut parent, c), find(&mut parent, d));
+                        if a != b {
+                            parent[a.max(b)] = a.min(b);
+                        }
+                    }
+                    None => {
+                        shard_cluster.insert(s, c);
+                    }
+                }
+            }
+        }
+        // Groups in order of their smallest cluster.
+        let mut group_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for c in 0..nc {
+            let r = find(&mut parent, c);
+            let g = *group_of_root.entry(r).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(c);
+        }
+        // Pack groups into supergroups (LPT by node count, deterministic
+        // tie-breaks), then split the worker pool proportionally.
+        let group_w: Vec<usize> = groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|&c| self.cluster_of.values().filter(|&&x| x == c).count())
+                    .sum()
+            })
+            .collect();
+        let nsg = self.workers.min(groups.len());
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&g| (std::cmp::Reverse(group_w[g]), g));
+        let mut sg_clusters: Vec<Vec<usize>> = vec![Vec::new(); nsg];
+        let mut sg_load = vec![0usize; nsg];
+        for g in order {
+            let lightest = (0..nsg).min_by_key(|&k| (sg_load[k], k)).expect(">=1");
+            sg_load[lightest] += group_w[g];
+            sg_clusters[lightest].extend(groups[g].iter().copied());
+        }
+        for cs in &mut sg_clusters {
+            cs.sort_unstable();
+        }
+        // Worker counts per supergroup: largest remainder on load, each
+        // at least one, summing to the pool.
+        let total: usize = sg_load.iter().sum::<usize>().max(1);
+        let extra = self.workers - nsg;
+        let mut counts = vec![1usize; nsg];
+        let mut given = 0usize;
+        let mut rem: Vec<(usize, usize)> = Vec::with_capacity(nsg);
+        for k in 0..nsg {
+            let exact = extra * sg_load[k];
+            counts[k] += exact / total;
+            given += exact / total;
+            rem.push((exact % total, k));
+        }
+        rem.sort_by_key(|&(r, k)| (std::cmp::Reverse(r), k));
+        for &(_, k) in rem.iter().take(extra - given) {
+            counts[k] += 1;
+        }
+        // Shards of each supergroup: every hosting shard of its clusters,
+        // plus empty shards round-robined across supergroups.
+        let mut sg_of_shard: Vec<Option<usize>> = vec![None; self.shards.len()];
+        for (k, cs) in sg_clusters.iter().enumerate() {
+            for &c in cs {
+                for &s in &self.cluster_shards[c] {
+                    sg_of_shard[s] = Some(k);
+                }
+            }
+        }
+        let mut sg_shards: Vec<Vec<usize>> = vec![Vec::new(); nsg];
+        let mut spare = 0usize;
+        for (s, k) in sg_of_shard.iter().enumerate() {
+            match k {
+                Some(k) => sg_shards[*k].push(s),
+                None => {
+                    sg_shards[spare % nsg].push(s);
+                    spare += 1;
+                }
+            }
+        }
+        let sg_mask: Vec<u64> = sg_clusters
+            .iter()
+            .map(|cs| cs.iter().fold(0u64, |m, &c| m | (1 << c)))
+            .collect();
+
+        let barrier = NestedEpochBarrier::new(&counts);
+        let engine = &self;
+        let counts = &counts;
+        std::thread::scope(|scope| {
+            for sg in 0..nsg {
+                for k in 0..counts[sg] {
+                    let barrier = &barrier;
+                    let (sg_shards, sg_clusters, sg_mask) = (&sg_shards, &sg_clusters, &sg_mask);
+                    scope.spawn(move || {
+                        let my_shards: Vec<usize> = sg_shards[sg]
+                            .iter()
+                            .copied()
+                            .skip(k)
+                            .step_by(counts[sg])
+                            .collect();
+                        for (i, &(t, mask, is_coarse)) in bounds.iter().enumerate() {
+                            let coarse = is_coarse || i + 1 == bounds.len();
+                            if !coarse && mask & sg_mask[sg] == 0 {
+                                // None of this supergroup's clusters has a
+                                // boundary here: free-run past it. Event
+                                // execution is chunk-invariant, so the
+                                // skipped span is absorbed by the next
+                                // participating boundary.
+                                continue;
+                            }
+                            for &si in &my_shards {
+                                let mut sh = engine.shards[si].lock().expect("shard");
+                                let t0 = Instant::now();
+                                engine.exec_epoch(&mut sh, t.min(horizon), false);
+                                sh.wall += t0.elapsed();
+                            }
+                            if barrier.wait_cluster(sg) {
+                                for &c in &sg_clusters[sg] {
+                                    if mask & (1 << c) != 0 {
+                                        engine.cluster_pipeline(
+                                            c,
+                                            t,
+                                            next_boundary(
+                                                &cluster_bounds[c],
+                                                t,
+                                                horizon,
+                                                final_next,
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                            barrier.wait_cluster(sg);
+                            if coarse {
+                                if barrier.wait_global() {
+                                    engine.global_coarse(t);
+                                }
+                                barrier.wait_global();
+                            }
+                        }
+                    });
+                }
+            }
+        });
+    }
+
+    /// One cluster's fine barrier: collect the cluster's transmission
+    /// requests from its hosting shards, place them on the cluster's own
+    /// medium, and resolve the frames ending before the cluster's next
+    /// boundary — the leader-serial analogue of the flat barrier's
+    /// collect/split/place/merge/resolve phases, confined to one
+    /// radio-disjoint cluster. Backplane sends and cross-lane messages
+    /// stay buffered in the shards until the coarse rendezvous.
+    fn cluster_pipeline(&self, c: usize, b: SimTime, next: SimTime) {
+        let t0 = Instant::now();
+        let mut rt = self.cluster_rts[c].lock().expect("cluster rt");
+
+        // ---- collect this cluster's requests, hosting shards in order --
+        let mut requests: Vec<TxRequest<VifiPayload>> = Vec::new();
+        for &si in &self.cluster_shards[c] {
+            let mut sh = self.shards[si].lock().expect("shard");
+            let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut sh.tx_requests)
+                .into_iter()
+                .partition(|r| self.cluster_of[&r.frame.src] == c);
+            sh.tx_requests = rest;
+            requests.extend(mine);
+        }
+        requests.sort_by_key(|r| (r.t_req, r.frame.src.label()));
+
+        // ---- aux snapshots ----
+        // The instrumented vehicle's source data frames are transmitted
+        // by v0 itself or by a BS in radio contact with it, so they only
+        // ever appear in v0's own cluster — the lock below never races
+        // another cluster's pipeline.
+        let metas: Vec<FrameMeta> = requests
+            .iter()
+            .map(|r| {
+                let aux_set = match &r.frame.payload {
+                    VifiPayload::Data(d)
+                        if d.relayed_by.is_none()
+                            && self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 =>
+                    {
+                        let mut sh = self.shards[self.owner[&self.v0]].lock().expect("shard");
+                        let cell = sh.cells.get_mut(&self.v0).expect("v0 cell");
+                        Some(cell.endpoint.current_aux(b))
+                    }
+                    _ => None,
+                };
+                FrameMeta { aux_set }
+            })
+            .collect();
+        let senders: Vec<NodeId> = requests.iter().map(|r| r.frame.src).collect();
+
+        // ---- place on the cluster's own medium, drain resolvable ----
+        let ClusterRt {
+            medium,
+            link,
+            meta,
+            log_ops,
+        } = &mut *rt;
+        let groups = medium.split_batch(requests, b, link.as_ref());
+        let placed: Vec<PlacedGroup<VifiPayload>> =
+            groups.into_iter().map(|g| g.place(b)).collect();
+        let placements = medium.merge_placed(placed, b, link.as_ref());
+        for (p, m) in placements.iter().zip(metas) {
+            meta.insert(p.handle, m);
+        }
+        let resolvable = medium.drain_resolvable(next);
+
+        // ---- per hosting shard: TxDone + reception sampling ----
+        // Each receiver samples on its owner shard's link instance, as in
+        // flat mode; restricting to the cluster's own nodes is pure
+        // stream hygiene (cross-cluster pairs have zero quality and never
+        // consume link randomness).
+        let sense = self.cfg.mac.sense_threshold;
+        let mut by_handle: HashMap<TxHandle, Vec<NodeId>> = HashMap::new();
+        for &si in &self.cluster_shards[c] {
+            let mut sh = self.shards[si].lock().expect("shard");
+            for (src, p) in senders.iter().zip(&placements) {
+                if sh.cells.contains_key(src) {
+                    sh.sched.at(p.end, (*src, Ev::TxDone));
+                }
+            }
+            for tx in &resolvable {
+                for idx in 0..sh.nodes.len() {
+                    let rx = sh.nodes[idx];
+                    if self.cluster_of[&rx] != c {
+                        continue;
+                    }
+                    if self.faulted && self.cfg.faults.bs_down(rx, tx.end) {
+                        sh.faults.rx_dropped_down += 1;
+                        continue;
+                    }
+                    if kernel::sample_reception(sh.link.as_mut(), tx, rx, sense).is_some() {
+                        sh.sched.at(tx.end, (rx, Ev::Rx(tx.frame.payload.clone())));
+                        by_handle.entry(tx.handle).or_default().push(rx);
+                    }
+                }
+            }
+        }
+
+        // ---- per-frame instrumentation, canonical order ----
+        for (k, tx) in resolvable.iter().enumerate() {
+            let mut rx_ids = by_handle.remove(&tx.handle).unwrap_or_default();
+            rx_ids.sort_by_key(|n| n.index());
+            let m = meta.remove(&tx.handle);
+            self.emit_frame_ops(log_ops, tx, &rx_ids, m, SEQ_RESOLUTION + k as u64);
+        }
+        drop(rt);
+
+        // Stall model: every hosting shard waits for its cluster's
+        // pipeline, so the elapsed time lands on each of their walls (the
+        // fleet-wide serial wall only accrues at coarse boundaries).
+        let elapsed = t0.elapsed();
+        for &si in &self.cluster_shards[c] {
+            let mut sh = self.shards[si].lock().expect("shard");
+            sh.wall += elapsed;
+        }
+    }
+
+    /// The coarse rendezvous of a nested run: drain every shard's
+    /// backplane sends and cross-lane messages (shard order) and resolve
+    /// them through the same canonical routing tail the flat engine runs
+    /// at every epoch. This is the only phase where clusters exchange
+    /// effects — over the wired backplane, never over the air.
+    fn global_coarse(&self, b: SimTime) {
+        let t0 = Instant::now();
+        let mut coord = self.coord.lock().expect("coordinator");
+        let mut bp: Vec<BpSend> = Vec::new();
+        let mut xs: Vec<XMsg> = Vec::new();
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard");
+            bp.append(&mut sh.bp_sends);
+            xs.append(&mut sh.x_msgs);
+        }
+        self.route_global(&mut coord, bp, xs, b);
+        coord.serial_wall += t0.elapsed();
     }
 
     /// Dispatch one shard's events up to `limit` — exclusive between
@@ -891,8 +1351,8 @@ impl Engine {
         let mut scratch = self.scratch.write().expect("scratch");
         let metas = std::mem::take(&mut scratch.metas);
         let senders = std::mem::take(&mut scratch.senders);
-        let mut bp = std::mem::take(&mut scratch.bp);
-        let mut xs = std::mem::take(&mut scratch.xs);
+        let bp = std::mem::take(&mut scratch.bp);
+        let xs = std::mem::take(&mut scratch.xs);
         scratch.jobs.clear();
         drop(scratch);
         let mut placed_groups = std::mem::take(&mut *self.placed.lock().expect("placed"));
@@ -917,6 +1377,22 @@ impl Engine {
             resolvable,
         };
 
+        self.route_global(&mut coord, bp, xs, b);
+        coord.serial_wall += t0.elapsed();
+    }
+
+    /// The global routing tail of a barrier: resolve the backplane batch
+    /// in canonical sender order, apply backplane fault filtering, and
+    /// route cross-lane messages. In flat mode this runs at every epoch;
+    /// in nested mode only at coarse boundaries — the "thin backplane
+    /// coupling" the hierarchy rendezvouses for.
+    fn route_global(
+        &self,
+        coord: &mut Coordinator,
+        mut bp: Vec<BpSend>,
+        mut xs: Vec<XMsg>,
+        b: SimTime,
+    ) {
         // ---- backplane batch, canonical sender order per instant ----
         // Fault retries that came due during this epoch rejoin the batch
         // (their retry instant is the sort key, so ordering stays
@@ -946,10 +1422,10 @@ impl Engine {
                 let spike = self.cfg.faults.spike_at(t);
                 for send in batch {
                     if self.cfg.faults.partitioned(send.from, send.to, t) {
-                        self.bp_fault_failure(&mut coord, send, t, true);
+                        self.bp_fault_failure(coord, send, t, true);
                     } else if let Some(sp) = spike {
                         if coord.fault_rng.chance(sp.loss) {
-                            self.bp_fault_failure(&mut coord, send, t, false);
+                            self.bp_fault_failure(coord, send, t, false);
                         } else {
                             sends.push((send, Some(sp.extra_latency)));
                         }
@@ -986,7 +1462,7 @@ impl Engine {
                             ),
                         );
                     }
-                    None => self.log_bp_drop(&mut coord, &send),
+                    None => self.log_bp_drop(coord, &send),
                 }
             }
         }
@@ -1034,8 +1510,6 @@ impl Engine {
                 }
             }
         }
-
-        coord.serial_wall += t0.elapsed();
     }
 
     /// Parallel phase: each shard schedules TxDone for its own senders
@@ -1084,16 +1558,24 @@ impl Engine {
             let mut rx_ids = by_handle.remove(&tx.handle).unwrap_or_default();
             rx_ids.sort_by_key(|n| n.index());
             let meta = coord.meta.remove(&tx.handle);
-            self.emit_frame_ops(&mut coord, tx, &rx_ids, meta, SEQ_RESOLUTION + k as u64);
+            self.emit_frame_ops(
+                &mut coord.log_ops,
+                tx,
+                &rx_ids,
+                meta,
+                SEQ_RESOLUTION + k as u64,
+            );
         }
         coord.serial_wall += t0.elapsed();
     }
 
     /// The per-frame instrumentation the per-event loop did in
     /// `on_tx_done`, emitted as canonical log ops at `(end, tx lane)`.
+    /// The destination vector is the coordinator's op log in flat mode
+    /// and the owning cluster's in nested mode.
     fn emit_frame_ops(
         &self,
-        coord: &mut Coordinator,
+        ops: &mut Vec<LogOp>,
         tx: &ResolvableTx<VifiPayload>,
         rx_ids: &[NodeId],
         meta: Option<FrameMeta>,
@@ -1104,7 +1586,7 @@ impl Engine {
         match &tx.frame.payload {
             VifiPayload::Data(d) if self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 => {
                 let dir = self.dir_of_src(d.flow_src);
-                coord.log_ops.push(LogOp {
+                ops.push(LogOp {
                     at,
                     lane,
                     seq,
@@ -1132,7 +1614,7 @@ impl Engine {
                         aux_heard,
                     }
                 };
-                coord.log_ops.push(LogOp { at, lane, seq, op });
+                ops.push(LogOp { at, lane, seq, op });
             }
             VifiPayload::Ack(a) => {
                 let veh = if self.is_bs(a.id.origin) {
@@ -1141,7 +1623,7 @@ impl Engine {
                     a.id.origin
                 };
                 if veh == self.v0 {
-                    coord.log_ops.push(LogOp {
+                    ops.push(LogOp {
                         at,
                         lane,
                         seq,
@@ -1668,9 +2150,18 @@ impl Engine {
         }
         assert!(!vehicles_out.is_empty(), "at least one workload vehicle");
 
-        // Replay the buffered log ops in canonical order.
+        // Replay the buffered log ops in canonical order. Nested runs
+        // also contribute each cluster's resolution ops and medium
+        // transmissions (cluster order; the sort below interleaves all
+        // streams by the partition-blind `(at, lane, seq)` key).
         for sh in &mut shards {
             coord.log_ops.append(&mut sh.log_ops);
+        }
+        let mut cluster_frames = 0u64;
+        for m in self.cluster_rts {
+            let mut rt = m.into_inner().expect("cluster rt");
+            coord.log_ops.append(&mut rt.log_ops);
+            cluster_frames += rt.medium.tx_count;
         }
         coord.log_ops.sort_by_key(|o| (o.at, o.lane, o.seq));
         let mut log = RunLog::new();
@@ -1699,12 +2190,21 @@ impl Engine {
             vehicles: vehicles_out,
             salvaged,
             events,
-            frames_tx: coord.medium.tx_count,
+            frames_tx: coord.medium.tx_count + cluster_frames,
             faults,
             log,
         };
         (outcome, timing)
     }
+}
+
+/// The first boundary of `cb` strictly after `t`, clamped to the horizon
+/// — what a cluster's medium drains resolvable frames against. Past the
+/// last boundary, `final_next` (horizon + 1 µs) lets frames ending
+/// exactly at the horizon resolve, matching the flat loop's tail.
+fn next_boundary(cb: &[SimTime], t: SimTime, horizon: SimTime, final_next: SimTime) -> SimTime {
+    let i = cb.partition_point(|&x| x <= t);
+    cb.get(i).map(|&n| n.min(horizon)).unwrap_or(final_next)
 }
 
 fn apply_log_op(log: &mut RunLog, op: &LogOp) {

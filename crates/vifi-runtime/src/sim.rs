@@ -60,8 +60,8 @@ use std::time::{Duration, Instant};
 use vifi_core::VifiConfig;
 use vifi_faults::{ChannelOverrides, FaultPlan};
 use vifi_mac::{BackplaneParams, MacParams};
-use vifi_phy::{NodeId, NodeKind};
-use vifi_sim::{EpochSchedule, Rng, SimDuration};
+use vifi_phy::{NodeId, NodeKind, PhysicalLinkModel};
+use vifi_sim::{EpochSchedule, HierarchicalSchedule, Rng, SimDuration};
 use vifi_testbeds::trace::TraceSimSetup;
 use vifi_testbeds::{BeaconTrace, Scenario};
 
@@ -130,6 +130,19 @@ pub struct RunConfig {
     /// Gilbert–Elliott parameters). `None`s (the default) keep the radio
     /// profile's own parameters.
     pub channel: ChannelOverrides,
+    /// Force the flat (single-level) epoch schedule even when the
+    /// scenario's contact graph decomposes into multiple clusters
+    /// ([`Scenario::contact_clusters`]). By default (`false`) a coupled
+    /// run on a multi-cluster scenario synchronizes hierarchically:
+    /// fine barriers stay within each cluster, the whole fleet
+    /// rendezvouses only at coarse boundaries where backplane coupling
+    /// resolves. Each mode is deterministic and bit-identical across
+    /// shard and worker counts, but the two are distinct models: nested
+    /// runs delay backplane and wired coupling to the next coarse
+    /// boundary (up to one coarse quantum), flat runs route it every
+    /// fine epoch. This knob exists for A/B measurement (`fleet_sweep`)
+    /// and as an escape hatch.
+    pub flat_epochs: bool,
 }
 
 impl Default for RunConfig {
@@ -147,6 +160,7 @@ impl Default for RunConfig {
             shard_mode: ShardMode::Independent,
             faults: FaultPlan::default(),
             channel: ChannelOverrides::default(),
+            flat_epochs: false,
         }
     }
 }
@@ -328,6 +342,32 @@ impl Simulation {
                 let probe = scenario.build_link_model(&Rng::new(cfg.seed));
                 let active = scenario.active_seconds(&probe, horizon_s, margin);
                 let schedule = EpochSchedule::new(SYNC_QUANTUM, QUIET_QUANTUM, active);
+                // Multi-cluster scenarios synchronize hierarchically: a
+                // per-cluster fine schedule derived from the cluster's
+                // own contact activity, coarse rendezvous fleet-wide.
+                // The decomposition is a pure function of the scenario,
+                // so the sequential run takes the same nested path as
+                // every sharded run — bit-identity is by construction,
+                // not by accident.
+                let decomposition = scenario.contact_clusters(&probe);
+                let nested =
+                    !cfg.flat_epochs && decomposition.len() >= 2 && decomposition.len() <= 64;
+                let (hierarchy, clusters) = if nested {
+                    let actives = decomposition
+                        .iter()
+                        .map(|c| scenario.cluster_active_seconds(&probe, horizon_s, margin, c))
+                        .collect();
+                    (
+                        Some(HierarchicalSchedule::new(
+                            SYNC_QUANTUM,
+                            QUIET_QUANTUM,
+                            actives,
+                        )),
+                        decomposition,
+                    )
+                } else {
+                    (None, Vec::new())
+                };
                 let scenario = scenario.clone();
                 let seed = cfg.seed;
                 EngineSetup {
@@ -344,6 +384,8 @@ impl Simulation {
                         Box::new(link)
                     }),
                     schedule,
+                    hierarchy,
+                    clusters,
                     partition,
                     base_shard_id: self.base_shard_id,
                     workers,
@@ -380,6 +422,8 @@ impl Simulation {
                         Box::new(link)
                     }),
                     schedule,
+                    hierarchy: None,
+                    clusters: Vec::new(),
                     partition,
                     base_shard_id: self.base_shard_id,
                     workers,
@@ -496,6 +540,16 @@ fn resolve_shards(shards: usize) -> usize {
 /// [`Scenario::bs_contact_seconds`] onto the lightest shard. A pure
 /// function of its inputs; and since the engine's outcome is invariant to
 /// the partition, the assignment is purely a load-balancing choice.
+///
+/// On a multi-cluster scenario ([`Scenario::contact_clusters`], unless
+/// [`RunConfig::flat_epochs`]) placement is cluster-first so the nested
+/// barrier hierarchy pays off: whole clusters are placed onto shards
+/// before load is LPT-balanced within them. With at least one shard per
+/// cluster each cluster gets a contiguous, exclusive shard range (shard
+/// counts proportional to cluster contact load, everyone at least one)
+/// and its vehicles/basestations are balanced across that range alone;
+/// with fewer shards than clusters, whole clusters go LPT onto shards so
+/// no cluster straddles a shard boundary needlessly.
 pub fn plan_shards(scenario: &Scenario, cfg: &RunConfig) -> ShardPlan {
     let shards = resolve_shards(cfg.shards).max(1);
     let fleet_index: HashMap<NodeId, usize> = scenario
@@ -529,6 +583,14 @@ pub fn plan_shards(scenario: &Scenario, cfg: &RunConfig) -> ShardPlan {
         }
         ShardMode::Coupled => {
             let link = scenario.build_link_model(&Rng::new(cfg.seed));
+            let clusters = if cfg.flat_epochs {
+                Vec::new()
+            } else {
+                scenario.contact_clusters(&link)
+            };
+            if clusters.len() >= 2 {
+                return plan_coupled_clustered(scenario, &link, &clusters, shards, &fleet_index);
+            }
             let vgroups = scenario.shard_partition_by_contact(shards, &link, 0.1);
             // Basestations: longest-processing-time by contact seconds.
             let mut weights = scenario.bs_contact_seconds(&link, 0.1);
@@ -555,6 +617,125 @@ pub fn plan_shards(scenario: &Scenario, cfg: &RunConfig) -> ShardPlan {
                     .collect(),
             }
         }
+    }
+}
+
+/// Cluster-first coupled placement for multi-cluster scenarios: decide
+/// which shards host each cluster, then LPT-balance each cluster's load
+/// across its own shards. Keeping every cluster on an exclusive shard
+/// range (when shards allow) is what lets the nested barrier hierarchy
+/// run clusters without stalling each other; the plan stays a pure
+/// function of `(scenario, link, clusters, shards)` and — like every
+/// coupled plan — only a load-balancing choice, never a semantic one.
+fn plan_coupled_clustered(
+    scenario: &Scenario,
+    link: &PhysicalLinkModel,
+    clusters: &[Vec<NodeId>],
+    shards: usize,
+    fleet_index: &HashMap<NodeId, usize>,
+) -> ShardPlan {
+    // Per-node contact weights — the same load proxies the flat planner
+    // uses (vehicle contact seconds, BS contact seconds).
+    let bs_w: HashMap<NodeId, u64> = scenario.bs_contact_seconds(link, 0.1).into_iter().collect();
+    let nc = clusters.len();
+    let mut members: Vec<(Vec<(u64, NodeId)>, Vec<(u64, NodeId)>)> = Vec::with_capacity(nc);
+    let mut cluster_w: Vec<u64> = Vec::with_capacity(nc);
+    for c in clusters {
+        let mut vs = Vec::new();
+        let mut bs = Vec::new();
+        let mut w = 0u64;
+        for &n in c {
+            if let Some(&bw) = bs_w.get(&n) {
+                bs.push((bw, n));
+                w += bw;
+            } else {
+                let vw: u64 = scenario
+                    .contact_windows(n, link, 0.1)
+                    .iter()
+                    .map(|&(a, b)| b - a)
+                    .sum();
+                vs.push((vw, n));
+                w += vw;
+            }
+        }
+        members.push((vs, bs));
+        cluster_w.push(w);
+    }
+    // Which shards host each cluster.
+    let mut host: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    if shards < nc {
+        // Fewer shards than clusters: whole clusters LPT onto shards,
+        // heaviest first — a cluster never straddles a shard boundary.
+        let mut order: Vec<usize> = (0..nc).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(cluster_w[c]), c));
+        let mut loads = vec![0u64; shards];
+        for c in order {
+            let lightest = (0..shards)
+                .min_by_key(|&s| (loads[s], s))
+                .expect(">=1 shard");
+            loads[lightest] += cluster_w[c];
+            host[c] = vec![lightest];
+        }
+    } else {
+        // At least one shard per cluster: shard counts proportional to
+        // cluster weight by largest remainder (everyone keeps their
+        // guaranteed one), contiguous shard-id ranges in cluster order.
+        let total: u128 = cluster_w.iter().map(|&w| w as u128).sum::<u128>().max(1);
+        let extra = shards - nc;
+        let mut counts = vec![1usize; nc];
+        let mut given = 0usize;
+        let mut rem: Vec<(u128, usize)> = Vec::with_capacity(nc);
+        for c in 0..nc {
+            let exact = extra as u128 * cluster_w[c] as u128;
+            let q = (exact / total) as usize;
+            counts[c] += q;
+            given += q;
+            rem.push((exact % total, c));
+        }
+        rem.sort_by_key(|&(r, c)| (std::cmp::Reverse(r), c));
+        for &(_, c) in rem.iter().take(extra - given) {
+            counts[c] += 1;
+        }
+        let mut start = 0usize;
+        for c in 0..nc {
+            host[c] = (start..start + counts[c]).collect();
+            start += counts[c];
+        }
+        debug_assert_eq!(start, shards);
+    }
+    // Within each cluster: vehicles LPT across the cluster's shards, BSes
+    // LPT independently (mirroring the flat planner's separate ledgers).
+    let mut vehicles_of: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); shards];
+    let mut bs_of: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+    for (c, (mut vs, mut bs)) in members.into_iter().enumerate() {
+        let hosts = &host[c];
+        vs.sort_by_key(|&(w, v)| (std::cmp::Reverse(w), v));
+        let mut loads = vec![0u64; hosts.len()];
+        for (w, v) in vs {
+            let k = (0..hosts.len())
+                .min_by_key(|&k| (loads[k], k))
+                .expect("cluster hosts at least one shard");
+            loads[k] += w;
+            vehicles_of[hosts[k]].push((fleet_index[&v], v));
+        }
+        bs.sort_by_key(|&(w, b)| (std::cmp::Reverse(w), b));
+        let mut loads = vec![0u64; hosts.len()];
+        for (w, b) in bs {
+            let k = (0..hosts.len())
+                .min_by_key(|&k| (loads[k], k))
+                .expect("cluster hosts at least one shard");
+            loads[k] += w;
+            bs_of[hosts[k]].push(b);
+        }
+    }
+    ShardPlan {
+        assignments: (0..shards)
+            .map(|s| ShardAssignment {
+                shard_id: s as u32,
+                vehicles: std::mem::take(&mut vehicles_of[s]),
+                basestations: std::mem::take(&mut bs_of[s]),
+            })
+            .collect(),
     }
 }
 
@@ -607,6 +788,7 @@ fn run_micro_shard(
         shard_mode: cfg.shard_mode,
         faults: sub_faults,
         channel: cfg.channel,
+        flat_epochs: cfg.flat_epochs,
     };
     let mut out = Simulation::deployment_shard(&sub, sub_cfg, shard_id).run();
     // Map sub-scenario ids back to the parent's (identity whenever the

@@ -26,7 +26,7 @@
 
 use std::sync::{Condvar, Mutex};
 
-use crate::time::{SimDuration, SimTime};
+use crate::time::{SimDuration, SimTime, MICROS_PER_SEC};
 
 /// Deterministic epoch-boundary schedule of a coupled sharded run.
 ///
@@ -48,13 +48,18 @@ impl EpochSchedule {
     /// Schedule with the given quanta and active second-ranges. Ranges
     /// must be sorted and disjoint (the runtime derives them from contact
     /// windows, which guarantee both). `fine` and `coarse` must be
-    /// positive; `coarse` is clamped up to at least `fine`.
+    /// positive; `coarse` is clamped up to at least `fine`. Zero-length
+    /// ranges (`start == end`) describe no active second at all and are
+    /// dropped — keeping them would let the quiet-mode clamp manufacture
+    /// boundaries at seconds nothing is active in, and a degenerate range
+    /// at the far end of a run must not perturb the grid before it.
     pub fn new(fine: SimDuration, coarse: SimDuration, active: Vec<(u64, u64)>) -> Self {
         assert!(!fine.is_zero(), "sync quantum must be positive");
         debug_assert!(
             active.windows(2).all(|w| w[0].1 <= w[1].0),
             "active ranges must be sorted and disjoint"
         );
+        let active: Vec<(u64, u64)> = active.into_iter().filter(|&(a, b)| a < b).collect();
         let coarse = if coarse < fine { fine } else { coarse };
         EpochSchedule {
             fine,
@@ -83,7 +88,9 @@ impl EpochSchedule {
         self.active.iter().any(|&(a, b)| a <= sec && sec < b)
     }
 
-    /// The first boundary strictly after `t`.
+    /// The first boundary strictly after `t` — or [`SimTime::MAX`] if the
+    /// next grid point does not fit in the clock (the schedule saturates
+    /// rather than wrapping; `MAX` is the far-deadline sentinel).
     ///
     /// Inside active seconds boundaries sit on the `fine` grid; outside
     /// they sit on the `coarse` grid, but never skip over the start of an
@@ -97,15 +104,23 @@ impl EpochSchedule {
         };
         let us = t.as_micros();
         let step_us = step.as_micros();
-        let mut next = SimTime::from_micros((us / step_us + 1) * step_us);
+        let mut next = (us / step_us)
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(step_us))
+            .map(SimTime::from_micros)
+            .unwrap_or(SimTime::MAX);
         if !self.is_active(t) {
             // Clamp to the next active-range start so lookahead never
-            // crosses into a window that needs fine synchronization.
+            // crosses into a window that needs fine synchronization. A
+            // range starting past the clock's ceiling can never be
+            // reached, so it never clamps.
             let sec = t.second_bin();
             if let Some(&(start, _)) = self.active.iter().find(|&&(a, _)| a > sec) {
-                let active_start = SimTime::from_secs(start);
-                if active_start > t && active_start < next {
-                    next = active_start;
+                if let Some(start_us) = start.checked_mul(MICROS_PER_SEC) {
+                    let active_start = SimTime::from_micros(start_us);
+                    if active_start > t && active_start < next {
+                        next = active_start;
+                    }
                 }
             }
         }
@@ -114,12 +129,19 @@ impl EpochSchedule {
 
     /// Every boundary in `(0, horizon]`, in order — the runtime's barrier
     /// sequence. The final boundary is always `>= horizon` so the last
-    /// epoch is complete.
+    /// epoch is complete. Strictly increasing by construction: if the
+    /// grid saturates at [`SimTime::MAX`] before reaching `horizon`, the
+    /// sequence ends there instead of looping on a boundary that cannot
+    /// advance.
     pub fn boundaries(&self, horizon: SimTime) -> Vec<SimTime> {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         while t < horizon {
-            t = self.boundary_after(t);
+            let next = self.boundary_after(t);
+            if next <= t {
+                break; // saturated at the end of representable time
+            }
+            t = next;
             out.push(t);
         }
         out
@@ -199,11 +221,15 @@ impl HierarchicalSchedule {
     /// which every cluster synchronizes (each is a boundary of every
     /// cluster's schedule, by the divisibility contract).
     pub fn coarse_boundaries(&self, horizon: SimTime) -> Vec<SimTime> {
-        let step = self.coarse.as_micros();
+        let step = SimDuration::from_micros(self.coarse.as_micros());
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         while t < horizon {
-            t = SimTime::from_micros(t.as_micros() + step);
+            let next = t.saturating_add(step);
+            if next <= t {
+                break; // saturated at the end of representable time
+            }
+            t = next;
             out.push(t);
         }
         out
@@ -462,6 +488,136 @@ mod tests {
             a.boundaries(SimTime::from_secs(12)),
             b.boundaries(SimTime::from_secs(12))
         );
+    }
+
+    #[test]
+    fn degenerate_inputs_keep_boundaries_monotone() {
+        // Zero-length active ranges describe nothing; they must neither
+        // make seconds active nor clamp quiet-mode lookahead to them.
+        let s = EpochSchedule::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(250),
+            vec![(0, 1), (3, 3), (5, 6)],
+        );
+        assert!(!s.is_active(SimTime::from_secs(3)));
+        // From t=2 s the quiet clamp targets second 5 (the next real
+        // range), not the empty (3,3).
+        assert_eq!(s.boundary_after(SimTime::from_secs(2)), ms(2250));
+        assert_eq!(s.boundary_after(ms(4990)), SimTime::from_secs(5));
+        // coarse < fine clamps up to fine rather than producing a grid
+        // finer than the sync quantum.
+        let c = EpochSchedule::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(2),
+            vec![],
+        );
+        assert_eq!(c.boundary_after(SimTime::ZERO), ms(10));
+        // An active range spanning past the end of representable time is
+        // fine: boundaries stay on the fine grid throughout.
+        let e = EpochSchedule::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+            vec![(0, u64::MAX)],
+        );
+        assert_eq!(e.boundary_after(SimTime::ZERO), ms(1));
+    }
+
+    #[test]
+    fn schedule_saturates_at_the_end_of_time() {
+        // Near SimTime::MAX the next grid point no longer fits in the
+        // clock; boundary_after must saturate to MAX, not wrap to a
+        // boundary in the past (which would hang `boundaries` forever).
+        let s = EpochSchedule::uniform(SimDuration::from_micros(1));
+        let near = SimTime::from_micros(u64::MAX - 1);
+        assert_eq!(s.boundary_after(near), SimTime::MAX);
+        assert_eq!(s.boundary_after(SimTime::MAX), SimTime::MAX);
+        // A quiet schedule whose coarse step overshoots the clock ceiling
+        // saturates the same way.
+        let q = EpochSchedule::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_secs(1_000_000),
+            vec![],
+        );
+        assert_eq!(
+            q.boundary_after(SimTime::from_micros(u64::MAX - 7)),
+            SimTime::MAX
+        );
+        // And the boundary *sequence* over a horizon at the ceiling
+        // terminates with MAX instead of looping on a stuck boundary
+        // (quantum chosen so the sequence is short enough to enumerate).
+        let big = EpochSchedule::uniform(SimDuration::from_micros(u64::MAX / 4));
+        let bs = big.boundaries(SimTime::MAX);
+        assert_eq!(bs.last(), Some(&SimTime::MAX));
+        assert!(bs.windows(2).all(|w| w[0] < w[1]));
+        let tail = EpochSchedule::uniform(SimDuration::MAX);
+        let bs = tail.boundaries(SimTime::MAX);
+        assert_eq!(bs, vec![SimTime::MAX]);
+        // Hierarchical coarse grids hit the same ceiling safely.
+        let h = HierarchicalSchedule::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            vec![vec![]],
+        );
+        let coarse = h.coarse_boundaries(SimTime::from_micros(3));
+        assert_eq!(coarse.len(), 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// For arbitrary (possibly degenerate) quanta and active ranges —
+        /// zero-length ranges, coarse < fine, ranges spanning the end of
+        /// the clock — the schedule stays sound: `boundary_after` is
+        /// strictly increasing below MAX, never exceeds one coarse step
+        /// past its input, and the boundary sequence is strictly
+        /// increasing, covers the horizon, and terminates.
+        #[test]
+        fn degenerate_schedules_stay_monotone(
+            fine_us in 1u64..5_000,
+            coarse_us in 0u64..1_000_000,
+            ranges in proptest::collection::vec((0u64..30, 0u64..8), 0..6),
+            far in proptest::prelude::any::<bool>(),
+            probe_us in 0u64..40_000_000,
+        ) {
+            let mut active: Vec<(u64, u64)> = ranges
+                .iter()
+                .map(|&(a, len)| (a, a.saturating_add(len)))
+                .collect();
+            active.sort_unstable();
+            active.dedup_by(|next, prev| {
+                if next.0 <= prev.1 {
+                    prev.1 = prev.1.max(next.1);
+                    true
+                } else {
+                    false
+                }
+            });
+            if far {
+                let lo = active.last().map(|r| r.1.max(40)).unwrap_or(40);
+                active.push((lo, u64::MAX)); // spans the end of the run
+            }
+            let s = EpochSchedule::new(
+                SimDuration::from_micros(fine_us),
+                SimDuration::from_micros(coarse_us),
+                active,
+            );
+            let step_cap = SimDuration::from_micros(fine_us.max(coarse_us));
+
+            let t = SimTime::from_micros(probe_us);
+            let next = s.boundary_after(t);
+            proptest::prop_assert!(next > t, "stuck at {t:?}");
+            proptest::prop_assert!(next <= t.saturating_add(step_cap));
+            // Saturation, not wrapping, at the clock's ceiling.
+            let near = SimTime::from_micros(u64::MAX - 1);
+            proptest::prop_assert!(s.boundary_after(near) > near);
+
+            let horizon = SimTime::from_micros(probe_us / 4 + 1);
+            let bs = s.boundaries(horizon);
+            proptest::prop_assert!(!bs.is_empty());
+            proptest::prop_assert!(*bs.last().unwrap() >= horizon);
+            proptest::prop_assert!(bs[0] > SimTime::ZERO);
+            proptest::prop_assert!(bs.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

@@ -70,8 +70,14 @@ impl<E> Scheduler<E> {
     /// Schedule an event `delay` after the current instant. Routes through
     /// [`Scheduler::at`] so the time-never-moves-backwards assertion also
     /// guards `delay` arithmetic that wrapped or went "negative" upstream.
+    ///
+    /// A delay that would push the deadline past [`SimTime::MAX`] saturates
+    /// to `MAX` instead of panicking: `MAX` is the far-deadline sentinel, so
+    /// "later than representable time" and "at the end of representable
+    /// time" are indistinguishable to any bounded-horizon run, and the
+    /// saturation is deterministic (same inputs, same clamped deadline).
     pub fn after(&mut self, delay: SimDuration, event: E) -> TimerToken {
-        self.at(self.now + delay, event)
+        self.at(self.now.saturating_add(delay), event)
     }
 
     /// Cancel a pending event. Returns true if it was still pending.

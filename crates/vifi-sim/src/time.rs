@@ -87,6 +87,17 @@ impl SimTime {
         self.0.checked_sub(earlier.0).map(SimDuration)
     }
 
+    /// Addition that saturates at [`SimTime::MAX`] instead of panicking.
+    ///
+    /// `MAX` is the "infinitely far" deadline sentinel, so a deadline that
+    /// would land past the end of representable time is exactly equivalent
+    /// to one that never fires within any run. Use this (rather than `+`)
+    /// wherever the delay comes from config arithmetic that may legitimately
+    /// exceed the remaining clock range, e.g. [`crate::Scheduler::after`].
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
     /// The index of the 1-second measurement bin this instant falls in.
     /// The paper aggregates nearly every metric over 1-second intervals.
     pub const fn second_bin(self) -> u64 {
@@ -298,6 +309,24 @@ mod tests {
         assert_eq!(a.saturating_since(b), SimDuration::ZERO);
         assert_eq!(a.checked_since(b), None);
         assert_eq!(b.checked_since(a), Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        let near = SimTime::from_micros(u64::MAX - 5);
+        assert_eq!(
+            near.saturating_add(SimDuration::from_micros(5)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            near.saturating_add(SimDuration::from_micros(6)),
+            SimTime::MAX
+        );
+        assert_eq!(near.saturating_add(SimDuration::MAX), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_secs(1).saturating_add(SimDuration::from_secs(2)),
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]

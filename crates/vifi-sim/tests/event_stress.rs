@@ -233,6 +233,37 @@ fn concurrent_shard_queues_under_churn_never_collide() {
 }
 
 #[test]
+fn scheduler_after_saturates_near_the_end_of_time() {
+    // A clock sitting near SimTime::MAX plus a huge relative delay must not
+    // wrap (which would trip the scheduled-in-the-past assertion) or panic
+    // on overflow: the deadline saturates to the MAX sentinel and fires
+    // there, deterministically.
+    use vifi_sim::{Scheduler, SimDuration};
+
+    let mut s: Scheduler<&str> = Scheduler::new();
+    let near_end = SimTime::from_micros(u64::MAX - 10);
+    s.at(near_end, "advance");
+    assert_eq!(s.step(), Some((near_end, "advance")));
+    assert_eq!(s.now(), near_end);
+
+    // 10 µs of headroom left; a 1-hour retry timer saturates to MAX.
+    let tok = s.after(SimDuration::from_secs(3600), "saturated");
+    assert_eq!(s.peek_time(), Some(SimTime::MAX));
+    assert!(s.cancel(tok), "saturated deadline is a live, normal event");
+
+    // Same saturation twice is the same instant: FIFO order at MAX holds.
+    s.after(SimDuration::MAX, "first");
+    s.after(SimDuration::from_secs(7), "second");
+    assert_eq!(s.step(), Some((SimTime::MAX, "first")));
+    assert_eq!(s.step(), Some((SimTime::MAX, "second")));
+    assert_eq!(s.now(), SimTime::MAX);
+    // Even at the clock's ceiling, relative scheduling keeps working.
+    s.after(SimDuration::from_micros(1), "still-max");
+    assert_eq!(s.step(), Some((SimTime::MAX, "still-max")));
+    assert!(s.is_idle());
+}
+
+#[test]
 fn cancel_after_fire_with_heavy_reuse_is_inert() {
     // Fire → recycle → stale cancel, thousands of times, while live timers
     // ride along: no stale token may ever kill a live event.

@@ -12,6 +12,10 @@
 //!   "about ten visits a day" pattern, time-compressed; see DESIGN.md);
 //! * [`dieselnet`] — the sparser college-town layouts for Channel 1
 //!   (10 BSes) and Channel 6 (14 BSes);
+//! * [`metro()`](metro::metro) — a whole city of radio-disjoint VanLAN
+//!   districts on a 10 km grid sharing one backplane, the multi-cluster
+//!   scenario behind the hierarchically-synchronized coupled engine
+//!   (see [`Scenario::contact_clusters`]);
 //! * [`trace`] — the beacon-log schema the buses recorded, generation of
 //!   synthetic logs from a scenario, (de)serialization, and the §5.1
 //!   trace-to-simulation pipeline (per-second beacon loss ratios → link
@@ -63,11 +67,13 @@
 #![warn(missing_docs)]
 
 pub mod dieselnet;
+pub mod metro;
 pub mod scenario;
 pub mod trace;
 pub mod vanlan;
 
 pub use dieselnet::{bus_schedules, dieselnet_ch1, dieselnet_ch6, dieselnet_fleet, BusSchedule};
+pub use metro::metro;
 pub use scenario::{NodeSpec, Scenario};
 pub use trace::{
     generate_beacon_trace, generate_fleet_beacon_traces, BeaconRecord, BeaconTrace, TraceSimSetup,

@@ -1,0 +1,198 @@
+//! The synthetic metro-scale testbed: many disjoint city districts.
+//!
+//! Metro deployments are the regime where ViFi's locality actually shows:
+//! a vehicle only ever interacts with the basestations of its own
+//! district, yet the whole city shares one wired backplane. This is the
+//! scale Zheng et al. target for vehicular Internet access and the
+//! infrastructure-side district knowledge Wi-Fi Assist assumes (see
+//! PAPERS.md) — and the first scenario in this repo whose contact graph
+//! genuinely decomposes into multiple clusters
+//! ([`Scenario::contact_clusters`]), which is what the hierarchical
+//! coupled engine synchronizes per-district.
+//!
+//! Each district is a full VanLAN campus — the eleven rooftop BSes and
+//! the shuttle loop of [`crate::vanlan()`] — translated onto a city grid
+//! with 10 km between district origins. The VanLAN loop never strays more
+//! than ~600 m from its campus box, so districts are radio-disjoint by
+//! an enormous margin: over-the-air contact across districts is
+//! impossible, exactly one contact cluster forms per district. The seed
+//! rotates each district's shuttle schedule (a per-district phase shift
+//! of every van along the loop), so different seeds give genuinely
+//! different fleets while everything stays a pure function of
+//! `(districts, vans_per_district, seed)`.
+
+use vifi_phy::link::MobilitySource;
+use vifi_phy::{kmh_to_ms, NodeId, NodeKind, Point, RadioParams, Route};
+use vifi_sim::{Rng, SimDuration};
+
+use crate::scenario::{NodeSpec, Scenario};
+use crate::vanlan::{shuttle_waypoints, BS_POSITIONS};
+
+/// Meters between district origins on the city grid. The VanLAN loop
+/// (campus box plus out-of-range leg) fits well inside 2 km, so 10 km
+/// guarantees no radio path between districts.
+pub const DISTRICT_SPACING_M: f64 = 10_000.0;
+
+/// The grid origin of district `d` in a `districts`-strong city:
+/// row-major on a near-square grid.
+pub fn district_origin(d: u32, districts: u32) -> Point {
+    let cols = (districts as f64).sqrt().ceil().max(1.0) as u32;
+    Point::new(
+        (d % cols) as f64 * DISTRICT_SPACING_M,
+        (d / cols) as f64 * DISTRICT_SPACING_M,
+    )
+}
+
+/// The route van `v` of district `d` drives: the VanLAN shuttle loop
+/// translated to the district origin, odd vans reversed, every van at
+/// its own phase offset, and the whole district rotated by a seeded
+/// phase so no two districts (and no two seeds) convoy in lock-step.
+fn district_route(origin: Point, v: u32, vans: u32, district_phase: f64) -> Route {
+    let mut waypoints: Vec<Point> = shuttle_waypoints()
+        .into_iter()
+        .map(|p| Point::new(p.x + origin.x, p.y + origin.y))
+        .collect();
+    if v % 2 == 1 {
+        waypoints.reverse();
+    }
+    let route = Route::new(waypoints, kmh_to_ms(40.0), true);
+    let offset = route.length() * ((v as f64 / vans as f64 + district_phase) % 1.0);
+    route.with_start_offset(offset)
+}
+
+/// Build the metro scenario: `districts` radio-disjoint VanLAN campuses
+/// on a 10 km city grid, each served by `vans_per_district` shuttles on
+/// district-local loops, all basestations on one shared backplane. Node
+/// ids are dense with every BS first (district-major: district 0's
+/// eleven BSes, then district 1's, …) followed by every van
+/// (district-major likewise) — so the id order groups each kind by
+/// district and [`Scenario::contact_clusters`] yields exactly one
+/// cluster per district. Deterministic in `(districts, vans_per_district,
+/// seed)`.
+pub fn metro(districts: u32, vans_per_district: u32, seed: u64) -> Scenario {
+    assert!(districts >= 1, "need at least one district");
+    assert!(vans_per_district >= 1, "need at least one van per district");
+    let root = Rng::new(seed).fork_named("metro-districts");
+    let mut nodes = Vec::new();
+    for d in 0..districts {
+        let origin = district_origin(d, districts);
+        for (i, &(x, y)) in BS_POSITIONS.iter().enumerate() {
+            nodes.push(NodeSpec {
+                id: NodeId(nodes.len() as u32),
+                kind: NodeKind::Basestation,
+                mobility: MobilitySource::Fixed(Point::new(x + origin.x, y + origin.y)),
+                name: format!("BS-{d}.{i}"),
+            });
+        }
+    }
+    let mut lap = SimDuration::ZERO;
+    for d in 0..districts {
+        let origin = district_origin(d, districts);
+        let mut rng = root.fork(d as u64);
+        let district_phase = rng.next_f64();
+        for v in 0..vans_per_district {
+            let route = district_route(origin, v, vans_per_district, district_phase);
+            lap = lap.max(SimDuration::from_secs_f64(route.lap_time_s()));
+            nodes.push(NodeSpec {
+                id: NodeId(nodes.len() as u32),
+                kind: NodeKind::Vehicle,
+                mobility: MobilitySource::Mobile(route),
+                name: format!("van-{d}.{v}"),
+            });
+        }
+    }
+    Scenario {
+        name: "Metro".into(),
+        nodes,
+        radio: RadioParams::default(),
+        lap,
+        visits_per_day: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vifi_sim::SimTime;
+
+    #[test]
+    fn scenario_shape_and_naming() {
+        let s = metro(4, 3, 7);
+        s.validate();
+        assert_eq!(s.bs_ids().len(), 4 * 11);
+        assert_eq!(s.vehicle_ids().len(), 4 * 3);
+        assert_eq!(s.node(NodeId(0)).name, "BS-0.0");
+        assert_eq!(s.node(NodeId(11)).name, "BS-1.0");
+        assert_eq!(s.node(s.vehicle_ids()[0]).name, "van-0.0");
+        assert_eq!(s.visits_per_day, 10);
+        assert!(s.lap > SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn districts_are_radio_disjoint_by_construction() {
+        // Every node of district d stays within ~2 km of its origin;
+        // origins are 10 km apart. Check worst-case geometry directly.
+        let s = metro(5, 2, 1);
+        let origin = |name: &str| {
+            let d: u32 = name.split(&['-', '.'][..]).nth(1).unwrap().parse().unwrap();
+            district_origin(d, 5)
+        };
+        for sec in [0u64, 120, 400] {
+            let t = SimTime::from_secs(sec);
+            for n in &s.nodes {
+                let o = origin(&n.name);
+                assert!(
+                    s.position(n.id, t).distance(o) < 2_500.0,
+                    "{} strays from its district at {t}",
+                    n.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contact_clusters_find_one_component_per_district() {
+        let s = metro(4, 2, 7);
+        let link = s.build_link_model(&Rng::new(3));
+        let clusters = s.contact_clusters(&link);
+        assert_eq!(clusters.len(), 4, "one cluster per district");
+        // Each cluster holds exactly its district's 11 BSes + 2 vans.
+        for (d, cluster) in clusters.iter().enumerate() {
+            assert_eq!(cluster.len(), 13, "district {d}");
+            for &n in cluster {
+                let name = &s.node(n).name;
+                assert!(name.contains(&format!("-{d}.")), "{name} in cluster {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_rotates_schedules_deterministically() {
+        let a = metro(3, 4, 7);
+        let b = metro(3, 4, 7);
+        let c = metro(3, 4, 8);
+        let vs = a.vehicle_ids();
+        for &v in &vs {
+            for sec in [0u64, 90, 333] {
+                let t = SimTime::from_secs(sec);
+                assert_eq!(a.position(v, t), b.position(v, t), "same seed agrees");
+            }
+        }
+        // A different seed shifts at least one district's schedule.
+        let moved = vs.iter().any(|&v| {
+            a.position(v, SimTime::ZERO)
+                .distance(c.position(v, SimTime::ZERO))
+                > 1.0
+        });
+        assert!(moved, "seed must matter");
+    }
+
+    #[test]
+    fn single_district_metro_degenerates_to_one_cluster() {
+        let s = metro(1, 2, 5);
+        let link = s.build_link_model(&Rng::new(2));
+        let clusters = s.contact_clusters(&link);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), s.nodes.len());
+    }
+}

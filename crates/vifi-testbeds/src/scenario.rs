@@ -1,6 +1,8 @@
 //! Scenario description: the nodes, their motion, and the radio
 //! environment of one testbed.
 
+use std::collections::BTreeMap;
+
 use vifi_phy::link::MobilitySource;
 use vifi_phy::{NodeId, NodeKind, PhysicalLinkModel, Point, RadioParams};
 use vifi_sim::{Rng, SimDuration, SimTime};
@@ -308,8 +310,50 @@ impl Scenario {
         horizon_s: u64,
         margin_s: u64,
     ) -> Vec<(u64, u64)> {
-        let vehicles = self.vehicle_ids();
-        let bs = self.bs_ids();
+        self.active_seconds_for(
+            link,
+            horizon_s,
+            margin_s,
+            &self.vehicle_ids(),
+            &self.bs_ids(),
+        )
+    }
+
+    /// [`Scenario::active_seconds`] restricted to one cluster: only
+    /// contact among `members` (its vehicles against its basestations or
+    /// each other) makes a second active. Because contact clusters are
+    /// radio-disjoint by construction ([`Scenario::contact_clusters`]),
+    /// the union of every cluster's ranges equals the fleet-level
+    /// [`Scenario::active_seconds`] — per-cluster schedules never lose an
+    /// active second, they only stop charging one cluster for another's.
+    pub fn cluster_active_seconds(
+        &self,
+        link: &PhysicalLinkModel,
+        horizon_s: u64,
+        margin_s: u64,
+        members: &[NodeId],
+    ) -> Vec<(u64, u64)> {
+        let vehicles: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&n| self.node(n).kind == NodeKind::Vehicle)
+            .collect();
+        let bs: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&n| self.node(n).kind == NodeKind::Basestation)
+            .collect();
+        self.active_seconds_for(link, horizon_s, margin_s, &vehicles, &bs)
+    }
+
+    fn active_seconds_for(
+        &self,
+        link: &PhysicalLinkModel,
+        horizon_s: u64,
+        margin_s: u64,
+        vehicles: &[NodeId],
+        bs: &[NodeId],
+    ) -> Vec<(u64, u64)> {
         let mut ranges: Vec<(u64, u64)> = Vec::new();
         for sec in 0..horizon_s {
             let t = SimTime::from_secs(sec);
@@ -330,6 +374,93 @@ impl Scenario {
             }
         }
         ranges
+    }
+
+    /// Decompose the fleet into **contact clusters**: the connected
+    /// components of the audibility graph, whose edges are every node
+    /// pair that is ever within radio range (`slow_prob > 0` in either
+    /// direction). Vehicle–BS and vehicle–vehicle pairs are sampled at
+    /// 1 Hz over one full lap — the same granularity as
+    /// [`Scenario::contact_windows`], and lap-long so the decomposition
+    /// is independent of any particular run's horizon — while BS–BS pairs
+    /// are sampled once at `t = 0` (fixed infrastructure does not move).
+    ///
+    /// Nodes in different clusters can *never* interact over the air, so
+    /// a coupled run may synchronize each cluster on its own fine-epoch
+    /// schedule and rendezvous fleet-wide only on the coarse grid where
+    /// backplane coupling resolves (see `HierarchicalSchedule` in
+    /// `vifi-sim`). Merging clusters is always sound (it merely
+    /// over-synchronizes); splitting a real component would lose physics,
+    /// which is why edges use the conservative `> 0` criterion rather
+    /// than a delivery threshold.
+    ///
+    /// Every node appears in exactly one cluster (singletons included).
+    /// Within a cluster nodes are sorted by id; clusters are ordered by
+    /// their smallest node id. A pure function of the scenario and link
+    /// geometry — never of shard or worker count.
+    pub fn contact_clusters(&self, link: &PhysicalLinkModel) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        let union = |parent: &mut [usize], a: usize, b: usize| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                // Root at the smaller index: deterministic structure.
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi] = lo;
+            }
+        };
+        let vehicles = self.vehicle_ids();
+        let bs = self.bs_ids();
+        for i in 0..bs.len() {
+            for j in i + 1..bs.len() {
+                if find(&mut parent, bs[i].index()) == find(&mut parent, bs[j].index()) {
+                    continue;
+                }
+                let t = SimTime::ZERO;
+                if link.slow_prob(bs[i], bs[j], t) > 0.0 || link.slow_prob(bs[j], bs[i], t) > 0.0 {
+                    union(&mut parent, bs[i].index(), bs[j].index());
+                }
+            }
+        }
+        for sec in 0..self.lap.as_secs().max(1) {
+            let t = SimTime::from_secs(sec);
+            for (i, &v) in vehicles.iter().enumerate() {
+                for &b in &bs {
+                    if find(&mut parent, v.index()) == find(&mut parent, b.index()) {
+                        continue;
+                    }
+                    if link.slow_prob(b, v, t) > 0.0 || link.slow_prob(v, b, t) > 0.0 {
+                        union(&mut parent, v.index(), b.index());
+                    }
+                }
+                for &w in &vehicles[i + 1..] {
+                    if find(&mut parent, v.index()) == find(&mut parent, w.index()) {
+                        continue;
+                    }
+                    if link.slow_prob(v, w, t) > 0.0 || link.slow_prob(w, v, t) > 0.0 {
+                        union(&mut parent, v.index(), w.index());
+                    }
+                }
+            }
+        }
+        let mut by_root: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for node in &self.nodes {
+            by_root
+                .entry(find(&mut parent, node.id.index()))
+                .or_default()
+                .push(node.id);
+        }
+        // BTreeMap iteration gives roots in ascending order, and the root
+        // is each component's smallest index, so clusters come out ordered
+        // by smallest member with members already in id order.
+        by_root.into_values().collect()
     }
 }
 

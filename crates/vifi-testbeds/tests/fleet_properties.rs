@@ -1,10 +1,12 @@
 //! Property tests for the fleet-scale scenario generators: determinism
-//! per seed, per-vehicle route distinctness, and contact-window validity
-//! (sorted, disjoint, inside the lap).
+//! per seed, per-vehicle route distinctness, contact-window validity
+//! (sorted, disjoint, inside the lap), and the contact-cluster
+//! decomposition the hierarchical coupled engine synchronizes by.
 
 use proptest::prelude::*;
+use vifi_phy::NodeId;
 use vifi_sim::{Rng, SimTime};
-use vifi_testbeds::{dieselnet_fleet, vanlan, Scenario};
+use vifi_testbeds::{dieselnet_fleet, metro, vanlan, Scenario};
 
 /// Sample instants spread over the first lap (and beyond, to catch wrap
 /// bugs in closed routes).
@@ -89,5 +91,104 @@ proptest! {
     fn fleet_contact_windows_valid(n in 2u32..6, seed in 0u64..100) {
         assert_windows_valid(&vanlan(n), seed + 1);
         assert_windows_valid(&dieselnet_fleet(n, seed), seed + 2);
+    }
+
+    /// The contact-cluster decomposition is sound on every generator:
+    /// clusters exactly cover the fleet (each node in exactly one,
+    /// members sorted, clusters ordered by smallest member), and nodes
+    /// of different clusters are contact-disjoint — zero delivery
+    /// probability in both directions at every sampled instant of the
+    /// lap, so no coarse window can carry cross-cluster radio traffic.
+    #[test]
+    fn contact_clusters_cover_and_are_radio_disjoint(
+        districts in 2u32..5,
+        vans in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        for s in [metro(districts, vans, seed), vanlan(vans + 1), dieselnet_fleet(vans + 1, seed)] {
+            let link = s.build_link_model(&Rng::new(seed ^ 0x5A5A));
+            let clusters = s.contact_clusters(&link);
+            // Exact cover with dense ids: sorted concatenation is 0..n.
+            let mut all: Vec<NodeId> = clusters.iter().flatten().copied().collect();
+            all.sort_by_key(|n| n.index());
+            prop_assert_eq!(all.len(), s.nodes.len(), "{}", s.name);
+            for (i, n) in all.iter().enumerate() {
+                prop_assert_eq!(n.index(), i, "each node in exactly one cluster");
+            }
+            for c in &clusters {
+                prop_assert!(c.windows(2).all(|w| w[0] < w[1]), "members sorted");
+            }
+            prop_assert!(
+                clusters.windows(2).all(|w| w[0][0] < w[1][0]),
+                "clusters ordered by smallest member"
+            );
+            // Cross-cluster pairs never hear each other. Sample a grid of
+            // seconds over the lap (the decomposition itself sweeps all).
+            let lap_s = s.lap.as_secs().max(1);
+            for (i, a) in clusters.iter().enumerate() {
+                for b in clusters.iter().skip(i + 1) {
+                    for &x in a {
+                        for &y in b {
+                            for k in 0..8u64 {
+                                let t = SimTime::from_secs(k * lap_s / 8);
+                                prop_assert!(
+                                    link.slow_prob(x, y, t) == 0.0
+                                        && link.slow_prob(y, x, t) == 0.0,
+                                    "{}: cross-cluster contact {:?}-{:?} at {:?}",
+                                    s.name, x, y, t
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The decomposition is a pure function of `(scenario, link
+    /// geometry)`: independently rebuilt scenarios and link models give
+    /// identical clusters, and restricting the schedule-relevant inputs
+    /// that a sharded run varies — shard count, worker count — never
+    /// enters the function at all, so per-cluster active ranges derived
+    /// from it are identical too.
+    #[test]
+    fn contact_clusters_are_a_pure_function_of_the_scenario(
+        districts in 2u32..4,
+        vans in 1u32..3,
+        seed in 0u64..1_000,
+    ) {
+        let a = metro(districts, vans, seed);
+        let b = metro(districts, vans, seed);
+        let link_a = a.build_link_model(&Rng::new(7));
+        let link_b = b.build_link_model(&Rng::new(7));
+        let ca = a.contact_clusters(&link_a);
+        let cb = b.contact_clusters(&link_b);
+        prop_assert_eq!(&ca, &cb, "independent rebuilds agree");
+        // Per-cluster active ranges reproduce as well, and their union
+        // covers the fleet-level active ranges (no lost active second).
+        let horizon_s = 30u64;
+        let fleet: Vec<(u64, u64)> = a.active_seconds(&link_a, horizon_s, 2);
+        let mut covered = vec![false; horizon_s as usize];
+        for c in &ca {
+            let ranges = a.cluster_active_seconds(&link_a, horizon_s, 2, c);
+            prop_assert_eq!(
+                &ranges,
+                &b.cluster_active_seconds(&link_b, horizon_s, 2, c),
+                "per-cluster ranges reproduce"
+            );
+            for (lo, hi) in ranges {
+                for sec in lo..hi.min(horizon_s) {
+                    covered[sec as usize] = true;
+                }
+            }
+        }
+        for (lo, hi) in fleet {
+            for sec in lo..hi.min(horizon_s) {
+                prop_assert!(
+                    covered[sec as usize],
+                    "active second {} lost by the per-cluster split", sec
+                );
+            }
+        }
     }
 }
