@@ -20,15 +20,21 @@
 //! Compare two snapshots with the `bench_compare` bin; CI gates every PR
 //! on `bench_compare BENCH_baseline.json BENCH_current.json`.
 
+use bytes::Bytes;
 use vifi_bench::harness::{BenchConfig, Harness};
 use vifi_core::config::Coordination;
+use vifi_core::endpoint::DataFrame;
 use vifi_core::prob::{expected_relays, relay_probability, PreparedRelay, RelayInputs};
+use vifi_core::{Direction, PacketId, VifiPayload};
 use vifi_faults::FaultPlan;
+use vifi_mac::WireFrame;
 use vifi_metrics::{sessions_from_ratios, SessionDef, SlotSeries};
 use vifi_phy::gilbert::GeParams;
 use vifi_phy::pathloss::{ShadowField, ShadowSampler};
-use vifi_phy::{GilbertElliott, Point};
-use vifi_runtime::{RunConfig, ShardMode, Simulation, WorkloadSpec};
+use vifi_phy::{GilbertElliott, NodeId, Point};
+use vifi_runtime::{
+    read_stream, RunConfig, RunLog, ShardMode, Simulation, StreamFold, WorkloadSpec,
+};
 use vifi_sim::{EventQueue, Rng, SimDuration, SimTime};
 use vifi_testbeds::{dieselnet_fleet, metro, vanlan};
 
@@ -76,7 +82,75 @@ fn register(h: &mut Harness) {
     bench_shadow(h);
     bench_event_queue(h);
     bench_sessions(h);
+    bench_wire_frame(h);
+    bench_runlog_stream(h);
     bench_fleet_sharded(h);
+}
+
+fn bench_wire_frame(h: &mut Harness) {
+    // The zero-copy frame layer's encode-once/decode-at-receiver loop on
+    // a representative data frame (1000-byte app payload, relayed copy,
+    // piggybacked bitmap) — what every transmission now costs at the
+    // source plus at each receiver, replacing per-hop deep clones.
+    let payload = VifiPayload::Data(DataFrame {
+        id: PacketId {
+            origin: NodeId(3),
+            seq: 4242,
+        },
+        flow_src: NodeId(3),
+        flow_dst: NodeId(17),
+        relayed_by: Some(NodeId(12)),
+        app: Bytes::from(vec![0xa5u8; 1000]),
+        bitmap: Some((4241, 0b1011_0110)),
+    });
+    h.bench("frame_encode_decode", || {
+        let wire = WireFrame::encode(NodeId(3), 1034, std::hint::black_box(&payload));
+        wire.decode::<VifiPayload>().expect("codec round-trip")
+    });
+}
+
+fn bench_runlog_stream(h: &mut Harness) {
+    // The streaming trace pipeline end to end: serialize a 10k-record
+    // run log to its binary form and fold the bytes back into the
+    // derived statistics with the constant-memory reader — the
+    // replacement for materializing a second in-memory log.
+    let mut log = RunLog::new();
+    let aux: Vec<NodeId> = (10..15).map(NodeId).collect();
+    for i in 0..10_000u64 {
+        let id = PacketId {
+            origin: NodeId(0),
+            seq: i / 2, // every id transmits twice
+        };
+        log.on_source_tx(
+            id,
+            if i % 3 == 0 {
+                Direction::Downstream
+            } else {
+                Direction::Upstream
+            },
+            SimTime::from_millis(i),
+            aux.clone(),
+            aux[..(i % 5) as usize].to_vec(),
+            i % 4 == 0,
+        );
+        if i % 2 == 1 {
+            log.on_ack_heard(id, &aux[..2]);
+            log.on_decision(id, aux[0], 0.4, i % 8 == 1);
+            if i % 8 == 1 {
+                log.on_relay(id, aux[0], false, i % 16 == 1);
+            }
+            log.on_delivered(id);
+        }
+        if i % 100 == 0 {
+            log.on_aux_sample(i / 100, aux.len());
+        }
+    }
+    h.bench("runlog_stream_10k", || {
+        let bytes = log.write_binary(Vec::new()).expect("serialize");
+        let mut fold = StreamFold::new();
+        read_stream(&bytes[..], &mut fold).expect("fold");
+        fold.finish().records
+    });
 }
 
 fn bench_fleet_sharded(h: &mut Harness) {

@@ -110,7 +110,7 @@ pub struct VehicleInfo {
 }
 
 /// What rides on the air in a beacon frame.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BeaconPayload {
     /// Beaconing node.
     pub node: NodeId,

@@ -39,7 +39,7 @@ pub enum Role {
 }
 
 /// A data frame (broadcast at the MAC; logically addressed here).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DataFrame {
     /// Unique packet identity (origin + sequence), §4.7.
     pub id: PacketId,
@@ -58,7 +58,7 @@ pub struct DataFrame {
 
 /// A protocol-level acknowledgment (§4.8: broadcast frames are not MAC-
 /// acked, so ViFi sends its own).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AckFrame {
     /// The acknowledging node (the flow destination).
     pub from: NodeId,
@@ -69,7 +69,7 @@ pub struct AckFrame {
 }
 
 /// Everything that can ride on the wireless medium.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum VifiPayload {
     /// Periodic beacon.
     Beacon(BeaconPayload),

@@ -40,6 +40,7 @@ pub mod endpoint;
 pub mod ids;
 pub mod prob;
 pub mod retx;
+pub mod wire;
 
 pub use beacon::{BeaconPayload, ProbEstimator, ProbView, VehicleInfo};
 pub use bitmap::RxBitmap;
@@ -49,3 +50,4 @@ pub use endpoint::{Action, DataFrame, Endpoint, Role, StatEvent, VifiPayload};
 pub use ids::{Direction, PacketId};
 pub use prob::{relay_probability, PreparedRelay, PreparedRelayOwned, RelayContext, RelayInputs};
 pub use retx::RetxTimer;
+pub use wire::{AckView, DataView, KIND_ACK, KIND_BEACON, KIND_DATA};

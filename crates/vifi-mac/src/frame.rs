@@ -1,10 +1,21 @@
-//! Frames and 802.11b airtime.
+//! Frames, 802.11b airtime, and the packed wire representation.
 //!
 //! All ViFi traffic is MAC-level broadcast (§4.8); logical addressing lives
 //! in the payload, so [`Frame`] is generic over the protocol payload type.
 //! The one thing the MAC must know about a frame is how long it occupies
 //! the air, which at a fixed rate is a pure function of its size.
+//!
+//! The hot path additionally gets a zero-copy representation:
+//! [`WireFrame`] packs the MAC header (src label, wire size, payload kind)
+//! and the payload — encoded once at construction via [`WirePayload`] —
+//! into a single [`Bytes`] buffer, so the engine's barrier collect/merge
+//! phases pass reference-counted handles around instead of deep-cloning
+//! owned payload structs. The typed repr is split reader/writer style:
+//! [`FrameWriter`] appends little-endian fields into a growable buffer,
+//! [`FrameReader`] decodes them (and derives airtime straight from the
+//! header's length field) without copying the underlying bytes.
 
+use bytes::{BufMut, Bytes, BytesMut};
 use vifi_phy::NodeId;
 use vifi_sim::SimDuration;
 
@@ -84,6 +95,230 @@ impl<P> Frame<P> {
     }
 }
 
+/// Byte length of the packed [`WireFrame`] header:
+/// `[src label u64][size_bytes u32][kind u8]`, all little-endian.
+pub const WIRE_HEADER_LEN: usize = 13;
+
+/// A protocol payload that knows how to pack itself into (and parse itself
+/// back out of) a flat byte buffer.
+///
+/// The contract is lossless round-tripping: `decode(kind(), encoded) ==
+/// Some(self)` field-for-field, with floats preserved bit-exactly.
+pub trait WirePayload: Sized {
+    /// Discriminant stored in the frame header's kind byte.
+    fn kind(&self) -> u8;
+    /// Append the packed payload body to `buf` (little-endian fields).
+    fn encode_into(&self, buf: &mut BytesMut);
+    /// Parse a payload of `kind` from `body`; `None` on malformed input.
+    fn decode(kind: u8, body: &[u8]) -> Option<Self>;
+    /// Parse a payload that may keep (zero-copy slices of) the shared
+    /// `body` buffer instead of copying byte ranges out of it. Payloads
+    /// with no owned byte fields can rely on this default.
+    fn decode_owned(kind: u8, body: Bytes) -> Option<Self> {
+        Self::decode(kind, &body)
+    }
+}
+
+/// A MAC frame in packed wire form: one contiguous [`Bytes`] buffer,
+/// header first ([`WIRE_HEADER_LEN`] bytes), payload after.
+///
+/// Cloning is an `Arc` bump — O(1) and allocation-free — which is what the
+/// coupled engine's barrier paths rely on when the same frame fans out to
+/// every in-range receiver.
+#[derive(Clone, Debug)]
+pub struct WireFrame {
+    bytes: Bytes,
+}
+
+impl WireFrame {
+    /// Encode `payload` once into a packed frame.
+    ///
+    /// `size_bytes` is the *modeled* size on the air (it drives airtime and
+    /// backplane accounting), which is independent of the packed buffer's
+    /// in-memory length.
+    pub fn encode<P: WirePayload>(src: NodeId, size_bytes: u32, payload: &P) -> Self {
+        let mut w = FrameWriter::with_capacity(WIRE_HEADER_LEN + 64);
+        w.put_u64(src.label());
+        w.put_u32(size_bytes);
+        w.put_u8(payload.kind());
+        payload.encode_into(&mut w.buf);
+        WireFrame { bytes: w.freeze() }
+    }
+
+    /// Adopt an already-packed buffer; `None` if it is too short to hold
+    /// the header.
+    pub fn from_bytes(bytes: Bytes) -> Option<Self> {
+        if bytes.len() < WIRE_HEADER_LEN {
+            return None;
+        }
+        Some(WireFrame { bytes })
+    }
+
+    /// Header reader over this frame's buffer.
+    fn reader(&self) -> FrameReader<'_> {
+        FrameReader::new(&self.bytes)
+    }
+
+    /// Transmitting node, decoded from the header's src label.
+    pub fn src(&self) -> NodeId {
+        NodeId(self.reader().get_u64(0) as u32)
+    }
+
+    /// Modeled size on the wire, bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.reader().get_u32(8)
+    }
+
+    /// Payload kind tag.
+    pub fn kind(&self) -> u8 {
+        self.bytes[12]
+    }
+
+    /// The packed payload body (everything after the header), borrowed.
+    pub fn payload_bytes(&self) -> &[u8] {
+        &self.bytes[WIRE_HEADER_LEN..]
+    }
+
+    /// The whole packed buffer (header + payload), by reference-counted
+    /// handle — this is what crosses shard boundaries.
+    pub fn bytes(&self) -> Bytes {
+        self.bytes.clone()
+    }
+
+    /// Time on air under `mac`, computed from the header's length field
+    /// without decoding the payload.
+    pub fn airtime(&self, mac: &MacParams) -> SimDuration {
+        self.reader().airtime(mac)
+    }
+
+    /// Decode the payload back into its typed form. Byte-carrying fields
+    /// (a data frame's application body) come back as zero-copy slices of
+    /// this frame's shared buffer, not fresh allocations.
+    pub fn decode<P: WirePayload>(&self) -> Option<P> {
+        P::decode_owned(self.kind(), self.bytes.slice(WIRE_HEADER_LEN..))
+    }
+}
+
+/// Writer half of the repr split: appends little-endian fields into a
+/// growable buffer, frozen into the immutable [`Bytes`] a [`WireFrame`]
+/// carries.
+pub struct FrameWriter {
+    buf: BytesMut,
+}
+
+impl FrameWriter {
+    /// New writer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        FrameWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Append a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Append an f64 by its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+
+    /// Append raw bytes.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.put_slice(s);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into the immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+impl std::ops::Deref for FrameWriter {
+    type Target = BytesMut;
+    fn deref(&self) -> &BytesMut {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for FrameWriter {
+    fn deref_mut(&mut self) -> &mut BytesMut {
+        &mut self.buf
+    }
+}
+
+/// Reader half of the repr split: typed little-endian accessors over a
+/// packed frame buffer. Purely positional — no state, no copies.
+#[derive(Clone, Copy)]
+pub struct FrameReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> FrameReader<'a> {
+    /// Reader over a packed buffer (header at offset 0).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        FrameReader { bytes }
+    }
+
+    /// One byte at `off`.
+    pub fn get_u8(&self, off: usize) -> u8 {
+        self.bytes[off]
+    }
+
+    /// Little-endian u32 at `off`.
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Little-endian u64 at `off`.
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// f64 from its bit pattern at `off`.
+    pub fn get_f64(&self, off: usize) -> f64 {
+        f64::from_bits(self.get_u64(off))
+    }
+
+    /// Total buffer length.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Time on air under `mac`, read directly from the header's
+    /// `size_bytes` field — the MAC never needs the decoded payload to
+    /// schedule a frame.
+    pub fn airtime(&self, mac: &MacParams) -> SimDuration {
+        mac.airtime(self.get_u32(8))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +353,81 @@ mod tests {
     fn zero_byte_frame_still_costs_preamble() {
         let p = MacParams::default();
         assert_eq!(p.airtime(0), p.phy_overhead);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Probe {
+        a: u64,
+        b: f64,
+    }
+
+    impl WirePayload for Probe {
+        fn kind(&self) -> u8 {
+            42
+        }
+        fn encode_into(&self, buf: &mut BytesMut) {
+            buf.put_u64_le(self.a);
+            buf.put_u64_le(self.b.to_bits());
+        }
+        fn decode(kind: u8, body: &[u8]) -> Option<Self> {
+            if kind != 42 || body.len() != 16 {
+                return None;
+            }
+            let r = FrameReader::new(body);
+            Some(Probe {
+                a: r.get_u64(0),
+                b: r.get_f64(8),
+            })
+        }
+    }
+
+    #[test]
+    fn wire_frame_header_roundtrip() {
+        let p = Probe { a: 77, b: -0.25 };
+        let f = WireFrame::encode(NodeId(9), 512, &p);
+        assert_eq!(f.src(), NodeId(9));
+        assert_eq!(f.size_bytes(), 512);
+        assert_eq!(f.kind(), 42);
+        assert_eq!(f.decode::<Probe>(), Some(Probe { a: 77, b: -0.25 }));
+    }
+
+    #[test]
+    fn wire_airtime_reads_length_field() {
+        let p = Probe { a: 0, b: 0.0 };
+        let mac = MacParams::default();
+        let f = WireFrame::encode(NodeId(3), 500, &p);
+        // Same figure as the typed path, derived from the packed header.
+        assert_eq!(f.airtime(&mac), mac.airtime(500));
+        assert_eq!(f.airtime(&mac), SimDuration::from_micros(4192));
+    }
+
+    #[test]
+    fn wire_clone_shares_buffer() {
+        let p = Probe { a: 1, b: 2.0 };
+        let f = WireFrame::encode(NodeId(1), 100, &p);
+        let g = f.clone();
+        // Same underlying allocation: the handles view identical bytes at
+        // the same address (Bytes clones are refcount bumps).
+        assert_eq!(f.bytes().as_ptr(), g.bytes().as_ptr());
+    }
+
+    #[test]
+    fn from_bytes_rejects_short_buffers() {
+        assert!(WireFrame::from_bytes(Bytes::copy_from_slice(&[0u8; 5])).is_none());
+        let p = Probe { a: 5, b: 1.5 };
+        let f = WireFrame::encode(NodeId(2), 64, &p);
+        let re = WireFrame::from_bytes(f.bytes()).unwrap();
+        assert_eq!(re.decode::<Probe>(), Some(Probe { a: 5, b: 1.5 }));
+    }
+
+    #[test]
+    fn nan_payload_survives_bit_exactly() {
+        let p = Probe {
+            a: 0,
+            b: f64::from_bits(0x7ff8_0000_dead_beef),
+        };
+        let f = WireFrame::encode(NodeId(0), 10, &p);
+        let q = f.decode::<Probe>().unwrap();
+        assert_eq!(q.b.to_bits(), 0x7ff8_0000_dead_beef);
     }
 }

@@ -32,7 +32,9 @@ pub mod medium;
 
 pub use backplane::{Backplane, BackplaneParams};
 pub use beacon::BeaconSchedule;
-pub use frame::{Frame, MacParams};
+pub use frame::{
+    Frame, FrameReader, FrameWriter, MacParams, WireFrame, WirePayload, WIRE_HEADER_LEN,
+};
 pub use medium::{
     PartitionProbes, PlacedGroup, Placement, PlacementGroup, Reception, ResolvableTx,
     SharedMediumService, TxHandle, TxRequest,

@@ -1,0 +1,901 @@
+//! Streaming binary run traces: constant-memory logging and folding.
+//!
+//! The in-memory [`RunLog`] materializes one [`TxRecord`] per source
+//! transmission — perfect for post-processing, fatal for days-long runs.
+//! This module provides the streaming alternative:
+//!
+//! * [`BinaryRunLog`] — a [`LogSink`] that appends each logging event as
+//!   a length-prefixed little-endian record to any `io::Write`, O(1)
+//!   memory no matter the run length;
+//! * [`read_stream`] — replays a binary trace into any [`LogSink`]
+//!   (e.g. back into a `RunLog`, reconstructing it bit-for-bit);
+//! * [`StreamFold`] — a [`LogSink`] that folds the events directly into
+//!   [`Table1`], the Table 2 rates, the [`PerfectRelayOutcome`] oracle
+//!   and the run-log fingerprint *without* materializing the record
+//!   vector. Per-id state is dropped at [`LogSink::retire`], so the
+//!   working set is bounded by packets in flight, not packets ever sent
+//!   ([`StreamSummary::peak_pending`] reports the high-water mark).
+//!
+//! The fold reproduces [`RunLog`]'s fingerprint bit-for-bit because that
+//! fingerprint combines per-record digests by wrapping addition (see
+//! [`record_digest`]): a record may be finalized the moment its last
+//! mutation is known — at retire, or early when a newer transmission of
+//! the same id supersedes it — in any order, and the sum is unchanged.
+//!
+//! ## Record framing
+//!
+//! Every record is `len: u32 | kind: u8 | at_micros: u64 | body`, all
+//! little-endian; `len` counts the bytes after the length field. Bodies:
+//!
+//! | kind | event | body |
+//! |------|-------|------|
+//! | 0 | source tx | origin u64, seq u64, dir u8, dst_heard u8, n₁ u32, n₁×u64, n₂ u32, n₂×u64 |
+//! | 1 | ack attach | origin, seq, n u32, n×u64 |
+//! | 2 | decision | origin, seq, aux u64, prob-bits u64, relayed u8 |
+//! | 3 | relay | origin, seq, by u64, via_backplane u8, reached u8 |
+//! | 4 | deliver mark | origin, seq |
+//! | 5 | aux sample | sec u64, size u64 |
+//! | 6 | wireless tx | dir u8 |
+//! | 7 | ack tx | dir u8 |
+//! | 8 | backplane tx | — |
+//! | 9 | ledger delivered | dir u8 |
+//! | 10 | backplane drop | — |
+//! | 11 | retire | origin, seq |
+//! | 12 | ledger totals | 4×u64 up, 4×u64 down, drops u64 |
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+use vifi_core::{Direction, PacketId};
+use vifi_metrics::EfficiencyLedger;
+use vifi_phy::NodeId;
+use vifi_sim::SimTime;
+
+use crate::fingerprint::Fingerprint;
+use crate::logging::{
+    median_aux_size, record_digest, ColumnCounts, LogSink, PerfectRelayCounts, PerfectRelayOutcome,
+    RelayFate, RunLog, Table1, TxRecord,
+};
+
+const K_SOURCE_TX: u8 = 0;
+const K_ACK_ATTACH: u8 = 1;
+const K_DECISION: u8 = 2;
+const K_RELAY: u8 = 3;
+const K_DELIVER_MARK: u8 = 4;
+const K_AUX_SAMPLE: u8 = 5;
+const K_WIRELESS_TX: u8 = 6;
+const K_ACK_TX: u8 = 7;
+const K_BACKPLANE_TX: u8 = 8;
+const K_LEDGER_DELIVERED: u8 = 9;
+const K_BACKPLANE_DROP: u8 = 10;
+const K_RETIRE: u8 = 11;
+const K_LEDGER_TOTALS: u8 = 12;
+
+fn dir_byte(dir: Direction) -> u8 {
+    match dir {
+        Direction::Upstream => 0,
+        Direction::Downstream => 1,
+    }
+}
+
+fn byte_dir(b: u8) -> io::Result<Direction> {
+    match b {
+        0 => Ok(Direction::Upstream),
+        1 => Ok(Direction::Downstream),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad direction byte {b}"),
+        )),
+    }
+}
+
+/// A [`LogSink`] that serializes every event as a length-prefixed binary
+/// record to `w`. Memory use is one scratch buffer regardless of run
+/// length; I/O errors are latched and surfaced by
+/// [`BinaryRunLog::finish`].
+pub struct BinaryRunLog<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    records: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> BinaryRunLog<W> {
+    /// Stream records to `w`.
+    pub fn new(w: W) -> Self {
+        BinaryRunLog {
+            w,
+            buf: Vec::with_capacity(128),
+            records: 0,
+            err: None,
+        }
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush and hand back the writer, surfacing any latched I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+
+    fn emit(&mut self, kind: u8, at: SimTime, body: impl FnOnce(&mut Vec<u8>)) {
+        if self.err.is_some() {
+            return;
+        }
+        self.buf.clear();
+        self.buf.push(kind);
+        self.buf.extend_from_slice(&at.as_micros().to_le_bytes());
+        body(&mut self.buf);
+        let len = self.buf.len() as u32;
+        let res = self
+            .w
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.w.write_all(&self.buf));
+        match res {
+            Ok(()) => self.records += 1,
+            Err(e) => self.err = Some(e),
+        }
+    }
+}
+
+fn push_id(buf: &mut Vec<u8>, id: PacketId) {
+    buf.extend_from_slice(&id.origin.label().to_le_bytes());
+    buf.extend_from_slice(&id.seq.to_le_bytes());
+}
+
+fn push_nodes(buf: &mut Vec<u8>, nodes: &[NodeId]) {
+    buf.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    for n in nodes {
+        buf.extend_from_slice(&n.label().to_le_bytes());
+    }
+}
+
+impl<W: Write> LogSink for BinaryRunLog<W> {
+    fn source_tx(
+        &mut self,
+        at: SimTime,
+        id: PacketId,
+        dir: Direction,
+        aux_set: Vec<NodeId>,
+        aux_heard: Vec<NodeId>,
+        dst_heard: bool,
+    ) {
+        self.emit(K_SOURCE_TX, at, |b| {
+            push_id(b, id);
+            b.push(dir_byte(dir));
+            b.push(dst_heard as u8);
+            push_nodes(b, &aux_set);
+            push_nodes(b, &aux_heard);
+        });
+    }
+
+    fn ack_attach(&mut self, at: SimTime, id: PacketId, heard_by: &[NodeId]) {
+        self.emit(K_ACK_ATTACH, at, |b| {
+            push_id(b, id);
+            push_nodes(b, heard_by);
+        });
+    }
+
+    fn decision(&mut self, at: SimTime, id: PacketId, aux: NodeId, prob: f64, relayed: bool) {
+        self.emit(K_DECISION, at, |b| {
+            push_id(b, id);
+            b.extend_from_slice(&aux.label().to_le_bytes());
+            b.extend_from_slice(&prob.to_bits().to_le_bytes());
+            b.push(relayed as u8);
+        });
+    }
+
+    fn relay(&mut self, at: SimTime, id: PacketId, by: NodeId, via_backplane: bool, reached: bool) {
+        self.emit(K_RELAY, at, |b| {
+            push_id(b, id);
+            b.extend_from_slice(&by.label().to_le_bytes());
+            b.push(via_backplane as u8);
+            b.push(reached as u8);
+        });
+    }
+
+    fn deliver_mark(&mut self, at: SimTime, id: PacketId) {
+        self.emit(K_DELIVER_MARK, at, |b| push_id(b, id));
+    }
+
+    fn aux_sample(&mut self, at: SimTime, sec: u64, size: usize) {
+        self.emit(K_AUX_SAMPLE, at, |b| {
+            b.extend_from_slice(&sec.to_le_bytes());
+            b.extend_from_slice(&(size as u64).to_le_bytes());
+        });
+    }
+
+    fn wireless_tx(&mut self, at: SimTime, dir: Direction) {
+        self.emit(K_WIRELESS_TX, at, |b| b.push(dir_byte(dir)));
+    }
+
+    fn ack_tx(&mut self, at: SimTime, dir: Direction) {
+        self.emit(K_ACK_TX, at, |b| b.push(dir_byte(dir)));
+    }
+
+    fn backplane_tx(&mut self, at: SimTime) {
+        self.emit(K_BACKPLANE_TX, at, |_| {});
+    }
+
+    fn ledger_delivered(&mut self, at: SimTime, dir: Direction) {
+        self.emit(K_LEDGER_DELIVERED, at, |b| b.push(dir_byte(dir)));
+    }
+
+    fn backplane_drop_count(&mut self, at: SimTime) {
+        self.emit(K_BACKPLANE_DROP, at, |_| {});
+    }
+
+    fn retire(&mut self, at: SimTime, id: PacketId) {
+        self.emit(K_RETIRE, at, |b| push_id(b, id));
+    }
+
+    fn ledger_totals(&mut self, up: [u64; 4], down: [u64; 4], backplane_drops: u64) {
+        self.emit(K_LEDGER_TOTALS, SimTime::ZERO, |b| {
+            for v in up.iter().chain(down.iter()) {
+                b.extend_from_slice(&v.to_le_bytes());
+            }
+            b.extend_from_slice(&backplane_drops.to_le_bytes());
+        });
+    }
+}
+
+/// Cursor over one record body.
+struct Body<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Body<'a> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let v = *self
+            .b
+            .get(self.off)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated record"))?;
+        self.off += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let s = self
+            .b
+            .get(self.off..self.off + 4)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated record"))?;
+        self.off += 4;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let s = self
+            .b
+            .get(self.off..self.off + 8)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated record"))?;
+        self.off += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn id(&mut self) -> io::Result<PacketId> {
+        Ok(PacketId {
+            origin: NodeId(self.u64()? as u32),
+            seq: self.u64()?,
+        })
+    }
+
+    fn nodes(&mut self) -> io::Result<Vec<NodeId>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(NodeId(self.u64()? as u32));
+        }
+        Ok(out)
+    }
+}
+
+/// Replay a binary trace into any [`LogSink`], returning the number of
+/// records consumed. Feeding a trace written by [`BinaryRunLog`] into a
+/// fresh [`RunLog`] reconstructs the original log bit-for-bit (same
+/// fingerprint); feeding it into a [`StreamFold`] computes the paper's
+/// statistics in constant memory.
+pub fn read_stream<R: Read, S: LogSink>(mut r: R, sink: &mut S) -> io::Result<u64> {
+    let mut count = 0u64;
+    let mut body_buf = Vec::with_capacity(128);
+    loop {
+        let mut len_bytes = [0u8; 4];
+        match r.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(count),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len < 9 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("record too short: {len} bytes"),
+            ));
+        }
+        body_buf.resize(len, 0);
+        r.read_exact(&mut body_buf)?;
+        let kind = body_buf[0];
+        let at = SimTime::from_micros(u64::from_le_bytes(body_buf[1..9].try_into().unwrap()));
+        let mut body = Body {
+            b: &body_buf,
+            off: 9,
+        };
+        match kind {
+            K_SOURCE_TX => {
+                let id = body.id()?;
+                let dir = byte_dir(body.u8()?)?;
+                let dst_heard = body.u8()? != 0;
+                let aux_set = body.nodes()?;
+                let aux_heard = body.nodes()?;
+                sink.source_tx(at, id, dir, aux_set, aux_heard, dst_heard);
+            }
+            K_ACK_ATTACH => {
+                let id = body.id()?;
+                let heard_by = body.nodes()?;
+                sink.ack_attach(at, id, &heard_by);
+            }
+            K_DECISION => {
+                let id = body.id()?;
+                let aux = NodeId(body.u64()? as u32);
+                let prob = f64::from_bits(body.u64()?);
+                let relayed = body.u8()? != 0;
+                sink.decision(at, id, aux, prob, relayed);
+            }
+            K_RELAY => {
+                let id = body.id()?;
+                let by = NodeId(body.u64()? as u32);
+                let via = body.u8()? != 0;
+                let reached = body.u8()? != 0;
+                sink.relay(at, id, by, via, reached);
+            }
+            K_DELIVER_MARK => {
+                let id = body.id()?;
+                sink.deliver_mark(at, id);
+            }
+            K_AUX_SAMPLE => {
+                let sec = body.u64()?;
+                let size = body.u64()? as usize;
+                sink.aux_sample(at, sec, size);
+            }
+            K_WIRELESS_TX => sink.wireless_tx(at, byte_dir(body.u8()?)?),
+            K_ACK_TX => sink.ack_tx(at, byte_dir(body.u8()?)?),
+            K_BACKPLANE_TX => sink.backplane_tx(at),
+            K_LEDGER_DELIVERED => sink.ledger_delivered(at, byte_dir(body.u8()?)?),
+            K_BACKPLANE_DROP => sink.backplane_drop_count(at),
+            K_RETIRE => {
+                let id = body.id()?;
+                sink.retire(at, id);
+            }
+            K_LEDGER_TOTALS => {
+                let mut up = [0u64; 4];
+                let mut down = [0u64; 4];
+                for v in up.iter_mut().chain(down.iter_mut()) {
+                    *v = body.u64()?;
+                }
+                let drops = body.u64()?;
+                sink.ledger_totals(up, down, drops);
+            }
+            k => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown record kind {k}"),
+                ))
+            }
+        }
+        count += 1;
+    }
+}
+
+/// Everything the streaming fold derives from a trace.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// Source-transmission records seen.
+    pub records: u64,
+    /// The run-log fingerprint — bit-identical to
+    /// [`RunLog::fingerprint`](crate::Fingerprintable::fingerprint) of
+    /// the equivalent in-memory log.
+    pub fingerprint: u64,
+    /// Table 1, both directions.
+    pub table1: Table1,
+    /// Table 2 downstream false-positive rate (B2).
+    pub table2_false_positives: f64,
+    /// Table 2 downstream false-negative rate (C3).
+    pub table2_false_negatives: f64,
+    /// The §5.4 PerfectRelay oracle estimate.
+    pub perfect_relay: PerfectRelayOutcome,
+    /// Upstream efficiency ledger.
+    pub ledger_up: EfficiencyLedger,
+    /// Downstream efficiency ledger.
+    pub ledger_down: EfficiencyLedger,
+    /// Backplane drops.
+    pub backplane_drops: u64,
+    /// High-water mark of simultaneously pending (unfinalized) records —
+    /// the fold's working set, bounded by packets in flight rather than
+    /// run length.
+    pub peak_pending: usize,
+}
+
+/// Per-id working state of the fold.
+struct IdState {
+    next_attempt: u32,
+    /// Unfinalized records of this id, creation order, with their global
+    /// creation index.
+    pending: Vec<(u64, TxRecord)>,
+    /// The oracle delivered this id (per-id dedup of
+    /// [`PerfectRelayCounts::add_record`]).
+    oracle_delivered: Option<Direction>,
+}
+
+/// A [`LogSink`] that folds the event stream straight into the derived
+/// statistics. See the module docs for the finalization rules that keep
+/// its fingerprint bit-identical to the in-memory path.
+#[derive(Default)]
+pub struct StreamFold {
+    ids: HashMap<PacketId, IdState>,
+    digest_sum: u64,
+    record_count: u64,
+    next_index: u64,
+    counts_up: ColumnCounts,
+    counts_down: ColumnCounts,
+    oracle: PerfectRelayCounts,
+    aux_sizes: Vec<(u64, usize)>,
+    ledger_up: EfficiencyLedger,
+    ledger_down: EfficiencyLedger,
+    backplane_drops: u64,
+    pending_now: usize,
+    peak_pending: usize,
+}
+
+impl StreamFold {
+    /// Fresh fold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ledger_mut(&mut self, dir: Direction) -> &mut EfficiencyLedger {
+        match dir {
+            Direction::Upstream => &mut self.ledger_up,
+            Direction::Downstream => &mut self.ledger_down,
+        }
+    }
+
+    /// Fold a finalized record into digest sum, Table 1 counts and the
+    /// oracle. Requires that no later event mutates the record.
+    fn finalize(
+        digest_sum: &mut u64,
+        counts_up: &mut ColumnCounts,
+        counts_down: &mut ColumnCounts,
+        oracle: &mut PerfectRelayCounts,
+        state_oracle: &mut Option<Direction>,
+        index: u64,
+        rec: &TxRecord,
+    ) {
+        *digest_sum = digest_sum.wrapping_add(record_digest(index, rec));
+        match rec.dir {
+            Direction::Upstream => counts_up.add_record(rec),
+            Direction::Downstream => counts_down.add_record(rec),
+        }
+        if oracle.add_record(rec) && state_oracle.is_none() {
+            *state_oracle = Some(rec.dir);
+        }
+    }
+
+    fn retire_id(&mut self, id: PacketId) {
+        if let Some(mut state) = self.ids.remove(&id) {
+            self.pending_now -= state.pending.len();
+            for (index, rec) in state.pending.drain(..) {
+                Self::finalize(
+                    &mut self.digest_sum,
+                    &mut self.counts_up,
+                    &mut self.counts_down,
+                    &mut self.oracle,
+                    &mut state.oracle_delivered,
+                    index,
+                    &rec,
+                );
+            }
+            match state.oracle_delivered {
+                Some(Direction::Upstream) => self.oracle.up_delivered += 1,
+                Some(Direction::Downstream) => self.oracle.down_delivered += 1,
+                None => {}
+            }
+        }
+    }
+
+    /// Finalize everything still pending (ids the stream never retired)
+    /// and produce the summary.
+    pub fn finish(mut self) -> StreamSummary {
+        let ids: Vec<PacketId> = self.ids.keys().copied().collect();
+        for id in ids {
+            self.retire_id(id);
+        }
+        let a1 = median_aux_size(&self.aux_sizes);
+        // Reproduce RunLog::fingerprint_into exactly: record count, the
+        // commutative digest sum, aux samples in order, ledgers, drops.
+        let mut fp = Fingerprint::new();
+        fp.push_len(self.record_count as usize);
+        fp.push_u64(self.digest_sum);
+        fp.push_len(self.aux_sizes.len());
+        for &(sec, size) in &self.aux_sizes {
+            fp.push_u64(sec);
+            fp.push_len(size);
+        }
+        for ledger in [&self.ledger_up, &self.ledger_down] {
+            fp.push_u64(ledger.wireless_tx);
+            fp.push_u64(ledger.backplane_tx);
+            fp.push_u64(ledger.ack_tx);
+            fp.push_u64(ledger.delivered);
+        }
+        fp.push_u64(self.backplane_drops);
+
+        let table1 = Table1 {
+            up: self.counts_up.into_column(a1),
+            down: self.counts_down.into_column(a1),
+        };
+        StreamSummary {
+            records: self.record_count,
+            fingerprint: fp.finish(),
+            table2_false_positives: table1.down.b2_false_positive,
+            table2_false_negatives: table1.down.c3_false_negative,
+            table1,
+            perfect_relay: self.oracle.into_outcome(),
+            ledger_up: self.ledger_up,
+            ledger_down: self.ledger_down,
+            backplane_drops: self.backplane_drops,
+            peak_pending: self.peak_pending,
+        }
+    }
+}
+
+impl LogSink for StreamFold {
+    fn source_tx(
+        &mut self,
+        at: SimTime,
+        id: PacketId,
+        dir: Direction,
+        aux_set: Vec<NodeId>,
+        aux_heard: Vec<NodeId>,
+        dst_heard: bool,
+    ) {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.record_count += 1;
+        let state = self.ids.entry(id).or_insert_with(|| IdState {
+            next_attempt: 0,
+            pending: Vec::new(),
+            oracle_delivered: None,
+        });
+        let attempt = state.next_attempt;
+        state.next_attempt += 1;
+        // Earlier records of this id that are already marked delivered
+        // can never change again (the flag only goes false → true and
+        // attachments only target the latest record): finalize them now
+        // so long-lived ids do not pile up working state.
+        let mut i = 0;
+        while i < state.pending.len() {
+            if state.pending[i].1.delivered {
+                let (idx, rec) = state.pending.remove(i);
+                Self::finalize(
+                    &mut self.digest_sum,
+                    &mut self.counts_up,
+                    &mut self.counts_down,
+                    &mut self.oracle,
+                    &mut state.oracle_delivered,
+                    idx,
+                    &rec,
+                );
+                self.pending_now -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        state.pending.push((
+            index,
+            TxRecord {
+                id,
+                attempt,
+                dir,
+                at,
+                aux_set,
+                aux_heard,
+                dst_heard,
+                ack_heard_by: Vec::new(),
+                decisions: Vec::new(),
+                relays: Vec::new(),
+                delivered: false,
+            },
+        ));
+        self.pending_now += 1;
+        self.peak_pending = self.peak_pending.max(self.pending_now);
+    }
+
+    fn ack_attach(&mut self, _at: SimTime, id: PacketId, heard_by: &[NodeId]) {
+        if let Some(state) = self.ids.get_mut(&id) {
+            if let Some((_, r)) = state.pending.last_mut() {
+                // Same membership/dedup rule as RunLog::on_ack_heard.
+                for n in heard_by {
+                    if r.aux_set.contains(n) && !r.ack_heard_by.contains(n) {
+                        r.ack_heard_by.push(*n);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision(&mut self, _at: SimTime, id: PacketId, aux: NodeId, prob: f64, relayed: bool) {
+        if let Some(state) = self.ids.get_mut(&id) {
+            if let Some((_, r)) = state.pending.last_mut() {
+                r.decisions.push((aux, prob, relayed));
+            }
+        }
+    }
+
+    fn relay(
+        &mut self,
+        _at: SimTime,
+        id: PacketId,
+        by: NodeId,
+        via_backplane: bool,
+        reached: bool,
+    ) {
+        if let Some(state) = self.ids.get_mut(&id) {
+            if let Some((_, r)) = state.pending.last_mut() {
+                r.relays.push(RelayFate {
+                    by,
+                    via_backplane,
+                    reached_dst: reached,
+                });
+            }
+        }
+    }
+
+    fn deliver_mark(&mut self, _at: SimTime, id: PacketId) {
+        if let Some(state) = self.ids.get_mut(&id) {
+            for (_, r) in &mut state.pending {
+                r.delivered = true;
+            }
+        }
+    }
+
+    fn aux_sample(&mut self, _at: SimTime, sec: u64, size: usize) {
+        if self.aux_sizes.last().map(|&(s, _)| s) != Some(sec) {
+            self.aux_sizes.push((sec, size));
+        }
+    }
+
+    fn wireless_tx(&mut self, _at: SimTime, dir: Direction) {
+        self.ledger_mut(dir).on_wireless_tx();
+    }
+
+    fn ack_tx(&mut self, _at: SimTime, dir: Direction) {
+        self.ledger_mut(dir).on_ack_tx();
+    }
+
+    fn backplane_tx(&mut self, _at: SimTime) {
+        self.ledger_up.on_backplane_tx();
+    }
+
+    fn ledger_delivered(&mut self, _at: SimTime, dir: Direction) {
+        self.ledger_mut(dir).on_delivered();
+    }
+
+    fn backplane_drop_count(&mut self, _at: SimTime) {
+        self.backplane_drops += 1;
+    }
+
+    fn retire(&mut self, _at: SimTime, id: PacketId) {
+        self.retire_id(id);
+    }
+
+    fn ledger_totals(&mut self, up: [u64; 4], down: [u64; 4], backplane_drops: u64) {
+        for (ledger, t) in [(&mut self.ledger_up, up), (&mut self.ledger_down, down)] {
+            ledger.wireless_tx += t[0];
+            ledger.backplane_tx += t[1];
+            ledger.ack_tx += t[2];
+            ledger.delivered += t[3];
+        }
+        self.backplane_drops += backplane_drops;
+    }
+}
+
+impl RunLog {
+    /// Serialize this log as a binary trace (see the module docs for the
+    /// record framing) and hand back the writer.
+    pub fn write_binary<W: Write>(&self, w: W) -> io::Result<W> {
+        let mut sink = BinaryRunLog::new(w);
+        self.replay_into(&mut sink);
+        sink.finish()
+    }
+
+    /// Fold this log's replayed event stream with [`StreamFold`] —
+    /// convenience for tests and tools that want the streaming summary
+    /// without a byte round-trip.
+    pub fn stream_summary(&self) -> StreamSummary {
+        let mut fold = StreamFold::new();
+        self.replay_into(&mut fold);
+        fold.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fingerprintable;
+
+    fn id(origin: u32, seq: u64) -> PacketId {
+        PacketId {
+            origin: NodeId(origin),
+            seq,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Build a small but featureful log: retransmissions, acks,
+    /// decisions, relays (both planes), deliveries, aux samples, ledger
+    /// traffic.
+    fn sample_log() -> RunLog {
+        let mut log = RunLog::new();
+        let aux = |n: u32| (10..10 + n).map(NodeId).collect::<Vec<_>>();
+        log.on_aux_sample(0, 3);
+        log.on_aux_sample(1, 2);
+        for seq in 0..4u64 {
+            log.on_source_tx(
+                id(0, seq),
+                Direction::Upstream,
+                t(seq * 10),
+                aux(3),
+                vec![NodeId(10)],
+                seq % 2 == 0,
+            );
+            log.ledger_up.on_wireless_tx();
+        }
+        // Retransmission chain for seq 1.
+        log.on_source_tx(
+            id(0, 1),
+            Direction::Upstream,
+            t(100),
+            aux(3),
+            vec![NodeId(10), NodeId(11)],
+            false,
+        );
+        log.on_ack_heard(id(0, 1), &[NodeId(10), NodeId(99)]);
+        log.on_decision(id(0, 1), NodeId(11), 0.7, true);
+        log.on_relay(id(0, 1), NodeId(11), true, true);
+        log.on_delivered(id(0, 1));
+        log.ledger_up.on_backplane_tx();
+        log.ledger_up.on_delivered();
+        // A downstream packet.
+        log.on_source_tx(
+            id(5, 9),
+            Direction::Downstream,
+            t(200),
+            aux(2),
+            vec![NodeId(10)],
+            false,
+        );
+        log.on_decision(id(5, 9), NodeId(10), 0.5, true);
+        log.on_relay(id(5, 9), NodeId(10), false, true);
+        log.on_delivered(id(5, 9));
+        log.ledger_down.on_wireless_tx();
+        log.ledger_down.on_delivered();
+        log.backplane_drops = 2;
+        log
+    }
+
+    #[test]
+    fn replay_into_runlog_reproduces_fingerprint() {
+        let log = sample_log();
+        let mut rebuilt = RunLog::new();
+        log.replay_into(&mut rebuilt);
+        assert_eq!(log.fingerprint(), rebuilt.fingerprint());
+        assert_eq!(log.records.len(), rebuilt.records.len());
+    }
+
+    #[test]
+    fn binary_roundtrip_reproduces_fingerprint() {
+        let log = sample_log();
+        let bytes = log.write_binary(Vec::new()).unwrap();
+        let mut rebuilt = RunLog::new();
+        read_stream(&bytes[..], &mut rebuilt).unwrap();
+        assert_eq!(log.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn stream_fold_matches_in_memory_stats() {
+        let log = sample_log();
+        let bytes = log.write_binary(Vec::new()).unwrap();
+        let mut fold = StreamFold::new();
+        read_stream(&bytes[..], &mut fold).unwrap();
+        let s = fold.finish();
+        assert_eq!(s.fingerprint, log.fingerprint(), "fingerprint");
+        assert_eq!(s.records, log.records.len() as u64);
+        let t1 = Table1::from_log(&log);
+        assert_eq!(
+            s.table1.up.b1_src_reach.to_bits(),
+            t1.up.b1_src_reach.to_bits()
+        );
+        assert_eq!(
+            s.table1.down.b2_false_positive.to_bits(),
+            t1.down.b2_false_positive.to_bits()
+        );
+        assert_eq!(
+            s.table1.up.a3_aux_hear_tx_not_ack.to_bits(),
+            t1.up.a3_aux_hear_tx_not_ack.to_bits()
+        );
+        let pr = PerfectRelayOutcome::from_log(&log);
+        assert_eq!(
+            s.perfect_relay.efficiency_up.to_bits(),
+            pr.efficiency_up.to_bits()
+        );
+        assert_eq!(
+            s.perfect_relay.efficiency_down.to_bits(),
+            pr.efficiency_down.to_bits()
+        );
+        assert_eq!(s.backplane_drops, log.backplane_drops);
+        assert_eq!(s.ledger_up.backplane_tx, log.ledger_up.backplane_tx);
+    }
+
+    #[test]
+    fn retire_bounds_pending_state() {
+        // Many sequential ids, each retired before the next: the peak
+        // pending working set stays at 1 no matter how many records.
+        let mut sink = StreamFold::new();
+        for seq in 0..1000u64 {
+            sink.source_tx(
+                t(seq),
+                id(0, seq),
+                Direction::Upstream,
+                vec![NodeId(10)],
+                vec![NodeId(10)],
+                true,
+            );
+            sink.deliver_mark(t(seq), id(0, seq));
+            sink.retire(t(seq), id(0, seq));
+        }
+        sink.ledger_totals([0; 4], [0; 4], 0);
+        let s = sink.finish();
+        assert_eq!(s.records, 1000);
+        assert_eq!(s.peak_pending, 1, "working set bounded by in-flight ids");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let log = sample_log();
+        let bytes = log.write_binary(Vec::new()).unwrap();
+        let mut fold = StreamFold::new();
+        assert!(read_stream(&bytes[..bytes.len() - 3], &mut fold).is_err());
+    }
+
+    #[test]
+    fn out_of_order_finalization_is_fingerprint_invariant() {
+        // Interleaved ids with late deliveries: records finalize in a
+        // different order than they were created, and the commutative
+        // digest still matches the in-memory log.
+        let mut log = RunLog::new();
+        for seq in 0..6u64 {
+            log.on_source_tx(
+                id(0, seq % 3),
+                Direction::Upstream,
+                t(seq * 5),
+                vec![NodeId(10), NodeId(11)],
+                vec![NodeId(10)],
+                false,
+            );
+        }
+        log.on_delivered(id(0, 1));
+        let bytes = log.write_binary(Vec::new()).unwrap();
+        let mut fold = StreamFold::new();
+        read_stream(&bytes[..], &mut fold).unwrap();
+        assert_eq!(fold.finish().fingerprint, log.fingerprint());
+    }
+}

@@ -44,11 +44,13 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use vifi_core::endpoint::BackplaneMsg;
-use vifi_core::{Action, Direction, Endpoint, PacketId, Role, StatEvent, VifiPayload};
+use vifi_core::{
+    AckView, Action, DataView, Direction, Endpoint, PacketId, Role, StatEvent, VifiPayload,
+};
 use vifi_mac::medium::kernel;
 use vifi_mac::{
     Backplane, BeaconSchedule, Frame, PartitionProbes, PlacedGroup, PlacementGroup, ResolvableTx,
-    SharedMediumService, TxHandle, TxRequest,
+    SharedMediumService, TxHandle, TxRequest, WireFrame,
 };
 use vifi_phy::{LinkModel, NodeId};
 use vifi_sim::{
@@ -56,7 +58,7 @@ use vifi_sim::{
     TimerToken,
 };
 
-use crate::logging::RunLog;
+use crate::logging::{LogSink, RunLog};
 use crate::sim::{FaultStats, RunConfig, RunOutcome, VehicleOutcome};
 use crate::workload::{build_driver, Driver, HostApi, HostCmd};
 
@@ -70,8 +72,9 @@ enum Ev {
     Beacon,
     /// The lane's transmission finished airing; its interface is free.
     TxDone,
-    /// A frame reached this lane (resolved by the reception kernel).
-    Rx(VifiPayload),
+    /// A frame reached this lane (resolved by the reception kernel),
+    /// still in packed wire form; decoded at dispatch.
+    Rx(WireFrame),
     /// The lane's protocol timer fired.
     Wakeup,
     /// A backplane message arrived at this lane.
@@ -231,7 +234,7 @@ struct Shard {
     cells: HashMap<NodeId, NodeCell>,
     link: EngineLink,
     // ---- epoch outboxes, drained at every barrier ----
-    tx_requests: Vec<TxRequest<VifiPayload>>,
+    tx_requests: Vec<TxRequest<WireFrame>>,
     bp_sends: Vec<BpSend>,
     x_msgs: Vec<XMsg>,
     log_ops: Vec<LogOp>,
@@ -263,7 +266,7 @@ struct Staged {
     placements: Vec<(NodeId, SimTime)>,
     /// Frames whose airtime ends before the next boundary, canonical
     /// `(end, src)` order, with complete overlap snapshots.
-    resolvable: Vec<ResolvableTx<VifiPayload>>,
+    resolvable: Vec<ResolvableTx<WireFrame>>,
 }
 
 /// Staging area the parallel barrier phases hand work through. The
@@ -273,7 +276,7 @@ struct Staged {
 #[derive(Default)]
 struct BarrierScratch {
     /// The epoch's sorted transmission batch, awaiting the split phase.
-    requests: Vec<TxRequest<VifiPayload>>,
+    requests: Vec<TxRequest<WireFrame>>,
     /// Frame metas in batch order (consumed by the merge phase).
     metas: Vec<FrameMeta>,
     /// Batch senders in batch order (for the staged placements).
@@ -288,7 +291,7 @@ struct BarrierScratch {
     probes: Option<PartitionProbes>,
     audible: Vec<AtomicBool>,
     /// Placement jobs (split → place phase); each taken exactly once.
-    jobs: Vec<Mutex<Option<PlacementGroup<VifiPayload>>>>,
+    jobs: Vec<Mutex<Option<PlacementGroup<WireFrame>>>>,
 }
 
 /// The node partition of an engine run: per shard, the lanes it owns.
@@ -376,7 +379,7 @@ pub(crate) fn run(setup: EngineSetup) -> (RunOutcome, CoupledTiming) {
 /// [`SharedMediumService::with_handle_base`] so they stay globally
 /// unique.
 struct ClusterRt {
-    medium: SharedMediumService<VifiPayload>,
+    medium: SharedMediumService<WireFrame>,
     link: EngineLink,
     meta: HashMap<TxHandle, FrameMeta>,
     /// Resolution ops of this cluster's frames, appended to the global
@@ -387,7 +390,7 @@ struct ClusterRt {
 
 /// Globally shared, barrier-serial state.
 struct Coordinator {
-    medium: SharedMediumService<VifiPayload>,
+    medium: SharedMediumService<WireFrame>,
     backplane: Backplane,
     link: EngineLink,
     meta: HashMap<TxHandle, FrameMeta>,
@@ -423,7 +426,7 @@ struct Engine {
     /// leader while every other worker is parked at the next wait).
     cursor: AtomicUsize,
     /// Placed groups accumulated by the place phase, merged canonically.
-    placed: Mutex<Vec<(usize, PlacedGroup<VifiPayload>)>>,
+    placed: Mutex<Vec<(usize, PlacedGroup<WireFrame>)>>,
     workers: usize,
     /// The instrumented vehicle (first vehicle; owns the packet log).
     v0: NodeId,
@@ -1060,7 +1063,7 @@ impl Engine {
         let mut rt = self.cluster_rts[c].lock().expect("cluster rt");
 
         // ---- collect this cluster's requests, hosting shards in order --
-        let mut requests: Vec<TxRequest<VifiPayload>> = Vec::new();
+        let mut requests: Vec<TxRequest<WireFrame>> = Vec::new();
         for &si in &self.cluster_shards[c] {
             let mut sh = self.shards[si].lock().expect("shard");
             let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut sh.tx_requests)
@@ -1079,10 +1082,10 @@ impl Engine {
         let metas: Vec<FrameMeta> = requests
             .iter()
             .map(|r| {
-                let aux_set = match &r.frame.payload {
-                    VifiPayload::Data(d)
-                        if d.relayed_by.is_none()
-                            && self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 =>
+                let aux_set = match DataView::of(&r.frame.payload) {
+                    Some(d)
+                        if d.relayed_by().is_none()
+                            && self.flow_vehicle(d.flow_src(), d.flow_dst()) == self.v0 =>
                     {
                         let mut sh = self.shards[self.owner[&self.v0]].lock().expect("shard");
                         let cell = sh.cells.get_mut(&self.v0).expect("v0 cell");
@@ -1103,8 +1106,7 @@ impl Engine {
             log_ops,
         } = &mut *rt;
         let groups = medium.split_batch(requests, b, link.as_ref());
-        let placed: Vec<PlacedGroup<VifiPayload>> =
-            groups.into_iter().map(|g| g.place(b)).collect();
+        let placed: Vec<PlacedGroup<WireFrame>> = groups.into_iter().map(|g| g.place(b)).collect();
         let placements = medium.merge_placed(placed, b, link.as_ref());
         for (p, m) in placements.iter().zip(metas) {
             meta.insert(p.handle, m);
@@ -1208,7 +1210,7 @@ impl Engine {
         let mut coord = self.coord.lock().expect("coordinator");
 
         // ---- collect outboxes in shard order ----
-        let mut requests: Vec<TxRequest<VifiPayload>> = Vec::new();
+        let mut requests: Vec<TxRequest<WireFrame>> = Vec::new();
         let mut bp: Vec<BpSend> = Vec::new();
         let mut xs: Vec<XMsg> = Vec::new();
         for shard in &self.shards {
@@ -1227,10 +1229,10 @@ impl Engine {
         let metas: Vec<FrameMeta> = requests
             .iter()
             .map(|r| {
-                let aux_set = match &r.frame.payload {
-                    VifiPayload::Data(d)
-                        if d.relayed_by.is_none()
-                            && self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 =>
+                let aux_set = match DataView::of(&r.frame.payload) {
+                    Some(d)
+                        if d.relayed_by().is_none()
+                            && self.flow_vehicle(d.flow_src(), d.flow_dst()) == self.v0 =>
                     {
                         let mut sh = self.shards[self.owner[&self.v0]].lock().expect("shard");
                         let cell = sh.cells.get_mut(&self.v0).expect("v0 cell");
@@ -1576,66 +1578,69 @@ impl Engine {
     fn emit_frame_ops(
         &self,
         ops: &mut Vec<LogOp>,
-        tx: &ResolvableTx<VifiPayload>,
+        tx: &ResolvableTx<WireFrame>,
         rx_ids: &[NodeId],
         meta: Option<FrameMeta>,
         seq: u64,
     ) {
         let lane = tx.frame.src.label();
         let at = tx.end;
-        match &tx.frame.payload {
-            VifiPayload::Data(d) if self.flow_vehicle(d.flow_src, d.flow_dst) == self.v0 => {
-                let dir = self.dir_of_src(d.flow_src);
+        // The frame stays packed: the fixed-offset views read the handful
+        // of header fields instrumentation needs without decoding the
+        // payload (beacons and other vehicles' data fall through).
+        if let Some(d) = DataView::of(&tx.frame.payload) {
+            if self.flow_vehicle(d.flow_src(), d.flow_dst()) != self.v0 {
+                return;
+            }
+            let dir = self.dir_of_src(d.flow_src());
+            ops.push(LogOp {
+                at,
+                lane,
+                seq,
+                op: LogOpKind::WirelessTx { dir },
+            });
+            let op = if let Some(relayer) = d.relayed_by() {
+                LogOpKind::Relay {
+                    id: d.id(),
+                    by: relayer,
+                    via_backplane: false,
+                    reached: rx_ids.contains(&d.flow_dst()),
+                }
+            } else {
+                let aux_set = meta.and_then(|m| m.aux_set).unwrap_or_default();
+                let aux_heard: Vec<NodeId> = rx_ids
+                    .iter()
+                    .copied()
+                    .filter(|n| aux_set.contains(n))
+                    .collect();
+                LogOpKind::SourceTx {
+                    id: d.id(),
+                    dir,
+                    dst_heard: rx_ids.contains(&d.flow_dst()),
+                    aux_set,
+                    aux_heard,
+                }
+            };
+            ops.push(LogOp { at, lane, seq, op });
+        } else if let Some(a) = AckView::of(&tx.frame.payload) {
+            let id = a.id();
+            let veh = if self.is_bs(id.origin) {
+                a.from()
+            } else {
+                id.origin
+            };
+            if veh == self.v0 {
                 ops.push(LogOp {
                     at,
                     lane,
                     seq,
-                    op: LogOpKind::WirelessTx { dir },
+                    op: LogOpKind::AckHeard {
+                        id,
+                        heard_by: rx_ids.to_vec(),
+                        dir: self.dir_of_src(id.origin),
+                    },
                 });
-                let op = if let Some(relayer) = d.relayed_by {
-                    LogOpKind::Relay {
-                        id: d.id,
-                        by: relayer,
-                        via_backplane: false,
-                        reached: rx_ids.contains(&d.flow_dst),
-                    }
-                } else {
-                    let aux_set = meta.and_then(|m| m.aux_set).unwrap_or_default();
-                    let aux_heard: Vec<NodeId> = rx_ids
-                        .iter()
-                        .copied()
-                        .filter(|n| aux_set.contains(n))
-                        .collect();
-                    LogOpKind::SourceTx {
-                        id: d.id,
-                        dir,
-                        dst_heard: rx_ids.contains(&d.flow_dst),
-                        aux_set,
-                        aux_heard,
-                    }
-                };
-                ops.push(LogOp { at, lane, seq, op });
             }
-            VifiPayload::Ack(a) => {
-                let veh = if self.is_bs(a.id.origin) {
-                    a.from
-                } else {
-                    a.id.origin
-                };
-                if veh == self.v0 {
-                    ops.push(LogOp {
-                        at,
-                        lane,
-                        seq,
-                        op: LogOpKind::AckHeard {
-                            id: a.id,
-                            heard_by: rx_ids.to_vec(),
-                            dir: self.dir_of_src(a.id.origin),
-                        },
-                    });
-                }
-            }
-            VifiPayload::Data(_) | VifiPayload::Beacon(_) => {}
         }
     }
 
@@ -1663,7 +1668,12 @@ impl Engine {
                 }
                 self.pump(sh, lane, now);
             }
-            Ev::Rx(payload) => {
+            Ev::Rx(frame) => {
+                // Decode at the receiver — the one place the typed payload
+                // is needed; everything between tx and rx moved `Bytes`.
+                let payload: VifiPayload = frame
+                    .decode()
+                    .expect("wire codec round-trips engine frames");
                 let acts = sh
                     .cells
                     .get_mut(&lane)
@@ -1852,8 +1862,11 @@ impl Engine {
         now: SimTime,
     ) {
         sh.cells.get_mut(&lane).expect("cell").iface_busy = true;
+        // Encode once at the transmitter; every hop after this — barrier
+        // collect, placement, fan-out to receivers — clones an `Arc`ed
+        // byte buffer instead of the owned payload.
         sh.tx_requests.push(TxRequest {
-            frame: Frame::new(lane, bytes, payload),
+            frame: Frame::new(lane, bytes, WireFrame::encode(lane, bytes, &payload)),
             t_req: now,
         });
     }
@@ -2207,7 +2220,11 @@ fn next_boundary(cb: &[SimTime], t: SimTime, horizon: SimTime, final_next: SimTi
     cb.get(i).map(|&n| n.min(horizon)).unwrap_or(final_next)
 }
 
-fn apply_log_op(log: &mut RunLog, op: &LogOp) {
+/// Apply one canonical log op through the [`LogSink`] event surface —
+/// the same calls a streaming [`crate::binlog::BinaryRunLog`] would see,
+/// so any sink observes the identical event sequence the in-memory
+/// [`RunLog`] folds.
+fn apply_log_op<S: LogSink>(log: &mut S, op: &LogOp) {
     match &op.op {
         LogOpKind::SourceTx {
             id,
@@ -2215,51 +2232,42 @@ fn apply_log_op(log: &mut RunLog, op: &LogOp) {
             aux_set,
             aux_heard,
             dst_heard,
-        } => log.on_source_tx(
+        } => log.source_tx(
+            op.at,
             *id,
             *dir,
-            op.at,
             aux_set.clone(),
             aux_heard.clone(),
             *dst_heard,
         ),
         LogOpKind::AckHeard { id, heard_by, dir } => {
-            log.on_ack_heard(*id, heard_by);
-            match dir {
-                Direction::Upstream => log.ledger_up.on_ack_tx(),
-                Direction::Downstream => log.ledger_down.on_ack_tx(),
-            }
+            log.ack_attach(op.at, *id, heard_by);
+            log.ack_tx(op.at, *dir);
         }
         LogOpKind::Relay {
             id,
             by,
             via_backplane,
             reached,
-        } => log.on_relay(*id, *by, *via_backplane, *reached),
+        } => log.relay(op.at, *id, *by, *via_backplane, *reached),
         LogOpKind::Decision {
             id,
             aux,
             prob,
             relayed,
-        } => log.on_decision(*id, *aux, *prob, *relayed),
+        } => log.decision(op.at, *id, *aux, *prob, *relayed),
         LogOpKind::Delivered { id, dir } => {
-            log.on_delivered(*id);
-            match dir {
-                Direction::Upstream => log.ledger_up.on_delivered(),
-                Direction::Downstream => log.ledger_down.on_delivered(),
-            }
+            log.deliver_mark(op.at, *id);
+            log.ledger_delivered(op.at, *dir);
         }
-        LogOpKind::WirelessTx { dir } => match dir {
-            Direction::Upstream => log.ledger_up.on_wireless_tx(),
-            Direction::Downstream => log.ledger_down.on_wireless_tx(),
-        },
-        LogOpKind::BackplaneTx => log.ledger_up.on_backplane_tx(),
+        LogOpKind::WirelessTx { dir } => log.wireless_tx(op.at, *dir),
+        LogOpKind::BackplaneTx => log.backplane_tx(op.at),
         LogOpKind::BackplaneDrop { relay } => {
-            log.backplane_drops += 1;
+            log.backplane_drop_count(op.at);
             if let Some((id, by)) = relay {
-                log.on_relay(*id, *by, true, false);
+                log.relay(op.at, *id, *by, true, false);
             }
         }
-        LogOpKind::AuxSample { sec, size } => log.on_aux_sample(*sec, *size),
+        LogOpKind::AuxSample { sec, size } => log.aux_sample(op.at, *sec, *size),
     }
 }

@@ -94,15 +94,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binlog;
 mod engine;
 pub mod fingerprint;
 pub mod logging;
 pub mod sim;
 pub mod workload;
 
+pub use binlog::{read_stream, BinaryRunLog, StreamFold, StreamSummary};
 pub use engine::CoupledTiming;
 pub use fingerprint::{Fingerprint, Fingerprintable};
-pub use logging::{PerfectRelayOutcome, RunLog, Table1, Table2Row};
+pub use logging::{LogSink, PerfectRelayOutcome, RunLog, Table1, Table2Row};
 pub use sim::{
     plan_shards, FaultStats, RunConfig, RunOutcome, ShardAssignment, ShardMode, ShardPlan,
     ShardTiming, Simulation, VehicleOutcome,

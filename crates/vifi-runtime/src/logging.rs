@@ -67,9 +67,9 @@ pub struct TxRecord {
 pub struct RunLog {
     /// Source-transmission records, in transmission order.
     pub records: Vec<TxRecord>,
-    /// Index of the latest record per packet id (ACKs, decisions and
-    /// relays attach to the most recent transmission of the id).
-    latest: HashMap<PacketId, usize>,
+    /// Record indices per packet id, in creation order (ACKs, decisions
+    /// and relays attach to the last one; delivery marks all of them).
+    by_id: HashMap<PacketId, Vec<usize>>,
     /// Per-second size of the vehicle's auxiliary set (Table 1 row A1).
     pub aux_sizes: Vec<(u64, usize)>,
     /// Wireless data transmissions per direction (sources + wireless
@@ -97,9 +97,9 @@ impl RunLog {
         aux_heard: Vec<NodeId>,
         dst_heard: bool,
     ) {
-        let attempt = self
-            .latest
-            .get(&id)
+        let indices = self.by_id.entry(id).or_default();
+        let attempt = indices
+            .last()
             .map(|&i| self.records[i].attempt + 1)
             .unwrap_or(0);
         let rec = TxRecord {
@@ -115,21 +115,38 @@ impl RunLog {
             relays: Vec::new(),
             delivered: false,
         };
-        self.latest.insert(id, self.records.len());
+        indices.push(self.records.len());
         self.records.push(rec);
     }
 
     fn latest_mut(&mut self, id: PacketId) -> Option<&mut TxRecord> {
-        let &i = self.latest.get(&id)?;
+        let &i = self.by_id.get(&id)?.last()?;
         self.records.get_mut(i)
     }
 
     /// Record which auxiliaries heard an ACK for `id`.
     pub fn on_ack_heard(&mut self, id: PacketId, heard_by: &[NodeId]) {
         if let Some(r) = self.latest_mut(id) {
-            for n in heard_by {
-                if r.aux_set.contains(n) && !r.ack_heard_by.contains(n) {
-                    r.ack_heard_by.push(*n);
+            // Small batches keep the branch-free linear scan; large ones
+            // would go quadratic in `contains` checks, so membership is
+            // resolved through a sorted copy of the (immutable) aux set
+            // plus a hash set of already-attached auxiliaries. Both paths
+            // push in `heard_by` order, so output is bit-identical.
+            if r.aux_set.len() * heard_by.len() <= 64 {
+                for n in heard_by {
+                    if r.aux_set.contains(n) && !r.ack_heard_by.contains(n) {
+                        r.ack_heard_by.push(*n);
+                    }
+                }
+            } else {
+                let mut aux_sorted = r.aux_set.clone();
+                aux_sorted.sort_unstable();
+                let mut attached: std::collections::HashSet<NodeId> =
+                    r.ack_heard_by.iter().copied().collect();
+                for n in heard_by {
+                    if aux_sorted.binary_search(n).is_ok() && attached.insert(*n) {
+                        r.ack_heard_by.push(*n);
+                    }
                 }
             }
         }
@@ -155,9 +172,13 @@ impl RunLog {
 
     /// Record an application-level delivery of `id` at the destination.
     pub fn on_delivered(&mut self, id: PacketId) {
-        // Mark every transmission of this id (delivery is per packet).
-        for r in self.records.iter_mut().filter(|r| r.id == id) {
-            r.delivered = true;
+        // Mark every transmission of this id (delivery is per packet) —
+        // O(attempts of the id) via the per-id index list, not a scan of
+        // the whole log.
+        if let Some(indices) = self.by_id.get(&id) {
+            for &i in indices {
+                self.records[i].delivered = true;
+            }
         }
     }
 
@@ -180,7 +201,7 @@ impl RunLog {
     /// sets, relay decisions, relay fates). Sharded runs simulate each
     /// vehicle in a re-densified sub-scenario; this maps the instrumented
     /// shard's log back into the parent scenario's id space so merged
-    /// outcomes read like sequential ones. The internal latest-record
+    /// outcomes read like sequential ones. The internal per-id record
     /// index is rebuilt because packet ids embed their origin node.
     pub fn remap_nodes(&mut self, f: impl Fn(NodeId) -> NodeId) {
         for r in &mut self.records {
@@ -200,55 +221,269 @@ impl RunLog {
                 fate.by = f(fate.by);
             }
         }
-        let remapped: HashMap<PacketId, usize> = self
-            .latest
+        let remapped: HashMap<PacketId, Vec<usize>> = self
+            .by_id
             .drain()
             .map(|(mut id, idx)| {
                 id.origin = f(id.origin);
                 (id, idx)
             })
             .collect();
-        self.latest = remapped;
+        self.by_id = remapped;
     }
 
     fn dir_records(&self, dir: Direction) -> impl Iterator<Item = &TxRecord> {
         self.records.iter().filter(move |r| r.dir == dir)
     }
+
+    fn ledger_mut(&mut self, dir: Direction) -> &mut EfficiencyLedger {
+        match dir {
+            Direction::Upstream => &mut self.ledger_up,
+            Direction::Downstream => &mut self.ledger_down,
+        }
+    }
+
+    /// Replay this (finished) log as a stream of [`LogSink`] events, in
+    /// record-creation order.
+    ///
+    /// Feeding the events back into a fresh `RunLog` reproduces this log
+    /// bit-for-bit; feeding them into a
+    /// [`BinaryRunLog`](crate::binlog::BinaryRunLog) serializes the run as
+    /// a compact binary trace. Attachments are emitted right after their
+    /// record (stamped with the record's transmission time); the delivery
+    /// mark for an id is emitted after the last record of the id the live
+    /// run marked — delivered flags are prefix-true per id, so one mark
+    /// lands on exactly the same records. [`LogSink::retire`] follows the
+    /// final record of each id so streaming consumers can drop per-id
+    /// state, and ledgers arrive once, additively, at the end.
+    pub fn replay_into<S: LogSink>(&self, sink: &mut S) {
+        for (i, r) in self.records.iter().enumerate() {
+            sink.source_tx(
+                r.at,
+                r.id,
+                r.dir,
+                r.aux_set.clone(),
+                r.aux_heard.clone(),
+                r.dst_heard,
+            );
+            if !r.ack_heard_by.is_empty() {
+                sink.ack_attach(r.at, r.id, &r.ack_heard_by);
+            }
+            for &(aux, prob, relayed) in &r.decisions {
+                sink.decision(r.at, r.id, aux, prob, relayed);
+            }
+            for f in &r.relays {
+                sink.relay(r.at, r.id, f.by, f.via_backplane, f.reached_dst);
+            }
+            let indices = &self.by_id[&r.id];
+            let pos = indices
+                .binary_search(&i)
+                .expect("per-id index list covers every record");
+            let last_of_id = pos + 1 == indices.len();
+            let next_delivered = !last_of_id && self.records[indices[pos + 1]].delivered;
+            if r.delivered && !next_delivered {
+                sink.deliver_mark(r.at, r.id);
+            }
+            if last_of_id {
+                sink.retire(r.at, r.id);
+            }
+        }
+        for &(sec, size) in &self.aux_sizes {
+            sink.aux_sample(SimTime::from_millis(sec * 1000), sec, size);
+        }
+        sink.ledger_totals(
+            [
+                self.ledger_up.wireless_tx,
+                self.ledger_up.backplane_tx,
+                self.ledger_up.ack_tx,
+                self.ledger_up.delivered,
+            ],
+            [
+                self.ledger_down.wireless_tx,
+                self.ledger_down.backplane_tx,
+                self.ledger_down.ack_tx,
+                self.ledger_down.delivered,
+            ],
+            self.backplane_drops,
+        );
+    }
+}
+
+/// A consumer of the runtime's logging events.
+///
+/// The coupled engine buffers per-shard log operations and applies them in
+/// canonical `(time, lane, seq)` order at run end; this trait is the
+/// surface it applies them *to*. [`RunLog`] implements it by mutating its
+/// in-memory records, [`BinaryRunLog`](crate::binlog::BinaryRunLog) by
+/// appending length-prefixed binary records to a byte stream — same event
+/// sequence, constant memory.
+///
+/// Record events (`source_tx` … `deliver_mark`) carry packet semantics;
+/// ledger events (`wireless_tx` … `backplane_drop_count`) are unit
+/// increments of the efficiency accounting; `ledger_totals` adds whole
+/// ledgers at once (used by trace replay instead of re-emitting every
+/// increment).
+pub trait LogSink {
+    /// A source transmission of `id` at `at`.
+    fn source_tx(
+        &mut self,
+        at: SimTime,
+        id: PacketId,
+        dir: Direction,
+        aux_set: Vec<NodeId>,
+        aux_heard: Vec<NodeId>,
+        dst_heard: bool,
+    );
+    /// Auxiliaries that heard an ACK for `id` (attaches to its latest
+    /// record, filtered to aux-set members).
+    fn ack_attach(&mut self, at: SimTime, id: PacketId, heard_by: &[NodeId]);
+    /// An auxiliary's relay decision for `id`.
+    fn decision(&mut self, at: SimTime, id: PacketId, aux: NodeId, prob: f64, relayed: bool);
+    /// The fate of a performed relay of `id`.
+    fn relay(&mut self, at: SimTime, id: PacketId, by: NodeId, via_backplane: bool, reached: bool);
+    /// Application-level delivery of `id` (marks every record of the id).
+    fn deliver_mark(&mut self, at: SimTime, id: PacketId);
+    /// Aux-set size sample at second `sec`.
+    fn aux_sample(&mut self, at: SimTime, sec: u64, size: usize);
+    /// One wireless data transmission in `dir`.
+    fn wireless_tx(&mut self, at: SimTime, dir: Direction);
+    /// One protocol ACK transmission in `dir`.
+    fn ack_tx(&mut self, at: SimTime, dir: Direction);
+    /// One backplane message (upstream relays ride the backplane).
+    fn backplane_tx(&mut self, at: SimTime);
+    /// One delivered packet counted in `dir`'s ledger.
+    fn ledger_delivered(&mut self, at: SimTime, dir: Direction);
+    /// One backplane message dropped by the capacity model.
+    fn backplane_drop_count(&mut self, at: SimTime);
+    /// No further events will reference `id` (advisory; lets streaming
+    /// consumers finalize and drop per-id state).
+    fn retire(&mut self, at: SimTime, id: PacketId) {
+        let _ = (at, id);
+    }
+    /// Add whole ledgers (`[wireless_tx, backplane_tx, ack_tx,
+    /// delivered]` per direction) and a backplane-drop total at once.
+    fn ledger_totals(&mut self, up: [u64; 4], down: [u64; 4], backplane_drops: u64);
+}
+
+impl LogSink for RunLog {
+    fn source_tx(
+        &mut self,
+        at: SimTime,
+        id: PacketId,
+        dir: Direction,
+        aux_set: Vec<NodeId>,
+        aux_heard: Vec<NodeId>,
+        dst_heard: bool,
+    ) {
+        self.on_source_tx(id, dir, at, aux_set, aux_heard, dst_heard);
+    }
+
+    fn ack_attach(&mut self, _at: SimTime, id: PacketId, heard_by: &[NodeId]) {
+        self.on_ack_heard(id, heard_by);
+    }
+
+    fn decision(&mut self, _at: SimTime, id: PacketId, aux: NodeId, prob: f64, relayed: bool) {
+        self.on_decision(id, aux, prob, relayed);
+    }
+
+    fn relay(
+        &mut self,
+        _at: SimTime,
+        id: PacketId,
+        by: NodeId,
+        via_backplane: bool,
+        reached: bool,
+    ) {
+        self.on_relay(id, by, via_backplane, reached);
+    }
+
+    fn deliver_mark(&mut self, _at: SimTime, id: PacketId) {
+        self.on_delivered(id);
+    }
+
+    fn aux_sample(&mut self, _at: SimTime, sec: u64, size: usize) {
+        self.on_aux_sample(sec, size);
+    }
+
+    fn wireless_tx(&mut self, _at: SimTime, dir: Direction) {
+        self.ledger_mut(dir).on_wireless_tx();
+    }
+
+    fn ack_tx(&mut self, _at: SimTime, dir: Direction) {
+        self.ledger_mut(dir).on_ack_tx();
+    }
+
+    fn backplane_tx(&mut self, _at: SimTime) {
+        self.ledger_up.on_backplane_tx();
+    }
+
+    fn ledger_delivered(&mut self, _at: SimTime, dir: Direction) {
+        self.ledger_mut(dir).on_delivered();
+    }
+
+    fn backplane_drop_count(&mut self, _at: SimTime) {
+        self.backplane_drops += 1;
+    }
+
+    fn ledger_totals(&mut self, up: [u64; 4], down: [u64; 4], backplane_drops: u64) {
+        for (ledger, t) in [(&mut self.ledger_up, up), (&mut self.ledger_down, down)] {
+            ledger.wireless_tx += t[0];
+            ledger.backplane_tx += t[1];
+            ledger.ack_tx += t[2];
+            ledger.delivered += t[3];
+        }
+        self.backplane_drops += backplane_drops;
+    }
+}
+
+/// Digest of one finalized [`TxRecord`] at creation index `index`.
+///
+/// The run-log fingerprint is the *wrapping sum* of these per-record
+/// digests (order information rides inside each digest via `index`), so
+/// a streaming consumer may finalize records in whatever order their
+/// last mutation arrives and still reproduce the in-memory fingerprint
+/// bit-for-bit.
+pub fn record_digest(index: u64, r: &TxRecord) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.push_u64(index);
+    fp.push_u64(r.id.origin.label());
+    fp.push_u64(r.id.seq);
+    fp.push_u64(r.attempt as u64);
+    fp.push_u64(match r.dir {
+        Direction::Upstream => 0,
+        Direction::Downstream => 1,
+    });
+    fp.push_u64(r.at.as_micros());
+    for ids in [&r.aux_set, &r.aux_heard, &r.ack_heard_by] {
+        fp.push_len(ids.len());
+        for n in ids {
+            fp.push_u64(n.label());
+        }
+    }
+    fp.push_bool(r.dst_heard);
+    fp.push_len(r.decisions.len());
+    for &(n, p, relayed) in &r.decisions {
+        fp.push_u64(n.label());
+        fp.push_f64(p);
+        fp.push_bool(relayed);
+    }
+    fp.push_len(r.relays.len());
+    for fate in &r.relays {
+        fp.push_u64(fate.by.label());
+        fp.push_bool(fate.via_backplane);
+        fp.push_bool(fate.reached_dst);
+    }
+    fp.push_bool(r.delivered);
+    fp.finish()
 }
 
 impl Fingerprintable for RunLog {
     fn fingerprint_into(&self, fp: &mut Fingerprint) {
         fp.push_len(self.records.len());
-        for r in &self.records {
-            fp.push_u64(r.id.origin.label());
-            fp.push_u64(r.id.seq);
-            fp.push_u64(r.attempt as u64);
-            fp.push_u64(match r.dir {
-                Direction::Upstream => 0,
-                Direction::Downstream => 1,
-            });
-            fp.push_u64(r.at.as_micros());
-            for ids in [&r.aux_set, &r.aux_heard, &r.ack_heard_by] {
-                fp.push_len(ids.len());
-                for n in ids {
-                    fp.push_u64(n.label());
-                }
-            }
-            fp.push_bool(r.dst_heard);
-            fp.push_len(r.decisions.len());
-            for &(n, p, relayed) in &r.decisions {
-                fp.push_u64(n.label());
-                fp.push_f64(p);
-                fp.push_bool(relayed);
-            }
-            fp.push_len(r.relays.len());
-            for fate in &r.relays {
-                fp.push_u64(fate.by.label());
-                fp.push_bool(fate.via_backplane);
-                fp.push_bool(fate.reached_dst);
-            }
-            fp.push_bool(r.delivered);
-        }
+        let sum = self.records.iter().enumerate().fold(0u64, |acc, (i, r)| {
+            acc.wrapping_add(record_digest(i as u64, r))
+        });
+        fp.push_u64(sum);
         fp.push_len(self.aux_sizes.len());
         for &(sec, size) in &self.aux_sizes {
             fp.push_u64(sec);
@@ -302,6 +537,111 @@ pub struct Table1 {
     pub down: Table1Column,
 }
 
+/// Integer accumulators behind one [`Table1Column`].
+///
+/// Every Table 1 cell except A1 is a ratio of counts; keeping the counts
+/// explicit lets the in-memory path ([`Table1::from_log`]) and the
+/// streaming binary-trace fold (`binlog`) share the exact same arithmetic
+/// — the divisions happen once, in [`ColumnCounts::into_column`], so the
+/// two paths agree bit-for-bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ColumnCounts {
+    /// Source transmissions.
+    pub n: u64,
+    /// Σ auxiliaries hearing each transmission (A2 numerator).
+    pub aux_heard_sum: u64,
+    /// Σ auxiliaries hearing the transmission but not the ACK (A3).
+    pub aux_not_ack_sum: u64,
+    /// Transmissions that reached the destination (B1).
+    pub successes: u64,
+    /// Relays attached to successful transmissions (B2 numerator).
+    pub fp_relays: u64,
+    /// Successful transmissions with ≥ 1 relay (B3 denominator).
+    pub fp_events: u64,
+    /// Transmissions that missed the destination (C1).
+    pub failures: u64,
+    /// Failures overheard by ≥ 1 auxiliary (C2 numerator).
+    pub overheard: u64,
+    /// Overheard failures nobody relayed (C3 numerator).
+    pub unrelayed_overheard: u64,
+    /// All relays (C4 denominator).
+    pub relays_total: u64,
+    /// Relays that reached the destination (C4 numerator).
+    pub relays_reached: u64,
+}
+
+impl ColumnCounts {
+    /// Fold one finalized record into the counts.
+    pub fn add_record(&mut self, r: &TxRecord) {
+        self.n += 1;
+        self.aux_heard_sum += r.aux_heard.len() as u64;
+        self.aux_not_ack_sum += r
+            .aux_heard
+            .iter()
+            .filter(|a| !r.ack_heard_by.contains(a))
+            .count() as u64;
+        if r.dst_heard {
+            self.successes += 1;
+            self.fp_relays += r.relays.len() as u64;
+            if !r.relays.is_empty() {
+                self.fp_events += 1;
+            }
+        } else {
+            self.failures += 1;
+            if !r.aux_heard.is_empty() {
+                self.overheard += 1;
+                if r.relays.is_empty() {
+                    self.unrelayed_overheard += 1;
+                }
+            }
+        }
+        self.relays_total += r.relays.len() as u64;
+        self.relays_reached += r.relays.iter().filter(|f| f.reached_dst).count() as u64;
+    }
+
+    /// Convert to the published column; `a1_median_aux` is the median
+    /// aux-set size (computed by the caller from the aux samples).
+    pub fn into_column(self, a1_median_aux: f64) -> Table1Column {
+        let mut col = Table1Column::default();
+        if self.n == 0 {
+            return col;
+        }
+        col.a1_median_aux = a1_median_aux;
+        let n = self.n as f64;
+        col.a2_aux_hear_tx = self.aux_heard_sum as f64 / n;
+        col.a3_aux_hear_tx_not_ack = self.aux_not_ack_sum as f64 / n;
+        col.b1_src_reach = self.successes as f64 / n;
+        col.c1_src_fail = self.failures as f64 / n;
+        if self.successes > 0 {
+            col.b2_false_positive = self.fp_relays as f64 / self.successes as f64;
+            if self.fp_events > 0 {
+                col.b3_relayers_on_fp = self.fp_relays as f64 / self.fp_events as f64;
+            }
+        }
+        if self.failures > 0 {
+            // C3's denominator is the *overheard* failures: the paper's own
+            // consistency check ("roughly 65% of the lost source
+            // transmissions are relayed" = C2 x (1 - C3)) only works out
+            // that way for both directions.
+            col.c2_overheard = self.overheard as f64 / self.failures as f64;
+            if self.overheard > 0 {
+                col.c3_false_negative = self.unrelayed_overheard as f64 / self.overheard as f64;
+            }
+        }
+        if self.relays_total > 0 {
+            col.c4_relay_reach = self.relays_reached as f64 / self.relays_total as f64;
+        }
+        col
+    }
+}
+
+/// Median aux-set size over the per-second samples (Table 1 row A1; the
+/// set belongs to the vehicle, so both directions share it).
+pub fn median_aux_size(aux_sizes: &[(u64, usize)]) -> f64 {
+    let sizes: Vec<f64> = aux_sizes.iter().map(|&(_, s)| s as f64).collect();
+    vifi_metrics::median(&sizes)
+}
+
 impl Table1 {
     /// Derive Table 1 from a run log.
     pub fn from_log(log: &RunLog) -> Table1 {
@@ -312,71 +652,11 @@ impl Table1 {
     }
 
     fn column(log: &RunLog, dir: Direction) -> Table1Column {
-        let recs: Vec<&TxRecord> = log.dir_records(dir).collect();
-        let mut col = Table1Column::default();
-        if recs.is_empty() {
-            return col;
+        let mut counts = ColumnCounts::default();
+        for r in log.dir_records(dir) {
+            counts.add_record(r);
         }
-        // A1: median aux-set size over per-second samples (same for both
-        // directions; the set belongs to the vehicle).
-        let mut sizes: Vec<f64> = log.aux_sizes.iter().map(|&(_, s)| s as f64).collect();
-        sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        col.a1_median_aux = vifi_metrics::median(&sizes);
-
-        let n = recs.len() as f64;
-        col.a2_aux_hear_tx = recs.iter().map(|r| r.aux_heard.len() as f64).sum::<f64>() / n;
-        col.a3_aux_hear_tx_not_ack = recs
-            .iter()
-            .map(|r| {
-                r.aux_heard
-                    .iter()
-                    .filter(|a| !r.ack_heard_by.contains(a))
-                    .count() as f64
-            })
-            .sum::<f64>()
-            / n;
-
-        let successes: Vec<&&TxRecord> = recs.iter().filter(|r| r.dst_heard).collect();
-        let failures: Vec<&&TxRecord> = recs.iter().filter(|r| !r.dst_heard).collect();
-        col.b1_src_reach = successes.len() as f64 / n;
-        col.c1_src_fail = failures.len() as f64 / n;
-
-        if !successes.is_empty() {
-            let fp_relays: usize = successes.iter().map(|r| r.relays.len()).sum();
-            col.b2_false_positive = fp_relays as f64 / successes.len() as f64;
-            let fp_events: Vec<usize> = successes
-                .iter()
-                .filter(|r| !r.relays.is_empty())
-                .map(|r| r.relays.len())
-                .collect();
-            if !fp_events.is_empty() {
-                col.b3_relayers_on_fp =
-                    fp_events.iter().sum::<usize>() as f64 / fp_events.len() as f64;
-            }
-        }
-
-        if !failures.is_empty() {
-            let overheard: Vec<&&&TxRecord> = failures
-                .iter()
-                .filter(|r| !r.aux_heard.is_empty())
-                .collect();
-            col.c2_overheard = overheard.len() as f64 / failures.len() as f64;
-            // C3's denominator is the *overheard* failures: the paper's own
-            // consistency check ("roughly 65% of the lost source
-            // transmissions are relayed" = C2 x (1 - C3)) only works out
-            // that way for both directions.
-            if !overheard.is_empty() {
-                let no_relay = overheard.iter().filter(|r| r.relays.is_empty()).count();
-                col.c3_false_negative = no_relay as f64 / overheard.len() as f64;
-            }
-        }
-
-        let all_relays: Vec<&RelayFate> = recs.iter().flat_map(|r| r.relays.iter()).collect();
-        if !all_relays.is_empty() {
-            col.c4_relay_reach = all_relays.iter().filter(|f| f.reached_dst).count() as f64
-                / all_relays.len() as f64;
-        }
-        col
+        counts.into_column(median_aux_size(&log.aux_sizes))
     }
 }
 
@@ -417,55 +697,85 @@ pub struct PerfectRelayOutcome {
     pub efficiency_down: f64,
 }
 
+/// Integer accumulators behind [`PerfectRelayOutcome`], shared by the
+/// in-memory estimate and the streaming binary-trace fold so their
+/// divisions agree bit-for-bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfectRelayCounts {
+    /// Upstream wireless transmissions (one per source tx; upstream
+    /// relays ride the backplane for free).
+    pub up_tx: u64,
+    /// Distinct upstream packet ids delivered under the oracle.
+    pub up_delivered: u64,
+    /// Downstream wireless transmissions (source tx + the single perfect
+    /// relay when the destination missed it and some aux could relay).
+    pub down_tx: u64,
+    /// Distinct downstream packet ids delivered under the oracle.
+    pub down_delivered: u64,
+}
+
+impl PerfectRelayCounts {
+    /// Fold one finalized record's transmission costs, returning whether
+    /// this record qualifies its packet id as delivered under the oracle.
+    /// The caller deduplicates per id (a packet counts once no matter how
+    /// many of its transmissions qualify) and then bumps
+    /// [`PerfectRelayCounts::up_delivered`] /
+    /// [`PerfectRelayCounts::down_delivered`].
+    pub fn add_record(&mut self, r: &TxRecord) -> bool {
+        match r.dir {
+            // Upstream: delivered iff dst or any aux heard it.
+            Direction::Upstream => {
+                self.up_tx += 1;
+                r.dst_heard || !r.aux_heard.is_empty()
+            }
+            // Downstream: delivery per the paper's two-case estimate.
+            Direction::Downstream => {
+                self.down_tx += 1;
+                if r.dst_heard {
+                    true
+                } else if !r.aux_heard.is_empty() {
+                    self.down_tx += 1; // the single perfect relay
+                    if r.relays.iter().any(|f| !f.via_backplane) {
+                        // ViFi relayed: reuse its outcome.
+                        r.relays.iter().any(|f| f.reached_dst)
+                    } else {
+                        // ViFi did not relay: assume success (§5.4 rule ii).
+                        true
+                    }
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The published per-direction efficiencies.
+    pub fn into_outcome(self) -> PerfectRelayOutcome {
+        let mut out = PerfectRelayOutcome::default();
+        if self.up_tx > 0 {
+            out.efficiency_up = self.up_delivered as f64 / self.up_tx as f64;
+        }
+        if self.down_tx > 0 {
+            out.efficiency_down = self.down_delivered as f64 / self.down_tx as f64;
+        }
+        out
+    }
+}
+
 impl PerfectRelayOutcome {
     /// Estimate from a ViFi run log.
     pub fn from_log(log: &RunLog) -> PerfectRelayOutcome {
-        let mut out = PerfectRelayOutcome::default();
-        // Upstream: every source tx costs 1 wireless tx; relays ride the
-        // backplane for free; delivered iff dst or any aux heard it.
-        let mut up_tx = 0u64;
-        let mut up_delivered = 0u64;
-        let mut seen_up: std::collections::HashSet<PacketId> = Default::default();
-        for r in log.dir_records(Direction::Upstream) {
-            up_tx += 1;
-            if (r.dst_heard || !r.aux_heard.is_empty()) && seen_up.insert(r.id) {
-                up_delivered += 1;
-            }
-        }
-        if up_tx > 0 {
-            out.efficiency_up = up_delivered as f64 / up_tx as f64;
-        }
-        // Downstream: 1 wireless tx per source tx; +1 relay when the dst
-        // missed it and some aux could relay. Delivery per the paper's
-        // two-case estimate.
-        let mut down_tx = 0u64;
-        let mut down_delivered = 0u64;
-        let mut seen_down: std::collections::HashSet<PacketId> = Default::default();
-        for r in log.dir_records(Direction::Downstream) {
-            down_tx += 1;
-            let delivered;
-            if r.dst_heard {
-                delivered = true;
-            } else if !r.aux_heard.is_empty() {
-                down_tx += 1; // the single perfect relay
-                if r.relays.iter().any(|f| !f.via_backplane) {
-                    // ViFi relayed: reuse its outcome.
-                    delivered = r.relays.iter().any(|f| f.reached_dst);
-                } else {
-                    // ViFi did not relay: assume success (§5.4 rule ii).
-                    delivered = true;
+        let mut counts = PerfectRelayCounts::default();
+        let mut seen: std::collections::HashSet<PacketId> = Default::default();
+        for r in &log.records {
+            if counts.add_record(r) && seen.insert(r.id) {
+                match r.dir {
+                    Direction::Upstream => counts.up_delivered += 1,
+                    Direction::Downstream => counts.down_delivered += 1,
                 }
-            } else {
-                delivered = false;
-            }
-            if delivered && seen_down.insert(r.id) {
-                down_delivered += 1;
             }
         }
-        if down_tx > 0 {
-            out.efficiency_down = down_delivered as f64 / down_tx as f64;
-        }
-        out
+        counts.into_outcome()
     }
 }
 

@@ -78,30 +78,31 @@ fn sequential_run_matches_golden_fingerprints() {
     // against silent drift. If a deliberate physics change lands,
     // regenerate them (the failure message prints the new values, or run
     // `cargo run --release --example regen_goldens`) and explain the
-    // change in the commit. Last regenerated in PR 6: the fault-injection
-    // subsystem added `FaultStats` to `RunOutcome::fingerprint` (all-zero
-    // counters on unfaulted runs, but part of the hashed bytes) — the
-    // physics itself is unchanged, which the equivalence tests above
-    // continue to prove.
+    // change in the commit. Last regenerated for the streaming-trace PR:
+    // the run-log fingerprint now combines per-record digests by wrapping
+    // addition (order-free, so the streaming binary-trace fold can
+    // finalize records out of creation order and still match
+    // bit-for-bit) — same records, new hash composition. The physics is
+    // unchanged, which the equivalence tests above continue to prove.
     let golden: [(u64, [u64; 5]); 2] = [
         (
             0, // vanlan(8)
             [
-                0xcf140c1d42d9368c,
-                0xe50914b9bc3dbc06,
-                0x5a5855c433d74d1b,
-                0x88105f1357ec44a4,
-                0x4a4304dd2d5cd9b9,
+                0xc1c21970db8a7456,
+                0xa58a0f4ba7a0c85f,
+                0x53a1e8ed8a5b7e94,
+                0xdf12a92d15c6457d,
+                0xaec2e8f953bd6026,
             ],
         ),
         (
             1, // dieselnet_fleet(16, 42)
             [
-                0x402356ba73be90ca,
-                0x349bd88447a068fc,
-                0x027ef1400bd4a0c5,
-                0x1300c6338a9b826e,
-                0xbf918adb23de44f1,
+                0x77e3d51c190d6857,
+                0xfad669ddb33ea05a,
+                0x40bfe11e1d3b1a54,
+                0x21b525dff3f65600,
+                0x2f84f56c3ec79ffb,
             ],
         ),
     ];

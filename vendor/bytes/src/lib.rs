@@ -17,13 +17,14 @@
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable, contiguous byte buffer.
 ///
 /// Static slices are stored without allocation; owned data is shared
-/// behind an [`Arc`], so `clone` is O(1) either way.
+/// behind an [`Arc`], so `clone` is O(1) either way. [`Bytes::slice`]
+/// produces sub-views over the same storage without copying.
 #[derive(Clone)]
 pub struct Bytes {
     repr: Repr,
@@ -32,7 +33,11 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared {
+        data: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Bytes {
@@ -52,8 +57,50 @@ impl Bytes {
 
     /// Copy a slice into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        let end = data.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(data)),
+            repr: Repr::Shared {
+                data: Arc::from(data),
+                start: 0,
+                end,
+            },
+        }
+    }
+
+    /// A sub-view of `range` over the same storage — no copy; shared
+    /// buffers bump the refcount, static slices re-borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside the buffer, matching the
+    /// upstream crate's contract.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "range out of bounds: {lo}..{hi} of {len}"
+        );
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[lo..hi]),
+            },
+            Repr::Shared { data, start, .. } => Bytes {
+                repr: Repr::Shared {
+                    data: Arc::clone(data),
+                    start: start + lo,
+                    end: start + hi,
+                },
+            },
         }
     }
 
@@ -71,7 +118,7 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
-            Repr::Shared(s) => s,
+            Repr::Shared { data, start, end } => &data[*start..*end],
         }
     }
 
@@ -154,8 +201,13 @@ impl Hash for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(v)),
+            repr: Repr::Shared {
+                data: Arc::from(v),
+                start: 0,
+                end,
+            },
         }
     }
 }
@@ -374,6 +426,28 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(&a[..], b"hello");
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = a.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // Same allocation, offset view.
+        assert_eq!(mid.as_ptr(), a[2..].as_ptr());
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(inner.as_ptr(), a[3..].as_ptr());
+        // Unbounded ranges and static buffers work too.
+        let s = Bytes::from_static(b"hello").slice(1..);
+        assert_eq!(&s[..], b"ello");
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn slice_rejects_out_of_range() {
+        let _ = Bytes::from(vec![1u8, 2, 3]).slice(1..5);
     }
 
     #[test]
